@@ -1,0 +1,28 @@
+//! Benchmarks of the accelerator-model layer itself: one full-chip
+//! simulation and one reduced design-space exploration sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zkspeed_core::{explore, pareto_frontier, ChipConfig, DesignSpace, Workload};
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accelerator_model");
+    group.sample_size(10);
+    let chip = ChipConfig::table5_design();
+    let workload = Workload::standard(20);
+    group.bench_function("simulate_2^20", |b| b.iter(|| chip.simulate(&workload)));
+    group.bench_function("area_power", |b| b.iter(|| (chip.area(), chip.power())));
+    let space = DesignSpace {
+        bandwidths_gbps: vec![2048.0],
+        msm_points_per_pe: vec![2048],
+        msm_window_bits: vec![9],
+        mle_update_modmuls: vec![4],
+        ..DesignSpace::reduced()
+    };
+    group.bench_function("dse_sweep_small", |b| {
+        b.iter(|| pareto_frontier(&explore(&space, &workload)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks of the G1 group operations and the MSM kernels (Witness
+//! Commit / Wiring Identity workloads at reduced sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zkspeed_curve::{msm, sparse_msm, G1Affine, G1Projective};
+use zkspeed_field::Fr;
+
+fn setup(n: usize, rng: &mut StdRng) -> (Vec<G1Affine>, Vec<Fr>) {
+    let proj: Vec<G1Projective> = (0..n).map(|_| G1Projective::random(rng)).collect();
+    let points = G1Projective::batch_to_affine(&proj);
+    let scalars = (0..n).map(|_| Fr::random(rng)).collect();
+    (points, scalars)
+}
+
+fn bench_curve(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let p = G1Projective::random(&mut rng);
+    let q = G1Projective::random(&mut rng);
+    let s = Fr::random(&mut rng);
+
+    let mut group = c.benchmark_group("curve");
+    group.sample_size(20);
+    group.bench_function("padd", |b| b.iter(|| p + q));
+    group.bench_function("pdbl", |b| b.iter(|| p.double()));
+    group.bench_function("scalar_mul", |b| b.iter(|| p.mul_scalar(&s)));
+    group.finish();
+
+    let mut group = c.benchmark_group("msm");
+    group.sample_size(10);
+    for log_n in [8usize, 10] {
+        let (points, scalars) = setup(1 << log_n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dense", 1 << log_n), &log_n, |b, _| {
+            b.iter(|| msm(&points, &scalars))
+        });
+        // Witness-style sparse scalars (45% zero, 45% one, 10% dense).
+        let sparse: Vec<Fr> = scalars
+            .iter()
+            .map(|v| {
+                let roll: f64 = rng.gen();
+                if roll < 0.45 {
+                    Fr::zero()
+                } else if roll < 0.9 {
+                    Fr::one()
+                } else {
+                    *v
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("sparse", 1 << log_n), &log_n, |b, _| {
+            b.iter(|| sparse_msm(&points, &sparse))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curve);
+criterion_main!(benches);

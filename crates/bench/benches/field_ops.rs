@@ -1,0 +1,39 @@
+//! Microbenchmarks of the BLS12-381 field arithmetic (the "modmul" the
+//! entire zkSpeed cost model is denominated in).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkspeed_field::{batch_invert, Fq, Fr};
+
+fn bench_field_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fr::random(&mut rng);
+    let b = Fr::random(&mut rng);
+    let x = Fq::random(&mut rng);
+    let y = Fq::random(&mut rng);
+
+    let mut group = c.benchmark_group("field");
+    group.bench_function("fr_mul_255b", |bench| bench.iter(|| a * b));
+    group.bench_function("fq_mul_381b", |bench| bench.iter(|| x * y));
+    group.bench_function("fr_invert_beea", |bench| bench.iter(|| a.invert().unwrap()));
+    group.bench_function("fr_invert_fermat", |bench| {
+        bench.iter(|| a.invert_fermat().unwrap())
+    });
+    group.bench_function("fr_batch_invert_64", |bench| {
+        let vals: Vec<Fr> = (0..64).map(|_| Fr::random(&mut rng)).collect();
+        bench.iter_batched(
+            || vals.clone(),
+            |mut v| batch_invert(&mut v),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_field_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benchmarks of the SumCheck kernels: Build MLE, a ZeroCheck-shaped round,
+//! the MLE Update, and a full ZeroCheck proof.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkspeed_field::Fr;
+use zkspeed_poly::{MultilinearPoly, VirtualPolynomial};
+use zkspeed_sumcheck::{prove_zerocheck, round_polynomial};
+use zkspeed_transcript::Transcript;
+
+fn gate_shaped_poly(num_vars: usize, rng: &mut StdRng) -> VirtualPolynomial {
+    let mut vp = VirtualPolynomial::new(num_vars);
+    let idx: Vec<usize> = (0..8)
+        .map(|_| vp.add_mle(MultilinearPoly::random(num_vars, rng)))
+        .collect();
+    let eq = vp.add_mle(MultilinearPoly::eq_mle(
+        &(0..num_vars).map(|_| Fr::random(rng)).collect::<Vec<_>>(),
+    ));
+    vp.add_term(Fr::one(), vec![idx[0], idx[5], eq]);
+    vp.add_term(Fr::one(), vec![idx[1], idx[6], eq]);
+    vp.add_term(Fr::one(), vec![idx[2], idx[5], idx[6], eq]);
+    vp.add_term(-Fr::one(), vec![idx[3], idx[7], eq]);
+    vp.add_term(Fr::one(), vec![idx[4], eq]);
+    vp
+}
+
+fn bench_sumcheck(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let mut group = c.benchmark_group("sumcheck");
+    group.sample_size(10);
+    for num_vars in [10usize, 12] {
+        let point: Vec<Fr> = (0..num_vars).map(|_| Fr::random(&mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("build_mle", num_vars), &num_vars, |b, _| {
+            b.iter(|| MultilinearPoly::eq_mle(&point))
+        });
+        let table = MultilinearPoly::random(num_vars, &mut rng);
+        let r = Fr::random(&mut rng);
+        group.bench_with_input(BenchmarkId::new("mle_update", num_vars), &num_vars, |b, _| {
+            b.iter(|| table.fix_first_variable(r))
+        });
+        let vp = gate_shaped_poly(num_vars, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("zerocheck_round", num_vars),
+            &num_vars,
+            |b, _| b.iter(|| round_polynomial(&vp, 4)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("zerocheck_full", num_vars),
+            &num_vars,
+            |b, _| {
+                b.iter(|| {
+                    let mut t = Transcript::new(b"bench");
+                    prove_zerocheck(&vp, &mut t)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sumcheck);
+criterion_main!(benches);

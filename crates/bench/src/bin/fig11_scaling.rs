@@ -1,0 +1,42 @@
+//! Regenerates Figure 11: MSM- and SumCheck-kernel speedups as PE count and
+//! off-chip bandwidth scale, normalized to 1 PE at 512 GB/s.
+
+use zkspeed_bench::banner;
+use zkspeed_core::{scaling_study, Workload};
+
+fn main() {
+    let num_vars: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    banner(&format!(
+        "Figure 11 reproduction: PE / bandwidth scaling at 2^{num_vars} gates"
+    ));
+    let workload = Workload::standard(num_vars);
+    let pes = [1usize, 2, 4, 8, 16];
+    let bws = [512.0, 1024.0, 2048.0, 4096.0];
+    let study = scaling_study(&workload, &pes, &bws);
+    for (name, points) in [("MSM kernels", &study.msm), ("SumCheck kernels", &study.sumcheck)] {
+        println!("\n{name} (speedup vs 1 PE @ 512 GB/s)");
+        print!("{:>10}", "PEs");
+        for bw in bws {
+            print!("{:>12.0}", bw);
+        }
+        println!();
+        for &pe in &pes {
+            print!("{pe:>10}");
+            for &bw in &bws {
+                let s = points
+                    .iter()
+                    .find(|p| p.pes == pe && p.bandwidth_gbps == bw)
+                    .map(|p| p.speedup)
+                    .unwrap_or(f64::NAN);
+                print!("{s:>12.2}");
+            }
+            println!();
+        }
+    }
+    println!();
+    println!("Expected shape (paper): MSMs scale with PEs and are insensitive to bandwidth;");
+    println!("SumChecks saturate with PEs at low bandwidth and recover with more bandwidth.");
+}

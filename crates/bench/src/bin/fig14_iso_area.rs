@@ -1,0 +1,55 @@
+//! Regenerates Figure 14: speedup over the CPU at iso-CPU-area designs for
+//! problem sizes 2^17-2^23, per kernel, plus the geometric means.
+
+use zkspeed_bench::banner;
+use zkspeed_core::{
+    explore, geomean, pareto_frontier, pick_iso_area, speedup_from_simulation, CpuModel,
+    DesignSpace, Workload,
+};
+
+fn main() {
+    banner("Figure 14 reproduction: iso-CPU-area speedups, 2^17 - 2^23 gates");
+    println!(
+        "{:>6} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "mu", "Area", "Total", "WitMSM", "WireMSM", "OpenMSM", "ZeroChk", "PermChk", "OpenChk"
+    );
+    let mut totals = Vec::new();
+    let mut per_kernel: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    for mu in 17..=23usize {
+        let workload = Workload::standard(mu);
+        // Pick a Pareto-optimal design close to the EPYC core area (296 mm^2),
+        // excluding the PHY as the paper does.
+        let space = DesignSpace::reduced_at_bandwidth(2048.0);
+        let points = explore(&space, &workload);
+        let frontier = pareto_frontier(&points);
+        let adjusted: Vec<zkspeed_core::DesignPoint> = frontier
+            .iter()
+            .map(|p| zkspeed_core::DesignPoint {
+                config: p.config,
+                area_mm2: p.config.area().total_without_phy_mm2(),
+                runtime_seconds: p.runtime_seconds,
+            })
+            .collect();
+        let pick = pick_iso_area(&adjusted, CpuModel::CORE_AREA_MM2).expect("non-empty frontier");
+        let sim = pick.config.simulate(&workload);
+        let r = speedup_from_simulation(&sim, mu);
+        println!(
+            "{:>6} {:>10.1} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+            mu, pick.area_mm2, r.total, r.witness_msm, r.wiring_msm, r.polyopen_msm,
+            r.zerocheck, r.permcheck, r.opencheck
+        );
+        totals.push(r.total);
+        for (v, bucket) in [r.witness_msm, r.wiring_msm, r.polyopen_msm, r.zerocheck, r.permcheck, r.opencheck]
+            .iter()
+            .zip(per_kernel.iter_mut())
+        {
+            bucket.push(*v);
+        }
+    }
+    println!();
+    println!("geomean total speedup: {:.0}x  (paper: 801x; >=2 orders of magnitude expected)", geomean(&totals));
+    let names = ["Witness MSMs", "Wiring MSMs", "PolyOpen MSMs", "ZeroCheck", "PermCheck", "OpenCheck"];
+    for (name, vals) in names.iter().zip(per_kernel.iter()) {
+        println!("geomean {name}: {:.0}x", geomean(vals));
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates Table 3: end-to-end CPU vs zkSpeed runtime for the five
+//! named real-world workloads.
+
+use zkspeed_bench::{banner, ms};
+use zkspeed_core::{geomean, ChipConfig, CpuModel, Workload};
+use zkspeed_hyperplonk::NAMED_WORKLOADS;
+
+fn main() {
+    banner("Table 3 reproduction: real-world workloads");
+    println!(
+        "{:<32} {:>6} {:>12} {:>14} {:>10} {:>22}",
+        "Workload", "mu", "CPU (ms)", "zkSpeed (ms)", "Speedup", "Paper (CPU/zkSpeed ms)"
+    );
+    let chip = ChipConfig::table5_design();
+    let mut speedups = Vec::new();
+    for w in NAMED_WORKLOADS.iter() {
+        let cpu = CpuModel::total_seconds(w.num_vars);
+        let sim = chip.simulate(&Workload::standard(w.num_vars));
+        let speedup = cpu / sim.total_seconds();
+        speedups.push(speedup);
+        println!(
+            "{:<32} {:>6} {:>12.0} {:>14.3} {:>9.0}x {:>12.0} / {:<8.3}",
+            w.name,
+            w.num_vars,
+            ms(cpu),
+            ms(sim.total_seconds()),
+            speedup,
+            w.paper_cpu_ms,
+            w.paper_zkspeed_ms
+        );
+    }
+    println!();
+    println!(
+        "geomean speedup: {:.0}x (paper: 801x with per-size Pareto-optimal designs)",
+        geomean(&speedups)
+    );
+}

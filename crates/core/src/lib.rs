@@ -1,0 +1,49 @@
+//! The zkSpeed full-chip accelerator model — the primary contribution of the
+//! paper *"Need for zkSpeed: Accelerating HyperPlonk for Zero-Knowledge
+//! Proofs"* (ISCA 2025), reproduced in Rust.
+//!
+//! The crate composes the per-unit hardware models of `zkspeed-hw` into a
+//! complete chip ([`ChipConfig`]) and provides:
+//!
+//! * [`ChipConfig::simulate`] — the protocol scheduler that maps HyperPlonk's
+//!   five steps onto the units under an off-chip bandwidth constraint,
+//!   producing per-step latencies, per-kernel latencies and per-unit
+//!   utilizations (Figures 10, 12b, 13);
+//! * [`ChipConfig::area`] / [`ChipConfig::power`] — the Table 5 area and
+//!   power breakdowns;
+//! * [`DesignSpace`] / [`explore`] / [`pareto_frontier`] — the Table 2
+//!   design-space exploration and Figure 9 Pareto analysis;
+//! * [`CpuModel`] — the CPU baseline calibrated against the paper's Table 3
+//!   and Figure 12a;
+//! * [`speedup_report`], [`scaling_study`], [`comparison_table`] — the
+//!   Figure 11/14 and Table 3/4 analyses.
+//!
+//! # Examples
+//!
+//! ```
+//! use zkspeed_core::{ChipConfig, Workload};
+//!
+//! let chip = ChipConfig::table5_design();
+//! let sim = chip.simulate(&Workload::standard(20));
+//! println!("2^20 gates prove in {:.2} ms", sim.total_seconds() * 1e3);
+//! assert!(sim.total_seconds() < 0.1);
+//! assert!(chip.area().total_mm2() > 300.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod chip;
+mod cpu_model;
+mod dse;
+mod workload;
+
+pub use analysis::{
+    comparison_table, geomean, scaling_study, speedup_from_simulation, speedup_report,
+    AcceleratorComparison, ScalingPoint, ScalingStudy, SpeedupReport,
+};
+pub use chip::{AreaBreakdown, ChipConfig, ChipSimulation, KernelSeconds, PowerBreakdown, Unit};
+pub use cpu_model::{CpuKernelSeconds, CpuKernelShares, CpuModel};
+pub use dse::{explore, pareto_frontier, pick_iso_area, DesignPoint, DesignSpace};
+pub use workload::Workload;

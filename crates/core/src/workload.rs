@@ -1,0 +1,56 @@
+//! Workload descriptions consumed by the chip model.
+
+use serde::{Deserialize, Serialize};
+
+/// A HyperPlonk proving workload, characterized (as in Section 6.2 of the
+/// paper) by its problem size and its witness sparsity statistics.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// `μ`: the circuit has `2^μ` gates.
+    pub num_vars: usize,
+    /// Fraction of witness scalars that are zero (skipped by the Sparse MSM).
+    pub zero_fraction: f64,
+    /// Fraction of witness scalars that are one (tree-added by the Sparse MSM).
+    pub one_fraction: f64,
+}
+
+impl Workload {
+    /// The paper's standard workload: `2^μ` gates with 45% zeros, 45% ones
+    /// and 10% dense witness scalars.
+    pub fn standard(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            zero_fraction: 0.45,
+            one_fraction: 0.45,
+        }
+    }
+
+    /// Number of gates `2^μ`.
+    pub fn num_gates(&self) -> usize {
+        1usize << self.num_vars
+    }
+
+    /// Witness scalar counts per column `(zeros, ones, dense)`.
+    pub fn witness_split(&self) -> (usize, usize, usize) {
+        let n = self.num_gates() as f64;
+        let zeros = (n * self.zero_fraction) as usize;
+        let ones = (n * self.one_fraction) as usize;
+        let dense = self.num_gates() - zeros - ones;
+        (zeros, ones, dense)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_workload_split() {
+        let w = Workload::standard(20);
+        assert_eq!(w.num_gates(), 1 << 20);
+        let (z, o, d) = w.witness_split();
+        assert_eq!(z + o + d, 1 << 20);
+        // Roughly 10% dense.
+        assert!((d as f64 / (1 << 20) as f64 - 0.10).abs() < 0.01);
+    }
+}

@@ -1,0 +1,563 @@
+//! The BLS12-381 G1 group.
+//!
+//! Points are represented either in affine form ([`G1Affine`]) or in
+//! homogeneous projective form ([`G1Projective`]). Group operations use the
+//! *complete* addition formulas of Renes–Costello–Batina (EUROCRYPT 2016)
+//! specialized to `a = 0`, `b = 4`, so there are no exceptional cases for
+//! doubling or the identity — the same property that lets zkSpeed's PADD
+//! unit be a single fully-pipelined datapath.
+//!
+//! The paper's MSM unit cost model counts one point addition (PADD) as "tens
+//! of modular multiplications"; the exact operation count of the formulas
+//! used here is exposed as [`PADD_FQ_MULS`] and [`PDBL_FQ_MULS`] so the
+//! hardware model and the functional layer agree by construction.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use rand::Rng;
+use zkspeed_field::{Fq, Fr};
+
+/// Number of Fq multiplications in one complete projective point addition
+/// (Renes–Costello–Batina Algorithm 7 for a = 0: 12 mul + 2 mul-by-3b).
+pub const PADD_FQ_MULS: usize = 14;
+
+/// Number of Fq multiplications in one projective doubling
+/// (Renes–Costello–Batina Algorithm 9 for a = 0: 6 mul + 2 mul-by-3b).
+pub const PDBL_FQ_MULS: usize = 8;
+
+/// The curve constant `b = 4` of BLS12-381 G1 (`y² = x³ + 4`).
+fn b() -> Fq {
+    Fq::from_u64(4)
+}
+
+/// `3·b = 12`, used by the complete formulas.
+fn b3() -> Fq {
+    Fq::from_u64(12)
+}
+
+/// A point on BLS12-381 G1 in affine coordinates.
+///
+/// The identity (point at infinity) is encoded with the `infinity` flag.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct G1Affine {
+    /// The affine x-coordinate (meaningless if `infinity` is set).
+    pub x: Fq,
+    /// The affine y-coordinate (meaningless if `infinity` is set).
+    pub y: Fq,
+    /// Whether this is the point at infinity.
+    pub infinity: bool,
+}
+
+impl Default for G1Affine {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl fmt::Display for G1Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.infinity {
+            write!(f, "G1(infinity)")
+        } else {
+            write!(f, "G1(x={}, y={})", self.x, self.y)
+        }
+    }
+}
+
+impl G1Affine {
+    /// Returns the point at infinity.
+    pub fn identity() -> Self {
+        Self {
+            x: Fq::zero(),
+            y: Fq::one(),
+            infinity: true,
+        }
+    }
+
+    /// Returns the standard BLS12-381 G1 generator.
+    pub fn generator() -> Self {
+        let x = Fq::from_hex_be(
+            "17f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905a14e3a3f171bac586c55e83ff97a1aeffb3af00adb22c6bb",
+        )
+        .expect("generator x is canonical");
+        let y = Fq::from_hex_be(
+            "08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af600db18cb2c04b3edd03cc744a2888ae40caa232946c5e7e1",
+        )
+        .expect("generator y is canonical");
+        Self {
+            x,
+            y,
+            infinity: false,
+        }
+    }
+
+    /// Returns `true` if this is the point at infinity.
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    /// Checks that the point satisfies the curve equation `y² = x³ + 4`.
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        self.y.square() == self.x.square() * self.x + b()
+    }
+
+    /// Converts to projective coordinates.
+    pub fn to_projective(&self) -> G1Projective {
+        if self.infinity {
+            G1Projective::identity()
+        } else {
+            G1Projective {
+                x: self.x,
+                y: self.y,
+                z: Fq::one(),
+            }
+        }
+    }
+
+    /// Negates the point.
+    pub fn neg(&self) -> Self {
+        if self.infinity {
+            *self
+        } else {
+            Self {
+                x: self.x,
+                y: -self.y,
+                infinity: false,
+            }
+        }
+    }
+}
+
+impl Neg for G1Affine {
+    type Output = G1Affine;
+    fn neg(self) -> G1Affine {
+        G1Affine::neg(&self)
+    }
+}
+
+impl From<G1Affine> for G1Projective {
+    fn from(p: G1Affine) -> Self {
+        p.to_projective()
+    }
+}
+
+impl From<G1Projective> for G1Affine {
+    fn from(p: G1Projective) -> Self {
+        p.to_affine()
+    }
+}
+
+/// A point on BLS12-381 G1 in homogeneous projective coordinates `(X : Y : Z)`
+/// with `x = X/Z`, `y = Y/Z`; the identity is `(0 : 1 : 0)`.
+#[derive(Copy, Clone, Debug)]
+pub struct G1Projective {
+    /// The projective X coordinate.
+    pub x: Fq,
+    /// The projective Y coordinate.
+    pub y: Fq,
+    /// The projective Z coordinate (zero exactly at the identity).
+    pub z: Fq,
+}
+
+impl Default for G1Projective {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl fmt::Display for G1Projective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_affine())
+    }
+}
+
+impl PartialEq for G1Projective {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1 : Y1 : Z1) == (X2 : Y2 : Z2) iff cross-products match.
+        let self_id = self.is_identity();
+        let other_id = other.is_identity();
+        if self_id || other_id {
+            return self_id && other_id;
+        }
+        self.x * other.z == other.x * self.z && self.y * other.z == other.y * self.z
+    }
+}
+
+impl Eq for G1Projective {}
+
+impl G1Projective {
+    /// Returns the identity element `(0 : 1 : 0)`.
+    pub fn identity() -> Self {
+        Self {
+            x: Fq::zero(),
+            y: Fq::one(),
+            z: Fq::zero(),
+        }
+    }
+
+    /// Returns the standard generator in projective form.
+    pub fn generator() -> Self {
+        G1Affine::generator().to_projective()
+    }
+
+    /// Returns `true` if this is the identity element.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Checks the projective curve equation `Y²·Z = X³ + 4·Z³`.
+    pub fn is_on_curve(&self) -> bool {
+        if self.is_identity() {
+            return true;
+        }
+        self.y.square() * self.z == self.x.square() * self.x + b() * self.z.square() * self.z
+    }
+
+    /// Converts to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> G1Affine {
+        if self.is_identity() {
+            return G1Affine::identity();
+        }
+        let zinv = self.z.invert().expect("nonzero z");
+        G1Affine {
+            x: self.x * zinv,
+            y: self.y * zinv,
+            infinity: false,
+        }
+    }
+
+    /// Complete point addition (Renes–Costello–Batina 2016, Algorithm 7 with
+    /// `a = 0`). Handles identity and doubling inputs without branches on
+    /// secret data.
+    pub fn add(&self, rhs: &Self) -> Self {
+        let b3 = b3();
+        let (x1, y1, z1) = (self.x, self.y, self.z);
+        let (x2, y2, z2) = (rhs.x, rhs.y, rhs.z);
+
+        let mut t0 = x1 * x2;
+        let mut t1 = y1 * y2;
+        let mut t2 = z1 * z2;
+        let mut t3 = x1 + y1;
+        let mut t4 = x2 + y2;
+        t3 = t3 * t4;
+        t4 = t0 + t1;
+        t3 = t3 - t4;
+        t4 = y1 + z1;
+        let mut x3 = y2 + z2;
+        t4 = t4 * x3;
+        x3 = t1 + t2;
+        t4 = t4 - x3;
+        x3 = x1 + z1;
+        let mut y3 = x2 + z2;
+        x3 = x3 * y3;
+        y3 = t0 + t2;
+        y3 = x3 - y3;
+        x3 = t0 + t0;
+        t0 = x3 + t0;
+        t2 = b3 * t2;
+        let mut z3 = t1 + t2;
+        t1 = t1 - t2;
+        y3 = b3 * y3;
+        x3 = t4 * y3;
+        t2 = t3 * t1;
+        x3 = t2 - x3;
+        y3 = y3 * t0;
+        t1 = t1 * z3;
+        y3 = t1 + y3;
+        t0 = t0 * t3;
+        z3 = z3 * t4;
+        z3 = z3 + t0;
+
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed addition with an affine point. Falls back to [`Self::add`] after
+    /// lifting; the distinction matters only for the hardware cost model,
+    /// which treats both as one PADD.
+    pub fn add_affine(&self, rhs: &G1Affine) -> Self {
+        self.add(&rhs.to_projective())
+    }
+
+    /// Point doubling (Renes–Costello–Batina 2016, Algorithm 9 with `a = 0`).
+    pub fn double(&self) -> Self {
+        let b3 = b3();
+        let (x, y, z) = (self.x, self.y, self.z);
+
+        let mut t0 = y * y;
+        let mut z3 = t0 + t0;
+        z3 = z3 + z3;
+        z3 = z3 + z3;
+        let mut t1 = y * z;
+        let mut t2 = z * z;
+        t2 = b3 * t2;
+        let mut x3 = t2 * z3;
+        let mut y3 = t0 + t2;
+        z3 = t1 * z3;
+        t1 = t2 + t2;
+        t2 = t1 + t2;
+        t0 = t0 - t2;
+        y3 = t0 * y3;
+        y3 = x3 + y3;
+        t1 = x * y;
+        x3 = t0 * t1;
+        x3 = x3 + x3;
+
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Negates the point.
+    pub fn neg(&self) -> Self {
+        Self {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+        }
+    }
+
+    /// Scalar multiplication by a field element using double-and-add over the
+    /// canonical bits of the scalar (MSB first).
+    pub fn mul_scalar(&self, scalar: &Fr) -> Self {
+        let limbs = scalar.to_canonical_limbs();
+        let mut acc = Self::identity();
+        let mut started = false;
+        for i in (0..Fr::NUM_BITS as usize).rev() {
+            if started {
+                acc = acc.double();
+            }
+            if (limbs[i / 64] >> (i % 64)) & 1 == 1 {
+                acc = acc.add(self);
+                started = true;
+            }
+        }
+        acc
+    }
+
+    /// Samples a uniformly random group element (a random scalar multiple of
+    /// the generator).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::generator().mul_scalar(&Fr::random(rng))
+    }
+
+    /// Converts a batch of projective points to affine with a single shared
+    /// inversion (Montgomery batch inversion over the Z coordinates).
+    pub fn batch_to_affine(points: &[Self]) -> Vec<G1Affine> {
+        let mut zs: Vec<Fq> = Vec::with_capacity(points.len());
+        for p in points {
+            zs.push(if p.is_identity() { Fq::one() } else { p.z });
+        }
+        zkspeed_field::batch_invert(&mut zs);
+        points
+            .iter()
+            .zip(zs.iter())
+            .map(|(p, zinv)| {
+                if p.is_identity() {
+                    G1Affine::identity()
+                } else {
+                    G1Affine {
+                        x: p.x * *zinv,
+                        y: p.y * *zinv,
+                        infinity: false,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+impl Add for G1Projective {
+    type Output = G1Projective;
+    fn add(self, rhs: Self) -> Self {
+        G1Projective::add(&self, &rhs)
+    }
+}
+
+impl<'a> Add<&'a G1Projective> for G1Projective {
+    type Output = G1Projective;
+    fn add(self, rhs: &'a Self) -> Self {
+        G1Projective::add(&self, rhs)
+    }
+}
+
+impl AddAssign for G1Projective {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = G1Projective::add(self, &rhs);
+    }
+}
+
+impl Sub for G1Projective {
+    type Output = G1Projective;
+    fn sub(self, rhs: Self) -> Self {
+        G1Projective::add(&self, &rhs.neg())
+    }
+}
+
+impl SubAssign for G1Projective {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = G1Projective::add(self, &rhs.neg());
+    }
+}
+
+impl Neg for G1Projective {
+    type Output = G1Projective;
+    fn neg(self) -> Self {
+        G1Projective::neg(&self)
+    }
+}
+
+impl Mul<Fr> for G1Projective {
+    type Output = G1Projective;
+    fn mul(self, rhs: Fr) -> Self {
+        self.mul_scalar(&rhs)
+    }
+}
+
+impl<'a> Mul<&'a Fr> for G1Projective {
+    type Output = G1Projective;
+    fn mul(self, rhs: &'a Fr) -> Self {
+        self.mul_scalar(rhs)
+    }
+}
+
+impl Sum for G1Projective {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::identity(), |acc, p| acc + p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_0003)
+    }
+
+    #[test]
+    fn generator_is_on_curve() {
+        let g = G1Affine::generator();
+        assert!(g.is_on_curve());
+        assert!(!g.is_identity());
+        assert!(G1Projective::generator().is_on_curve());
+        assert!(G1Affine::identity().is_on_curve());
+        assert!(G1Projective::identity().is_on_curve());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let g = G1Projective::generator();
+        let id = G1Projective::identity();
+        assert_eq!(g + id, g);
+        assert_eq!(id + g, g);
+        assert_eq!(id + id, id);
+        assert_eq!(g - g, id);
+        assert_eq!(g + g.neg(), id);
+    }
+
+    #[test]
+    fn doubling_matches_addition() {
+        let g = G1Projective::generator();
+        assert_eq!(g.double(), g + g);
+        let g4 = g.double().double();
+        assert_eq!(g4, g + g + g + g);
+        assert!(g.double().is_on_curve());
+        assert_eq!(G1Projective::identity().double(), G1Projective::identity());
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative() {
+        let mut r = rng();
+        let a = G1Projective::random(&mut r);
+        let b = G1Projective::random(&mut r);
+        let c = G1Projective::random(&mut r);
+        assert_eq!(a + b, b + a);
+        assert_eq!((a + b) + c, a + (b + c));
+        assert!((a + b).is_on_curve());
+    }
+
+    #[test]
+    fn scalar_multiplication_small_cases() {
+        let g = G1Projective::generator();
+        assert_eq!(g.mul_scalar(&Fr::zero()), G1Projective::identity());
+        assert_eq!(g.mul_scalar(&Fr::one()), g);
+        assert_eq!(g.mul_scalar(&Fr::from_u64(2)), g.double());
+        assert_eq!(g.mul_scalar(&Fr::from_u64(5)), g + g + g + g + g);
+    }
+
+    #[test]
+    fn scalar_multiplication_distributes() {
+        let mut r = rng();
+        let g = G1Projective::generator();
+        let a = Fr::random(&mut r);
+        let b = Fr::random(&mut r);
+        assert_eq!(g.mul_scalar(&(a + b)), g.mul_scalar(&a) + g.mul_scalar(&b));
+        assert_eq!(
+            g.mul_scalar(&(a * b)),
+            g.mul_scalar(&a).mul_scalar(&b)
+        );
+    }
+
+    #[test]
+    fn subgroup_order_annihilates_generator() {
+        // r · G = identity: multiply by (r - 1) and add G once more.
+        let minus_one = -Fr::one();
+        let g = G1Projective::generator();
+        assert_eq!(g.mul_scalar(&minus_one) + g, G1Projective::identity());
+    }
+
+    #[test]
+    fn affine_projective_roundtrip() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let p = G1Projective::random(&mut r);
+            let a = p.to_affine();
+            assert!(a.is_on_curve());
+            assert_eq!(a.to_projective(), p);
+        }
+        assert!(G1Projective::identity().to_affine().is_identity());
+    }
+
+    #[test]
+    fn batch_to_affine_matches_individual() {
+        let mut r = rng();
+        let mut points: Vec<G1Projective> =
+            (0..9).map(|_| G1Projective::random(&mut r)).collect();
+        points.push(G1Projective::identity());
+        let batch = G1Projective::batch_to_affine(&points);
+        for (p, a) in points.iter().zip(batch.iter()) {
+            assert_eq!(p.to_affine(), *a);
+        }
+    }
+
+    #[test]
+    fn affine_negation() {
+        let g = G1Affine::generator();
+        let neg = -g;
+        assert!(neg.is_on_curve());
+        assert_eq!(
+            g.to_projective() + neg.to_projective(),
+            G1Projective::identity()
+        );
+        assert_eq!(-G1Affine::identity(), G1Affine::identity());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", G1Affine::identity()), "G1(infinity)");
+        assert!(format!("{}", G1Affine::generator()).starts_with("G1(x=0x"));
+    }
+}

@@ -1,0 +1,45 @@
+//! BLS12-381 G1 group arithmetic and multi-scalar multiplication for the
+//! zkSpeed HyperPlonk reproduction.
+//!
+//! HyperPlonk commits to every MLE table with an MSM over BLS12-381 G1, and
+//! the zkSpeed paper identifies these MSMs as the single largest consumer of
+//! compute (Table 1) and of chip area (64.6% of compute area in the
+//! highlighted design). This crate provides the functional counterpart of
+//! that MSM unit:
+//!
+//! * [`G1Affine`] / [`G1Projective`] — the group, with complete addition
+//!   formulas (the PADD datapath);
+//! * [`msm`] / [`msm_with_config`] — Pippenger's algorithm with configurable
+//!   window size and either the SZKP serial or the zkSpeed grouped bucket
+//!   aggregation schedule (Fig. 5 of the paper);
+//! * [`sparse_msm`] — the Sparse MSM used by the Witness Commit step;
+//! * [`MsmStats`] — operation counters consumed by the hardware cost model.
+//!
+//! # Examples
+//!
+//! ```
+//! use zkspeed_curve::{msm, G1Affine, G1Projective};
+//! use zkspeed_field::{Field, Fr};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let points: Vec<G1Affine> = (0..8)
+//!     .map(|_| G1Projective::random(&mut rng).to_affine())
+//!     .collect();
+//! let scalars: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+//! let commitment = msm(&points, &scalars);
+//! assert!(commitment.is_on_curve());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod g1;
+mod msm;
+
+pub use g1::{G1Affine, G1Projective, PADD_FQ_MULS, PDBL_FQ_MULS};
+pub use msm::{
+    aggregate_buckets, auto_window_bits, msm, msm_with_config, naive_msm, sparse_msm, tree_sum,
+    Aggregation, MsmConfig, MsmStats, SparseMsmStats,
+};

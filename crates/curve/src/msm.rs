@@ -1,0 +1,524 @@
+//! Multi-scalar multiplication (MSM) kernels.
+//!
+//! MSMs — dot products `Σ sᵢ·Pᵢ` between scalar vectors and G1 point vectors
+//! — implement the polynomial commitments of HyperPlonk and are the largest
+//! compute consumer in the protocol (Table 1 of the zkSpeed paper). This
+//! module provides:
+//!
+//! * [`naive_msm`] — the double-and-add reference used as a test oracle;
+//! * [`msm`] / [`msm_with_config`] — Pippenger's bucket algorithm with a
+//!   configurable window size and a choice of bucket-aggregation schedule
+//!   (the serial SZKP-style schedule or zkSpeed's grouped schedule, Fig. 5);
+//! * [`sparse_msm`] — the Sparse MSM used for Witness Commits, where scalars
+//!   that are 0 or 1 bypass Pippenger entirely (Section 3.3.1);
+//! * operation counters ([`MsmStats`]) that feed the hardware cost model.
+
+use zkspeed_field::Fr;
+
+use crate::g1::{G1Affine, G1Projective};
+
+/// How bucket sums are aggregated into the per-window total `Σ i·Bᵢ`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Aggregation {
+    /// The serial running-sum schedule used by SZKP: one long dependency
+    /// chain of `2·(2^w − 1)` point additions that cannot exploit a
+    /// pipelined adder.
+    Serial,
+    /// zkSpeed's grouped schedule (adapted from PriorMSM): buckets are split
+    /// into groups of `group_size`, partial sums are computed per group (in
+    /// parallel in hardware), and the group results are combined at the end.
+    Grouped {
+        /// Number of buckets per group (the paper selects 16).
+        group_size: usize,
+    },
+}
+
+impl Default for Aggregation {
+    fn default() -> Self {
+        Aggregation::Grouped { group_size: 16 }
+    }
+}
+
+/// Configuration for a Pippenger MSM run.
+#[derive(Copy, Clone, Debug)]
+pub struct MsmConfig {
+    /// Window (bucket index) size in bits.
+    pub window_bits: usize,
+    /// Bucket aggregation schedule.
+    pub aggregation: Aggregation,
+}
+
+impl Default for MsmConfig {
+    fn default() -> Self {
+        Self {
+            window_bits: 0, // 0 = auto-select from problem size
+            aggregation: Aggregation::default(),
+        }
+    }
+}
+
+/// Operation counts of an MSM execution, used by the zkSpeed hardware model
+/// to translate functional work into PADD-unit cycles and modmuls.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MsmStats {
+    /// Point additions performed while filling buckets.
+    pub bucket_adds: u64,
+    /// Point additions performed during bucket aggregation.
+    pub aggregation_adds: u64,
+    /// Point additions performed while combining windows / tree-summing.
+    pub combine_adds: u64,
+    /// Point doublings performed while combining windows.
+    pub doublings: u64,
+}
+
+impl MsmStats {
+    /// Total point additions (excluding doublings).
+    pub fn total_adds(&self) -> u64 {
+        self.bucket_adds + self.aggregation_adds + self.combine_adds
+    }
+
+    /// Total Fq modular multiplications implied by the counted operations.
+    pub fn fq_muls(&self) -> u64 {
+        self.total_adds() * crate::g1::PADD_FQ_MULS as u64
+            + self.doublings * crate::g1::PDBL_FQ_MULS as u64
+    }
+
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &MsmStats) {
+        self.bucket_adds += other.bucket_adds;
+        self.aggregation_adds += other.aggregation_adds;
+        self.combine_adds += other.combine_adds;
+        self.doublings += other.doublings;
+    }
+}
+
+/// Statistics of a sparse MSM split (Witness Commit step).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SparseMsmStats {
+    /// Number of zero scalars (skipped entirely).
+    pub zeros: usize,
+    /// Number of one scalars (handled by the tree adder).
+    pub ones: usize,
+    /// Number of dense (full-width) scalars handled by Pippenger.
+    pub dense: usize,
+    /// Operation counts of the overall computation.
+    pub ops: MsmStats,
+}
+
+/// Reference MSM: independent double-and-add per term. `O(n·255)` point
+/// operations; used only as a correctness oracle in tests and for tiny MSMs.
+pub fn naive_msm(points: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+    assert_eq!(points.len(), scalars.len(), "length mismatch");
+    let mut acc = G1Projective::identity();
+    for (p, s) in points.iter().zip(scalars.iter()) {
+        acc += p.to_projective().mul_scalar(s);
+    }
+    acc
+}
+
+/// Selects a window size from the problem size, mirroring the usual
+/// `log₂(n)`-driven heuristic (clamped to the 7–10 bit range the zkSpeed DSE
+/// explores for its MSM unit, Table 2).
+pub fn auto_window_bits(n: usize) -> usize {
+    if n < 32 {
+        3
+    } else {
+        let log = usize::BITS as usize - n.leading_zeros() as usize; // ~ceil(log2)
+        (log.saturating_sub(3)).clamp(7, 10).min(16)
+    }
+}
+
+/// Computes `Σ sᵢ·Pᵢ` with Pippenger's algorithm using default configuration.
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use zkspeed_curve::{msm, G1Affine, G1Projective};
+/// use zkspeed_field::Fr;
+///
+/// let g = G1Projective::generator();
+/// let points = vec![g.to_affine(), g.double().to_affine()];
+/// let scalars = vec![Fr::from_u64(3), Fr::from_u64(5)];
+/// // 3·G + 5·(2G) = 13·G
+/// assert_eq!(msm(&points, &scalars), g.mul_scalar(&Fr::from_u64(13)));
+/// ```
+pub fn msm(points: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+    msm_with_config(points, scalars, MsmConfig::default()).0
+}
+
+/// Computes `Σ sᵢ·Pᵢ` with Pippenger's algorithm and an explicit
+/// configuration, returning the result together with operation counts.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or if a grouped aggregation
+/// with `group_size == 0` is requested.
+pub fn msm_with_config(
+    points: &[G1Affine],
+    scalars: &[Fr],
+    config: MsmConfig,
+) -> (G1Projective, MsmStats) {
+    assert_eq!(points.len(), scalars.len(), "length mismatch");
+    let mut stats = MsmStats::default();
+    if points.is_empty() {
+        return (G1Projective::identity(), stats);
+    }
+    let w = if config.window_bits == 0 {
+        auto_window_bits(points.len())
+    } else {
+        config.window_bits
+    };
+    assert!((1..=16).contains(&w), "window size out of range");
+
+    let scalar_limbs: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical_limbs()).collect();
+    let num_bits = Fr::NUM_BITS as usize;
+    let num_windows = num_bits.div_ceil(w);
+    let num_buckets = (1usize << w) - 1;
+
+    let mut acc = G1Projective::identity();
+    for window in (0..num_windows).rev() {
+        if window != num_windows - 1 {
+            for _ in 0..w {
+                acc = acc.double();
+                stats.doublings += 1;
+            }
+        }
+        let mut buckets = vec![G1Projective::identity(); num_buckets];
+        for (limbs, point) in scalar_limbs.iter().zip(points.iter()) {
+            let idx = extract_window(limbs, window * w, w);
+            if idx != 0 {
+                buckets[idx - 1] = buckets[idx - 1].add_affine(point);
+                stats.bucket_adds += 1;
+            }
+        }
+        let (window_sum, agg_adds) = aggregate_buckets(&buckets, config.aggregation);
+        stats.aggregation_adds += agg_adds;
+        acc = acc + window_sum;
+        stats.combine_adds += 1;
+    }
+    (acc, stats)
+}
+
+/// Aggregates bucket sums into `Σ (i+1)·buckets[i]`, returning the total and
+/// the number of point additions used.
+pub fn aggregate_buckets(buckets: &[G1Projective], schedule: Aggregation) -> (G1Projective, u64) {
+    match schedule {
+        Aggregation::Serial => aggregate_serial(buckets),
+        Aggregation::Grouped { group_size } => aggregate_grouped(buckets, group_size),
+    }
+}
+
+fn aggregate_serial(buckets: &[G1Projective]) -> (G1Projective, u64) {
+    // Classic running-sum trick, highest bucket first:
+    //   running += B_i; total += running
+    let mut running = G1Projective::identity();
+    let mut total = G1Projective::identity();
+    let mut adds = 0u64;
+    for b in buckets.iter().rev() {
+        running = running + *b;
+        total = total + running;
+        adds += 2;
+    }
+    (total, adds)
+}
+
+fn aggregate_grouped(buckets: &[G1Projective], group_size: usize) -> (G1Projective, u64) {
+    assert!(group_size > 0, "group_size must be positive");
+    if buckets.is_empty() {
+        return (G1Projective::identity(), 0);
+    }
+    // Write Σ_{i=1}^{M} i·B_i with i = g·s + j (j = 1..s within group g):
+    //   Σ_g [ Σ_j j·B_{g·s+j} ]  +  s · Σ_g g·( Σ_j B_{g·s+j} )
+    // Each group's inner running sum is independent (parallel in hardware);
+    // the cross-group term is itself a small running sum over group totals.
+    let s = group_size;
+    let mut adds = 0u64;
+    let num_groups = buckets.len().div_ceil(s);
+    let mut inner_weighted = Vec::with_capacity(num_groups); // Σ_j j·B within group
+    let mut group_totals = Vec::with_capacity(num_groups); // Σ_j B within group
+    for g in 0..num_groups {
+        let chunk = &buckets[g * s..((g + 1) * s).min(buckets.len())];
+        let mut running = G1Projective::identity();
+        let mut weighted = G1Projective::identity();
+        // Highest j first so the running sum accumulates the right weights.
+        for b in chunk.iter().rev() {
+            running = running + *b;
+            weighted = weighted + running;
+            adds += 2;
+        }
+        inner_weighted.push(weighted);
+        group_totals.push(running);
+    }
+    // Cross-group term: s · Σ_g g·T_g, computed with a running sum over
+    // groups from the highest index down to group 1 (group 0 contributes 0).
+    let mut running = G1Projective::identity();
+    let mut cross = G1Projective::identity();
+    for t in group_totals.iter().skip(1).rev() {
+        running = running + *t;
+        cross = cross + running;
+        adds += 2;
+    }
+    // Multiply the cross-group sum by s via double-and-add (s is tiny).
+    let mut s_times_cross = G1Projective::identity();
+    let mut bit = usize::BITS - s.leading_zeros();
+    while bit > 0 {
+        bit -= 1;
+        s_times_cross = s_times_cross.double();
+        if (s >> bit) & 1 == 1 {
+            s_times_cross = s_times_cross + cross;
+            adds += 1;
+        }
+    }
+    let mut total = G1Projective::identity();
+    for wsum in inner_weighted.iter() {
+        total = total + *wsum;
+        adds += 1;
+    }
+    total = total + s_times_cross;
+    adds += 1;
+    (total, adds)
+}
+
+/// Computes a Sparse MSM as in the Witness Commit step: points whose scalar
+/// is exactly 0 are skipped, points whose scalar is exactly 1 are summed with
+/// a tree reduction, and the remaining dense scalars go through Pippenger.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sparse_msm(points: &[G1Affine], scalars: &[Fr]) -> (G1Projective, SparseMsmStats) {
+    assert_eq!(points.len(), scalars.len(), "length mismatch");
+    let one = Fr::one();
+    let zero = Fr::zero();
+    let mut ones_points = Vec::new();
+    let mut dense_points = Vec::new();
+    let mut dense_scalars = Vec::new();
+    let mut stats = SparseMsmStats::default();
+    for (p, s) in points.iter().zip(scalars.iter()) {
+        if *s == zero {
+            stats.zeros += 1;
+        } else if *s == one {
+            stats.ones += 1;
+            ones_points.push(p.to_projective());
+        } else {
+            stats.dense += 1;
+            dense_points.push(*p);
+            dense_scalars.push(*s);
+        }
+    }
+    // Tree reduction of the 1-valued points (maps to the pipelined PADD tree
+    // in the MSM unit's sparse mode).
+    let (ones_sum, tree_adds) = tree_sum(&ones_points);
+    stats.ops.combine_adds += tree_adds;
+
+    let (dense_sum, dense_stats) =
+        msm_with_config(&dense_points, &dense_scalars, MsmConfig::default());
+    stats.ops.merge(&dense_stats);
+    let total = ones_sum + dense_sum;
+    stats.ops.combine_adds += 1;
+    (total, stats)
+}
+
+/// Sums a slice of points with a binary-tree reduction, returning the sum and
+/// the number of point additions.
+pub fn tree_sum(points: &[G1Projective]) -> (G1Projective, u64) {
+    if points.is_empty() {
+        return (G1Projective::identity(), 0);
+    }
+    let mut layer: Vec<G1Projective> = points.to_vec();
+    let mut adds = 0u64;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for chunk in layer.chunks(2) {
+            if chunk.len() == 2 {
+                next.push(chunk[0] + chunk[1]);
+                adds += 1;
+            } else {
+                next.push(chunk[0]);
+            }
+        }
+        layer = next;
+    }
+    (layer[0], adds)
+}
+
+/// Extracts `width` bits starting at bit offset `offset` from a canonical
+/// 4-limb scalar.
+fn extract_window(limbs: &[u64; 4], offset: usize, width: usize) -> usize {
+    if offset >= 256 {
+        return 0;
+    }
+    let limb_idx = offset / 64;
+    let bit_idx = offset % 64;
+    let mut value = limbs[limb_idx] >> bit_idx;
+    if bit_idx + width > 64 && limb_idx + 1 < 4 {
+        value |= limbs[limb_idx + 1] << (64 - bit_idx);
+    }
+    (value & ((1u64 << width) - 1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_0004)
+    }
+
+    fn random_points(n: usize, rng: &mut StdRng) -> Vec<G1Affine> {
+        let proj: Vec<G1Projective> = (0..n).map(|_| G1Projective::random(rng)).collect();
+        G1Projective::batch_to_affine(&proj)
+    }
+
+    #[test]
+    fn empty_msm_is_identity() {
+        assert_eq!(msm(&[], &[]), G1Projective::identity());
+        let (r, s) = sparse_msm(&[], &[]);
+        assert_eq!(r, G1Projective::identity());
+        assert_eq!(s.zeros + s.ones + s.dense, 0);
+    }
+
+    #[test]
+    fn pippenger_matches_naive_small() {
+        let mut r = rng();
+        for n in [1usize, 2, 3, 7, 16, 33] {
+            let points = random_points(n, &mut r);
+            let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut r)).collect();
+            let expect = naive_msm(&points, &scalars);
+            assert_eq!(msm(&points, &scalars), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn pippenger_matches_naive_across_windows_and_schedules() {
+        let mut r = rng();
+        let n = 40;
+        let points = random_points(n, &mut r);
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut r)).collect();
+        let expect = naive_msm(&points, &scalars);
+        for w in [2usize, 4, 7, 8, 9, 10, 13] {
+            for agg in [
+                Aggregation::Serial,
+                Aggregation::Grouped { group_size: 16 },
+                Aggregation::Grouped { group_size: 3 },
+                Aggregation::Grouped { group_size: 1 },
+            ] {
+                let cfg = MsmConfig {
+                    window_bits: w,
+                    aggregation: agg,
+                };
+                let (res, stats) = msm_with_config(&points, &scalars, cfg);
+                assert_eq!(res, expect, "w = {w}, agg = {agg:?}");
+                assert!(stats.total_adds() > 0);
+                assert!(stats.fq_muls() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn special_scalars() {
+        let mut r = rng();
+        let points = random_points(5, &mut r);
+        // All zeros.
+        let zeros = vec![Fr::zero(); 5];
+        assert_eq!(msm(&points, &zeros), G1Projective::identity());
+        // All ones: MSM equals the plain sum.
+        let ones = vec![Fr::one(); 5];
+        let sum: G1Projective = points.iter().map(|p| p.to_projective()).sum();
+        assert_eq!(msm(&points, &ones), sum);
+        // Scalar with every window populated (r - 1).
+        let big = vec![-Fr::one(); 5];
+        assert_eq!(msm(&points, &big), naive_msm(&points, &big));
+    }
+
+    #[test]
+    fn sparse_msm_matches_dense_reference() {
+        let mut r = rng();
+        let n = 64;
+        let points = random_points(n, &mut r);
+        // 45% zeros, 45% ones, 10% dense — the paper's witness statistics.
+        let mut scalars: Vec<Fr> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let roll: f64 = r.gen();
+            let s = if roll < 0.45 {
+                Fr::zero()
+            } else if roll < 0.90 {
+                Fr::one()
+            } else {
+                Fr::random(&mut r)
+            };
+            scalars.push(s);
+        }
+        let expect = naive_msm(&points, &scalars);
+        let (result, stats) = sparse_msm(&points, &scalars);
+        assert_eq!(result, expect);
+        assert_eq!(stats.zeros + stats.ones + stats.dense, n);
+        assert!(stats.ones > 0);
+        assert!(stats.zeros > 0);
+    }
+
+    #[test]
+    fn aggregation_schedules_agree() {
+        let mut r = rng();
+        let buckets: Vec<G1Projective> =
+            (0..31).map(|_| G1Projective::random(&mut r)).collect();
+        let (serial, serial_adds) = aggregate_buckets(&buckets, Aggregation::Serial);
+        for gs in [1usize, 2, 4, 8, 16, 31, 64] {
+            let (grouped, _) =
+                aggregate_buckets(&buckets, Aggregation::Grouped { group_size: gs });
+            assert_eq!(grouped, serial, "group_size = {gs}");
+        }
+        assert_eq!(serial_adds, 2 * 31);
+    }
+
+    #[test]
+    fn aggregation_weights_are_correct() {
+        // Buckets holding i·G should aggregate to Σ i²·G.
+        let g = G1Projective::generator();
+        let buckets: Vec<G1Projective> = (1..=10u64)
+            .map(|i| g.mul_scalar(&Fr::from_u64(i)))
+            .collect();
+        let expect = g.mul_scalar(&Fr::from_u64((1..=10u64).map(|i| i * i).sum()));
+        let (serial, _) = aggregate_buckets(&buckets, Aggregation::Serial);
+        let (grouped, _) = aggregate_buckets(&buckets, Aggregation::Grouped { group_size: 4 });
+        assert_eq!(serial, expect);
+        assert_eq!(grouped, expect);
+    }
+
+    #[test]
+    fn tree_sum_matches_linear_sum() {
+        let mut r = rng();
+        for n in [0usize, 1, 2, 5, 16, 17] {
+            let points: Vec<G1Projective> =
+                (0..n).map(|_| G1Projective::random(&mut r)).collect();
+            let linear: G1Projective = points.iter().copied().sum();
+            let (tree, adds) = tree_sum(&points);
+            assert_eq!(tree, linear, "n = {n}");
+            assert_eq!(adds, n.saturating_sub(1) as u64);
+        }
+    }
+
+    #[test]
+    fn window_extraction() {
+        let limbs = [0xffff_ffff_ffff_ffffu64, 0x1, 0, 0];
+        assert_eq!(extract_window(&limbs, 0, 8), 0xff);
+        assert_eq!(extract_window(&limbs, 60, 8), 0x1f);
+        assert_eq!(extract_window(&limbs, 64, 8), 0x01);
+        assert_eq!(extract_window(&limbs, 300, 8), 0);
+    }
+
+    #[test]
+    fn auto_window_is_in_explored_range() {
+        assert!(auto_window_bits(16) <= 10);
+        for n in [1usize << 10, 1 << 16, 1 << 20] {
+            let w = auto_window_bits(n);
+            assert!((7..=10).contains(&w), "n = {n}, w = {w}");
+        }
+    }
+}

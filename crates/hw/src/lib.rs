@@ -1,0 +1,30 @@
+//! Hardware unit models for the zkSpeed accelerator.
+//!
+//! This crate models the eight zkSpeed accelerator units (Section 4 of the
+//! paper), the on-chip SRAM with MLE compression (Section 4.6) and the
+//! HBM/DDR memory system (Section 5). Each unit exposes:
+//!
+//! * its **design knobs** (the Table 2 parameters explored by the DSE);
+//! * an **area model** in mm² at 7 nm, calibrated against Table 5;
+//! * a **cycle model** for the work it performs, used by the full-chip
+//!   scheduler in `zkspeed-core`.
+//!
+//! The per-unit numbers the paper publishes (94-multiplier SumCheck PEs, the
+//! 509-cycle BEEA inversion, the 14.9 / 29.6 mm² HBM PHYs, the 0.133 /
+//! 0.314 mm² Montgomery multipliers, …) are encoded in [`params`] and the
+//! calibration is checked by unit tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod memory;
+mod msm_unit;
+pub mod params;
+mod units;
+
+pub use memory::{MemoryConfig, MemoryTechnology, SramModel};
+pub use msm_unit::{aggregation_cycles, AggregationSchedule, MsmUnitConfig};
+pub use units::{
+    ConstructNdConfig, FracMleConfig, MleCombineConfig, MleUpdateUnitConfig, MtuConfig,
+    Sha3UnitConfig, SumcheckUnitConfig,
+};

@@ -1,0 +1,250 @@
+//! The MSM unit model: Pippenger's algorithm on a pipelined point adder,
+//! with the Sparse-MSM tree mode and the two bucket-aggregation schedules
+//! compared in Figure 5 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::{MODMUL_381_MM2, PADD_FQ_MULS, PADD_LATENCY_CYCLES};
+
+/// Scalar bit width of BLS12-381 Fr (the MSM scalars).
+const SCALAR_BITS: usize = 255;
+
+/// Bucket-aggregation schedule (Section 4.2.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationSchedule {
+    /// SZKP's serial running-sum aggregation.
+    SzkpSerial,
+    /// zkSpeed's grouped aggregation with the given group size (16 in the
+    /// paper).
+    Grouped {
+        /// Buckets per group.
+        group_size: usize,
+    },
+}
+
+/// Configuration of the MSM unit (the Table 2 design knobs).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MsmUnitConfig {
+    /// Number of MSM cores (1 or 2 in the DSE).
+    pub cores: usize,
+    /// Point-adder PEs per core.
+    pub pes_per_core: usize,
+    /// Pippenger window size in bits (7–10 in the DSE).
+    pub window_bits: usize,
+    /// Elliptic-curve points buffered per PE in local SRAM.
+    pub points_per_pe: usize,
+    /// Bucket aggregation schedule.
+    pub aggregation: AggregationSchedule,
+}
+
+impl Default for MsmUnitConfig {
+    fn default() -> Self {
+        // The highlighted Table 5 design: one core, 16 PEs, 9-bit windows,
+        // 2048 points per PE, grouped aggregation with groups of 16.
+        Self {
+            cores: 1,
+            pes_per_core: 16,
+            window_bits: 9,
+            points_per_pe: 2048,
+            aggregation: AggregationSchedule::Grouped { group_size: 16 },
+        }
+    }
+}
+
+impl MsmUnitConfig {
+    /// Total point-adder PEs across cores.
+    pub fn total_pes(&self) -> usize {
+        self.cores * self.pes_per_core
+    }
+
+    /// Number of Pippenger windows.
+    pub fn num_windows(&self) -> usize {
+        SCALAR_BITS.div_ceil(self.window_bits)
+    }
+
+    /// Number of buckets per window.
+    pub fn num_buckets(&self) -> usize {
+        (1 << self.window_bits) - 1
+    }
+
+    /// Datapath area in mm²: each PE is a fully-pipelined PADD
+    /// (≈ `PADD_FQ_MULS` 381-bit multipliers) plus control.
+    pub fn datapath_area_mm2(&self) -> f64 {
+        let padd_area = PADD_FQ_MULS as f64 * MODMUL_381_MM2;
+        self.total_pes() as f64 * padd_area * 1.05 // 5% control overhead
+    }
+
+    /// Local SRAM bytes: three coordinate banks of `points_per_pe` points per
+    /// PE plus bucket registers (Section 4.2.1 — the scalar bank is folded
+    /// into the Z bank).
+    pub fn local_sram_bytes(&self) -> f64 {
+        let point_bytes = 3.0 * 48.0; // X, Y, Z banks at 381 bits each
+        let buckets_bytes = self.num_buckets() as f64 * 3.0 * 48.0;
+        self.total_pes() as f64 * (self.points_per_pe as f64 * point_bytes + buckets_bytes)
+    }
+
+    /// Latency (cycles) of the bucket-aggregation step for one window on one
+    /// PE (Figure 5).
+    pub fn aggregation_cycles(&self) -> f64 {
+        aggregation_cycles(self.num_buckets(), self.aggregation)
+    }
+
+    /// Latency (cycles) of a dense `n`-point MSM on this unit.
+    ///
+    /// Bucket accumulation is throughput-bound on the pipelined PADDs
+    /// (windows × points additions spread over all PEs); aggregation and the
+    /// window-combination doublings are latency-bound dependency chains.
+    pub fn dense_msm_cycles(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let windows = self.num_windows() as f64;
+        let pes = self.total_pes() as f64;
+        // Each PE handles a slice of the points for all windows; window/PE
+        // pairs proceed in parallel across PEs.
+        let bucket_ops = windows * n as f64;
+        let bucket_cycles = bucket_ops / pes + PADD_LATENCY_CYCLES as f64;
+        // Each PE aggregates its own windows; windows are distributed over
+        // PEs, and each aggregation is a (partially) serial chain.
+        let aggregations_per_pe = (windows / pes).ceil();
+        let aggregation_cycles = aggregations_per_pe * self.aggregation_cycles();
+        // Final cross-window combination: w doublings + 1 addition per
+        // window, strictly serial (small).
+        let combine_cycles =
+            windows * (self.window_bits as f64 + 1.0) * PADD_LATENCY_CYCLES as f64 / 8.0;
+        bucket_cycles + aggregation_cycles + combine_cycles
+    }
+
+    /// Latency (cycles) of a sparse MSM with the paper's witness statistics:
+    /// `ones` points summed by the pipelined tree adder, `dense` points
+    /// through Pippenger, zeros skipped.
+    pub fn sparse_msm_cycles(&self, zeros: usize, ones: usize, dense: usize) -> f64 {
+        let _ = zeros;
+        let pes = self.total_pes() as f64;
+        // Tree summation is one PADD per pair per level, fully pipelined.
+        let tree_cycles = ones as f64 / pes
+            + (usize::BITS - ones.max(1).leading_zeros()) as f64 * PADD_LATENCY_CYCLES as f64;
+        tree_cycles + self.dense_msm_cycles(dense)
+    }
+
+    /// Total Fq modular multiplications of a dense `n`-point MSM (for power
+    /// and cross-checking against the functional layer).
+    pub fn dense_msm_fq_muls(&self, n: usize) -> f64 {
+        let windows = self.num_windows() as f64;
+        let adds = windows * n as f64
+            + windows * 2.0 * self.num_buckets() as f64
+            + windows * (self.window_bits as f64 + 1.0);
+        adds * PADD_FQ_MULS as f64
+    }
+}
+
+/// Latency (cycles) of aggregating `buckets` bucket sums with the given
+/// schedule on one pipelined PADD (Figure 5).
+pub fn aggregation_cycles(buckets: usize, schedule: AggregationSchedule) -> f64 {
+    let lat = PADD_LATENCY_CYCLES as f64;
+    match schedule {
+        // Two dependent additions per bucket, each paying the full pipeline
+        // latency because the chain cannot be overlapped.
+        AggregationSchedule::SzkpSerial => 2.0 * buckets as f64 * lat,
+        // Groups are independent, so their inner chains interleave in the
+        // pipeline (≈ one addition issued per cycle); only the per-group
+        // chain tail and the cross-group combination pay full latency.
+        AggregationSchedule::Grouped { group_size } => {
+            let group_size = group_size.max(1);
+            let groups = buckets.div_ceil(group_size) as f64;
+            let issue = 2.0 * buckets as f64 / groups.min(lat);
+            let tail = 2.0 * group_size as f64 + 2.0 * groups;
+            issue + tail * lat / group_size as f64 + lat
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table5_design() {
+        let cfg = MsmUnitConfig::default();
+        assert_eq!(cfg.total_pes(), 16);
+        assert_eq!(cfg.num_windows(), 29); // ceil(255 / 9)
+        assert_eq!(cfg.num_buckets(), 511);
+        // Table 5 reports 105.64 mm² for the 16-PE MSM unit (datapath +
+        // local SRAM is added by the chip model); the datapath alone should
+        // be within ~70–80 mm².
+        let area = cfg.datapath_area_mm2();
+        assert!(area > 60.0 && area < 90.0, "datapath area {area}");
+    }
+
+    #[test]
+    fn grouped_aggregation_is_much_faster_than_serial() {
+        for w in [7usize, 8, 9, 10] {
+            let buckets = (1 << w) - 1;
+            let serial = aggregation_cycles(buckets, AggregationSchedule::SzkpSerial);
+            let grouped =
+                aggregation_cycles(buckets, AggregationSchedule::Grouped { group_size: 16 });
+            let reduction = 1.0 - grouped / serial;
+            assert!(
+                reduction > 0.80,
+                "w={w}: expected ≥80% reduction, got {:.1}%",
+                reduction * 100.0
+            );
+            // Figure 5: SZKP latency is in the 10^4–10^5 cycle range.
+            assert!(serial > 1.0e4 && serial < 2.0e5);
+        }
+    }
+
+    #[test]
+    fn msm_latency_scales_with_problem_size_and_pes() {
+        let cfg = MsmUnitConfig::default();
+        let small = cfg.dense_msm_cycles(1 << 16);
+        let large = cfg.dense_msm_cycles(1 << 20);
+        assert!(large > 10.0 * small);
+        let mut wide = cfg;
+        wide.pes_per_core = 1;
+        assert!(wide.dense_msm_cycles(1 << 20) > 8.0 * large);
+        assert_eq!(cfg.dense_msm_cycles(0), 0.0);
+    }
+
+    #[test]
+    fn sparse_msm_is_cheaper_than_dense() {
+        let cfg = MsmUnitConfig::default();
+        let n = 1 << 20;
+        let dense = cfg.dense_msm_cycles(n);
+        let sparse = cfg.sparse_msm_cycles(n * 45 / 100, n * 45 / 100, n / 10);
+        assert!(sparse < dense * 0.5, "sparse {sparse} vs dense {dense}");
+    }
+
+    #[test]
+    fn fq_mul_count_is_consistent_with_functional_stats() {
+        // The analytic count should be within 2× of the functional layer's
+        // counted operations for the same window size (the functional layer
+        // skips zero-valued windows, the model does not).
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use zkspeed_curve::{msm_with_config, G1Projective, MsmConfig};
+        use zkspeed_field::Fr;
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 64;
+        let points: Vec<_> = (0..n)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let (_, stats) = msm_with_config(
+            &points,
+            &scalars,
+            MsmConfig {
+                window_bits: 8,
+                aggregation: zkspeed_curve::Aggregation::Grouped { group_size: 16 },
+            },
+        );
+        let cfg = MsmUnitConfig {
+            window_bits: 8,
+            ..MsmUnitConfig::default()
+        };
+        let model = cfg.dense_msm_fq_muls(n);
+        let measured = stats.fq_muls() as f64;
+        assert!(model > measured * 0.5 && model < measured * 2.5,
+            "model {model} vs measured {measured}");
+    }
+}

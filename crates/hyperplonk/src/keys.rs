@@ -1,0 +1,154 @@
+//! Preprocessing ("indexing"): turning a circuit plus the universal SRS into
+//! proving and verifying keys.
+//!
+//! The selector and wiring-permutation MLEs are fixed per circuit, so their
+//! commitments are computed once here and reused by every proof — this is
+//! the circuit-independent, universal-setup property that motivates
+//! HyperPlonk over Groth16 in the zkSpeed paper's introduction.
+
+use zkspeed_pcs::{commit, Commitment, Srs};
+use zkspeed_transcript::Transcript;
+
+use crate::circuit::Circuit;
+
+/// The prover's key: the circuit tables plus the SRS.
+#[derive(Clone, Debug)]
+pub struct ProvingKey {
+    /// The compiled circuit (selectors and wiring).
+    pub circuit: Circuit,
+    /// The universal SRS.
+    pub srs: Srs,
+    /// Commitments to `q_L, q_R, q_M, q_O, q_C`.
+    pub selector_commitments: [Commitment; 5],
+    /// Commitments to `σ₁, σ₂, σ₃`.
+    pub sigma_commitments: [Commitment; 3],
+}
+
+/// The verifier's key: circuit commitments plus the SRS.
+#[derive(Clone, Debug)]
+pub struct VerifyingKey {
+    /// Number of variables `μ` (the circuit has `2^μ` gates).
+    pub num_vars: usize,
+    /// The universal SRS (retaining the mock-verification trapdoor).
+    pub srs: Srs,
+    /// Commitments to `q_L, q_R, q_M, q_O, q_C`.
+    pub selector_commitments: [Commitment; 5],
+    /// Commitments to `σ₁, σ₂, σ₃`.
+    pub sigma_commitments: [Commitment; 3],
+}
+
+impl VerifyingKey {
+    /// Binds the verifying key into a transcript (both prover and verifier
+    /// call this first so all challenges depend on the circuit).
+    pub fn bind_to_transcript(&self, transcript: &mut Transcript) {
+        bind_circuit_to_transcript(
+            transcript,
+            self.num_vars,
+            &self.selector_commitments,
+            &self.sigma_commitments,
+        );
+    }
+}
+
+/// Binds a circuit's size and preprocessed commitments into a transcript.
+/// Both the prover and the verifier call this before any other message so
+/// that every challenge depends on the circuit being proven.
+pub fn bind_circuit_to_transcript(
+    transcript: &mut Transcript,
+    num_vars: usize,
+    selector_commitments: &[Commitment; 5],
+    sigma_commitments: &[Commitment; 3],
+) {
+    transcript.append_message(b"num-vars", &(num_vars as u64).to_le_bytes());
+    for c in selector_commitments {
+        transcript.append_message(b"selector-commitment", &c.to_transcript_bytes());
+    }
+    for c in sigma_commitments {
+        transcript.append_message(b"sigma-commitment", &c.to_transcript_bytes());
+    }
+}
+
+/// Preprocesses a circuit against an SRS, producing the key pair.
+///
+/// # Panics
+///
+/// Panics if the SRS is too small for the circuit.
+pub fn preprocess(circuit: Circuit, srs: &Srs) -> (ProvingKey, VerifyingKey) {
+    assert!(
+        circuit.num_vars() <= srs.num_vars(),
+        "SRS supports up to 2^{} gates but the circuit has 2^{}",
+        srs.num_vars(),
+        circuit.num_vars()
+    );
+    let selector_commitments = [0, 1, 2, 3, 4].map(|i| commit(srs, &circuit.selectors()[i]));
+    let sigmas = circuit.sigma_mles();
+    let sigma_commitments = [0, 1, 2].map(|i| commit(srs, &sigmas[i]));
+    let vk = VerifyingKey {
+        num_vars: circuit.num_vars(),
+        srs: srs.clone(),
+        selector_commitments,
+        sigma_commitments,
+    };
+    let pk = ProvingKey {
+        circuit,
+        srs: srs.clone(),
+        selector_commitments,
+        sigma_commitments,
+    };
+    (pk, vk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::GateSelectors;
+    use crate::mock::{mock_circuit, SparsityProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_000f)
+    }
+
+    #[test]
+    fn preprocess_commits_to_circuit_tables() {
+        let mut r = rng();
+        let srs = Srs::setup(4, &mut r);
+        let (circuit, _) = mock_circuit(4, SparsityProfile::paper_default(), &mut r);
+        let (pk, vk) = preprocess(circuit.clone(), &srs);
+        assert_eq!(vk.num_vars, 4);
+        assert_eq!(pk.selector_commitments, vk.selector_commitments);
+        // Commitments match direct commitment of the tables.
+        assert_eq!(
+            vk.selector_commitments[0],
+            commit(&srs, &circuit.selectors()[0])
+        );
+        assert_eq!(vk.sigma_commitments[2], commit(&srs, &circuit.sigma_mles()[2]));
+    }
+
+    #[test]
+    fn different_circuits_give_different_keys() {
+        let mut r = rng();
+        let srs = Srs::setup(3, &mut r);
+        let add = Circuit::with_identity_wiring(&vec![GateSelectors::addition(); 8]);
+        let mul = Circuit::with_identity_wiring(&vec![GateSelectors::multiplication(); 8]);
+        let (_, vk_add) = preprocess(add, &srs);
+        let (_, vk_mul) = preprocess(mul, &srs);
+        assert_ne!(vk_add.selector_commitments, vk_mul.selector_commitments);
+        // Binding to a transcript therefore yields different challenges.
+        let mut ta = Transcript::new(b"t");
+        let mut tm = Transcript::new(b"t");
+        vk_add.bind_to_transcript(&mut ta);
+        vk_mul.bind_to_transcript(&mut tm);
+        assert_ne!(ta.challenge_scalar(b"c"), tm.challenge_scalar(b"c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "SRS supports up to")]
+    fn undersized_srs_is_rejected() {
+        let mut r = rng();
+        let srs = Srs::setup(2, &mut r);
+        let (circuit, _) = mock_circuit(3, SparsityProfile::paper_default(), &mut r);
+        let _ = preprocess(circuit, &srs);
+    }
+}

@@ -1,0 +1,58 @@
+//! The HyperPlonk proof system — the protocol that the zkSpeed accelerator
+//! (modeled in `zkspeed-core` / `zkspeed-hw`) accelerates.
+//!
+//! The crate provides the complete proving stack of Figure 2 of the paper:
+//!
+//! * [`CircuitBuilder`] / [`Circuit`] — the Plonk gate encoding of Eq. (1)
+//!   and the wiring permutation;
+//! * [`preprocess`] — universal-setup indexing (commitments to selectors and
+//!   wiring);
+//! * [`prove`] / [`prove_with_report`] — the five protocol steps (Witness
+//!   Commits, Gate Identity, Wiring Identity, Batch Evaluations, Polynomial
+//!   Opening), each exercising the kernels the accelerator builds units for;
+//! * [`verify`] — the succinct verifier;
+//! * [`mock_circuit`] / [`NAMED_WORKLOADS`] — the synthetic workloads the
+//!   paper evaluates on (Table 3);
+//! * [`profile_kernels`] — measured modmul counts and arithmetic intensities
+//!   per kernel (Table 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use zkspeed_hyperplonk::{mock_circuit, preprocess, prove, verify, SparsityProfile};
+//! use zkspeed_pcs::Srs;
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let srs = Srs::setup(4, &mut rng);
+//! let (circuit, witness) = mock_circuit(4, SparsityProfile::paper_default(), &mut rng);
+//! let (pk, vk) = preprocess(circuit, &srs);
+//! let proof = prove(&pk, &witness)?;
+//! verify(&vk, &proof)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod circuit;
+mod keys;
+mod mock;
+mod profile;
+mod proof;
+mod prover;
+mod verifier;
+
+pub use builder::{CircuitBuilder, Variable};
+pub use circuit::{Circuit, GateSelectors, SatisfactionError, Witness, WireColumn};
+pub use keys::{bind_circuit_to_transcript, preprocess, ProvingKey, VerifyingKey};
+pub use mock::{mock_circuit, NamedWorkload, SparsityProfile, NAMED_WORKLOADS};
+pub use profile::{profile_kernels, KernelProfile, BYTES_PER_FIELD_ELEMENT, BYTES_PER_G1_POINT};
+pub use proof::{query_groups, BatchEvaluations, PolyLabel, Proof, QueryGroup};
+pub use prover::{
+    prove, prove_unchecked, prove_with_report, ProtocolStep, ProveError, ProverReport,
+    GATE_SUMCHECK_DEGREE, OPENCHECK_DEGREE, PERM_SUMCHECK_DEGREE,
+};
+pub use verifier::{verify, VerifyError};

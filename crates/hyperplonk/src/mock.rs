@@ -1,0 +1,233 @@
+//! Synthetic circuit workloads.
+//!
+//! The zkSpeed paper (Section 6.2) evaluates on mock circuits, because the
+//! prover's runtime depends only on the problem size and — for the Witness
+//! Commit step — on the witness sparsity statistics. This module generates
+//! satisfied circuits of a requested size with the paper's statistics
+//! (≈45% zero, ≈45% one, ≈10% full-width witness values) and lists the five
+//! named workloads of Table 3.
+
+use rand::Rng;
+use zkspeed_field::Fr;
+use zkspeed_poly::MultilinearPoly;
+
+use crate::circuit::{Circuit, GateSelectors, Witness};
+
+/// The witness sparsity profile used when generating mock circuits.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SparsityProfile {
+    /// Fraction of witness values forced to zero.
+    pub zeros: f64,
+    /// Fraction of witness values forced to one.
+    pub ones: f64,
+}
+
+impl SparsityProfile {
+    /// The paper's pessimistic assumption: 45% zeros, 45% ones, 10% dense.
+    pub fn paper_default() -> Self {
+        Self {
+            zeros: 0.45,
+            ones: 0.45,
+        }
+    }
+
+    /// A fully dense witness (no sparsity).
+    pub fn dense() -> Self {
+        Self { zeros: 0.0, ones: 0.0 }
+    }
+}
+
+/// A named real-world workload from Table 3 of the paper.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct NamedWorkload {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// `μ`: the workload proves a circuit with `2^μ` gates.
+    pub num_vars: usize,
+    /// CPU runtime reported by the paper, in milliseconds.
+    pub paper_cpu_ms: f64,
+    /// zkSpeed runtime reported by the paper, in milliseconds.
+    pub paper_zkspeed_ms: f64,
+}
+
+/// The five workloads of Table 3.
+pub const NAMED_WORKLOADS: [NamedWorkload; 5] = [
+    NamedWorkload {
+        name: "Zcash",
+        num_vars: 17,
+        paper_cpu_ms: 1429.0,
+        paper_zkspeed_ms: 1.984,
+    },
+    NamedWorkload {
+        name: "Auction",
+        num_vars: 20,
+        paper_cpu_ms: 8619.0,
+        paper_zkspeed_ms: 11.405,
+    },
+    NamedWorkload {
+        name: "2^12 Rescue-Hash Invocations",
+        num_vars: 21,
+        paper_cpu_ms: 18637.0,
+        paper_zkspeed_ms: 22.082,
+    },
+    NamedWorkload {
+        name: "Zexe's Recursive Circuit",
+        num_vars: 22,
+        paper_cpu_ms: 37469.0,
+        paper_zkspeed_ms: 43.451,
+    },
+    NamedWorkload {
+        name: "Rollup of 10 Pvt Tx",
+        num_vars: 23,
+        paper_cpu_ms: 74052.0,
+        paper_zkspeed_ms: 86.181,
+    },
+];
+
+/// Generates a satisfied mock circuit with `2^num_vars` gates and the
+/// requested witness sparsity.
+///
+/// Gates are a mix of additions, multiplications and constants whose inputs
+/// are drawn from the sparsity profile; a non-trivial wiring permutation is
+/// built by rotating the slots that hold the (plentiful) values 0 and 1.
+///
+/// # Panics
+///
+/// Panics if `num_vars == 0`.
+pub fn mock_circuit<R: Rng + ?Sized>(
+    num_vars: usize,
+    profile: SparsityProfile,
+    rng: &mut R,
+) -> (Circuit, Witness) {
+    assert!(num_vars > 0, "mock_circuit: need at least one variable");
+    let n = 1usize << num_vars;
+    let mut gates = Vec::with_capacity(n);
+    let mut w1 = Vec::with_capacity(n);
+    let mut w2 = Vec::with_capacity(n);
+    let mut w3 = Vec::with_capacity(n);
+
+    let sample_value = |rng: &mut R| -> Fr {
+        let roll: f64 = rng.gen();
+        if roll < profile.zeros {
+            Fr::zero()
+        } else if roll < profile.zeros + profile.ones {
+            Fr::one()
+        } else {
+            Fr::random(rng)
+        }
+    };
+
+    for _ in 0..n {
+        let a = sample_value(rng);
+        let b = sample_value(rng);
+        let kind: f64 = rng.gen();
+        if kind < 0.45 {
+            gates.push(GateSelectors::addition());
+            w1.push(a);
+            w2.push(b);
+            w3.push(a + b);
+        } else if kind < 0.9 {
+            gates.push(GateSelectors::multiplication());
+            w1.push(a);
+            w2.push(b);
+            w3.push(a * b);
+        } else {
+            let c = sample_value(rng);
+            gates.push(GateSelectors::constant(c));
+            w1.push(a);
+            w2.push(b);
+            w3.push(c);
+        }
+    }
+
+    // Build a non-trivial wiring permutation by rotating all slots holding
+    // value 0 and all slots holding value 1 (values are preserved, so the
+    // witness remains valid).
+    let all_values = [&w1, &w2, &w3];
+    let mut zero_slots = Vec::new();
+    let mut one_slots = Vec::new();
+    for (j, col) in all_values.iter().enumerate() {
+        for (i, v) in col.iter().enumerate() {
+            if v.is_zero() {
+                zero_slots.push(j * n + i);
+            } else if v.is_one() {
+                one_slots.push(j * n + i);
+            }
+        }
+    }
+    let mut sigma: Vec<usize> = (0..3 * n).collect();
+    for group in [zero_slots, one_slots] {
+        if group.len() > 1 {
+            for (i, &slot) in group.iter().enumerate() {
+                sigma[slot] = group[(i + 1) % group.len()];
+            }
+        }
+    }
+
+    let circuit = Circuit::new(&gates, sigma);
+    let witness = Witness::new(
+        MultilinearPoly::new(w1),
+        MultilinearPoly::new(w2),
+        MultilinearPoly::new(w3),
+    );
+    debug_assert!(circuit.check_witness(&witness).is_ok());
+    (circuit, witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_000e)
+    }
+
+    #[test]
+    fn mock_circuit_is_satisfied() {
+        let mut r = rng();
+        for mu in [1usize, 3, 6, 8] {
+            let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut r);
+            assert_eq!(circuit.num_vars(), mu);
+            assert!(circuit.check_witness(&witness).is_ok(), "mu = {mu}");
+        }
+    }
+
+    #[test]
+    fn sparsity_profile_is_respected() {
+        let mut r = rng();
+        let (_, witness) = mock_circuit(9, SparsityProfile::paper_default(), &mut r);
+        // Expect ≈90% sparse; allow generous slack (w3 of addition gates can
+        // densify: 1+1=2, random+random, etc.).
+        let s = witness.sparsity();
+        assert!(s > 0.6, "sparsity {s} unexpectedly low");
+        let (_, dense_witness) = mock_circuit(9, SparsityProfile::dense(), &mut r);
+        assert!(dense_witness.sparsity() < 0.05);
+    }
+
+    #[test]
+    fn mock_circuit_has_nontrivial_wiring() {
+        let mut r = rng();
+        let (circuit, _) = mock_circuit(6, SparsityProfile::paper_default(), &mut r);
+        let n = circuit.num_gates();
+        let moved = (0..3)
+            .flat_map(|j| (0..n).map(move |i| (j, i)))
+            .filter(|&(j, i)| circuit.sigma_slot(j, i) != j * n + i)
+            .count();
+        assert!(moved > n, "expected many wired slots, got {moved}");
+    }
+
+    #[test]
+    fn named_workloads_match_paper_table() {
+        assert_eq!(NAMED_WORKLOADS.len(), 5);
+        assert_eq!(NAMED_WORKLOADS[0].name, "Zcash");
+        assert_eq!(NAMED_WORKLOADS[0].num_vars, 17);
+        assert_eq!(NAMED_WORKLOADS[4].num_vars, 23);
+        // Paper speedups are in the 700–900× range.
+        for w in NAMED_WORKLOADS.iter() {
+            let speedup = w.paper_cpu_ms / w.paper_zkspeed_ms;
+            assert!(speedup > 700.0 && speedup < 900.0, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Commitments to multilinear polynomials.
+//!
+//! A commitment is the MSM between an MLE's evaluation table and the SRS
+//! Lagrange basis — exactly the operation the zkSpeed MSM unit accelerates
+//! in the Witness Commit and Wiring Identity steps.
+
+use zkspeed_curve::{msm, sparse_msm, G1Projective, MsmStats, SparseMsmStats};
+use zkspeed_field::Fr;
+use zkspeed_poly::MultilinearPoly;
+
+use crate::srs::Srs;
+
+/// A commitment to a multilinear polynomial (one G1 point).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Commitment(pub G1Projective);
+
+impl Commitment {
+    /// The identity commitment (commitment to the zero polynomial).
+    pub fn identity() -> Self {
+        Self(G1Projective::identity())
+    }
+
+    /// Serializes the commitment for the Fiat–Shamir transcript (affine x, y
+    /// coordinates plus an infinity byte).
+    pub fn to_transcript_bytes(&self) -> Vec<u8> {
+        let affine = self.0.to_affine();
+        let mut bytes = Vec::with_capacity(97);
+        bytes.extend_from_slice(&affine.x.to_bytes_le());
+        bytes.extend_from_slice(&affine.y.to_bytes_le());
+        bytes.push(u8::from(affine.infinity));
+        bytes
+    }
+
+    /// Homomorphic linear combination of commitments:
+    /// `Com(Σ cᵢ·fᵢ) = Σ cᵢ·Com(fᵢ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn linear_combination(coeffs: &[Fr], commitments: &[Commitment]) -> Self {
+        assert_eq!(
+            coeffs.len(),
+            commitments.len(),
+            "linear_combination: length mismatch"
+        );
+        let mut acc = G1Projective::identity();
+        for (c, com) in coeffs.iter().zip(commitments.iter()) {
+            acc += com.0.mul_scalar(c);
+        }
+        Self(acc)
+    }
+}
+
+/// Commits to a multilinear polynomial with a dense Pippenger MSM.
+///
+/// # Panics
+///
+/// Panics if the polynomial is larger than the SRS supports.
+pub fn commit(srs: &Srs, poly: &MultilinearPoly) -> Commitment {
+    let basis = basis_for(srs, poly);
+    Commitment(msm(basis, poly.evaluations()))
+}
+
+/// Commits with a dense MSM and returns the operation counts for the
+/// hardware model.
+///
+/// # Panics
+///
+/// Panics if the polynomial is larger than the SRS supports.
+pub fn commit_with_stats(srs: &Srs, poly: &MultilinearPoly) -> (Commitment, MsmStats) {
+    let basis = basis_for(srs, poly);
+    let (point, stats) =
+        zkspeed_curve::msm_with_config(basis, poly.evaluations(), zkspeed_curve::MsmConfig::default());
+    (Commitment(point), stats)
+}
+
+/// Commits to a (typically sparse) witness polynomial with the Sparse MSM of
+/// Section 3.3.1: 0-valued scalars are skipped, 1-valued scalars are summed
+/// with the tree adder, and the dense remainder goes through Pippenger.
+///
+/// # Panics
+///
+/// Panics if the polynomial is larger than the SRS supports.
+pub fn commit_sparse(srs: &Srs, poly: &MultilinearPoly) -> (Commitment, SparseMsmStats) {
+    let basis = basis_for(srs, poly);
+    let (point, stats) = sparse_msm(basis, poly.evaluations());
+    (Commitment(point), stats)
+}
+
+fn basis_for<'a>(srs: &'a Srs, poly: &MultilinearPoly) -> &'a [zkspeed_curve::G1Affine] {
+    assert!(
+        poly.num_vars() <= srs.num_vars(),
+        "polynomial has {} variables but the SRS supports at most {}",
+        poly.num_vars(),
+        srs.num_vars()
+    );
+    let level = srs.num_vars() - poly.num_vars();
+    srs.lagrange_basis(level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_000c)
+    }
+
+    #[test]
+    fn commitment_is_evaluation_at_tau_times_g() {
+        // Com(f) = Σ f[i]·eq(τ, i)·G = f(τ)·G.
+        let mut r = rng();
+        let srs = Srs::setup(4, &mut r);
+        let f = MultilinearPoly::random(4, &mut r);
+        let com = commit(&srs, &f);
+        let expected = G1Projective::generator().mul_scalar(&f.evaluate(srs.trapdoor()));
+        assert_eq!(com.0, expected);
+    }
+
+    #[test]
+    fn sparse_and_dense_commit_agree() {
+        let mut r = rng();
+        let srs = Srs::setup(5, &mut r);
+        // Witness-like sparsity: mostly 0/1 with a few dense values.
+        let f = MultilinearPoly::from_fn(5, |i| match i % 10 {
+            0..=3 => Fr::zero(),
+            4..=8 => Fr::one(),
+            _ => Fr::from_u64(i as u64 * 1_000_003),
+        });
+        let dense = commit(&srs, &f);
+        let (sparse, stats) = commit_sparse(&srs, &f);
+        assert_eq!(dense, sparse);
+        assert!(stats.zeros > 0 && stats.ones > 0 && stats.dense > 0);
+        let (dense2, msm_stats) = commit_with_stats(&srs, &f);
+        assert_eq!(dense2, dense);
+        assert!(msm_stats.fq_muls() > 0);
+    }
+
+    #[test]
+    fn commitment_is_homomorphic() {
+        let mut r = rng();
+        let srs = Srs::setup(3, &mut r);
+        let f = MultilinearPoly::random(3, &mut r);
+        let g = MultilinearPoly::random(3, &mut r);
+        let a = Fr::random(&mut r);
+        let b = Fr::random(&mut r);
+        let combined_poly = MultilinearPoly::linear_combination(&[a, b], &[&f, &g]);
+        let com_combined = commit(&srs, &combined_poly);
+        let com_lc =
+            Commitment::linear_combination(&[a, b], &[commit(&srs, &f), commit(&srs, &g)]);
+        assert_eq!(com_combined, com_lc);
+    }
+
+    #[test]
+    fn smaller_polynomials_use_halved_bases() {
+        let mut r = rng();
+        let srs = Srs::setup(4, &mut r);
+        let small = MultilinearPoly::random(2, &mut r);
+        let com = commit(&srs, &small);
+        // Equals the evaluation at the τ suffix times G.
+        let expected =
+            G1Projective::generator().mul_scalar(&small.evaluate(&srs.trapdoor()[2..]));
+        assert_eq!(com.0, expected);
+    }
+
+    #[test]
+    fn transcript_bytes_distinguish_commitments() {
+        let mut r = rng();
+        let srs = Srs::setup(3, &mut r);
+        let f = MultilinearPoly::random(3, &mut r);
+        let g = MultilinearPoly::random(3, &mut r);
+        let cf = commit(&srs, &f);
+        let cg = commit(&srs, &g);
+        assert_ne!(cf.to_transcript_bytes(), cg.to_transcript_bytes());
+        assert_eq!(cf.to_transcript_bytes().len(), 97);
+        assert_eq!(
+            Commitment::identity().to_transcript_bytes()[96],
+            1,
+            "identity commitment marks the infinity flag"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SRS supports at most")]
+    fn oversized_polynomial_is_rejected() {
+        let mut r = rng();
+        let srs = Srs::setup(2, &mut r);
+        let f = MultilinearPoly::random(3, &mut r);
+        let _ = commit(&srs, &f);
+    }
+}

@@ -1,0 +1,196 @@
+//! Opening proofs: proving the value of a committed multilinear polynomial
+//! at an arbitrary point.
+//!
+//! The prover decomposes `f(X) − f(z) = Σ_k (X_k − z_k)·q_k(X_{k+1}, …, X_μ)`
+//! and commits to every quotient `q_k`. Because `q_k` has `μ − k − 1`
+//! variables, the commitments form exactly the halving MSM sequence
+//! (`2^{μ−1}`-point, then `2^{μ−2}`-point, … down to a single point) that the
+//! zkSpeed paper describes for the Polynomial Opening step (Section 3.3.5).
+//!
+//! Verification uses the trapdoor substitution documented in [`crate::srs`]:
+//! the verifier checks the same identity a pairing check would —
+//! `Com(f) − v·G = Σ_k (τ_k − z_k)·Com(q_k)` — directly in G1.
+
+use zkspeed_curve::{G1Projective, MsmStats};
+use zkspeed_field::Fr;
+use zkspeed_poly::MultilinearPoly;
+
+use crate::commit::{commit_with_stats, Commitment};
+use crate::srs::Srs;
+
+/// An opening proof: one quotient commitment per variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpeningProof {
+    /// `quotients[k]` commits to `q_k(X_{k+1}, …, X_μ)`.
+    pub quotients: Vec<Commitment>,
+}
+
+impl OpeningProof {
+    /// Proof size in G1 points.
+    pub fn size_in_points(&self) -> usize {
+        self.quotients.len()
+    }
+}
+
+/// Opens `poly` at `point`, returning the evaluation, the proof, and the MSM
+/// operation counts of the halving commitments (for the hardware model).
+///
+/// # Panics
+///
+/// Panics if the point length does not match the polynomial or the SRS is too
+/// small.
+pub fn open(srs: &Srs, poly: &MultilinearPoly, point: &[Fr]) -> (Fr, OpeningProof, MsmStats) {
+    assert_eq!(
+        point.len(),
+        poly.num_vars(),
+        "open: point length must match the polynomial"
+    );
+    let mut stats = MsmStats::default();
+    let mut quotients = Vec::with_capacity(poly.num_vars());
+    let mut cur = poly.clone();
+    for z_k in point.iter() {
+        let half = cur.len() / 2;
+        let mut q_evals = Vec::with_capacity(half);
+        for i in 0..half {
+            q_evals.push(cur[2 * i + 1] - cur[2 * i]);
+        }
+        let q = MultilinearPoly::new(q_evals);
+        let (com, s) = commit_with_stats(srs, &q);
+        stats.merge(&s);
+        quotients.push(com);
+        cur = cur.fix_first_variable(*z_k);
+    }
+    (cur[0], OpeningProof { quotients }, stats)
+}
+
+/// Verifies an opening proof.
+///
+/// Checks `Com(f) − v·G = Σ_k (τ_k − z_k)·Com(q_k)` in G1 — the identity the
+/// production pairing check enforces, evaluated with the retained trapdoor.
+pub fn verify_opening(
+    srs: &Srs,
+    commitment: &Commitment,
+    point: &[Fr],
+    value: Fr,
+    proof: &OpeningProof,
+) -> bool {
+    if point.len() != proof.quotients.len() {
+        return false;
+    }
+    if point.len() > srs.num_vars() {
+        return false;
+    }
+    let tau = &srs.trapdoor()[srs.num_vars() - point.len()..];
+    let lhs = commitment.0 - G1Projective::generator().mul_scalar(&value);
+    let mut rhs = G1Projective::identity();
+    for ((t, z), q) in tau.iter().zip(point.iter()).zip(proof.quotients.iter()) {
+        rhs += q.0.mul_scalar(&(*t - *z));
+    }
+    lhs == rhs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commit::commit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_000d)
+    }
+
+    #[test]
+    fn honest_opening_verifies() {
+        let mut r = rng();
+        let srs = Srs::setup(5, &mut r);
+        let f = MultilinearPoly::random(5, &mut r);
+        let com = commit(&srs, &f);
+        let point: Vec<Fr> = (0..5).map(|_| Fr::random(&mut r)).collect();
+        let (value, proof, stats) = open(&srs, &f, &point);
+        assert_eq!(value, f.evaluate(&point));
+        assert_eq!(proof.size_in_points(), 5);
+        assert!(stats.fq_muls() > 0);
+        assert!(verify_opening(&srs, &com, &point, value, &proof));
+    }
+
+    #[test]
+    fn opening_at_boolean_point_returns_table_entry() {
+        let mut r = rng();
+        let srs = Srs::setup(3, &mut r);
+        let f = MultilinearPoly::random(3, &mut r);
+        let com = commit(&srs, &f);
+        let point = vec![Fr::one(), Fr::zero(), Fr::one()]; // index 0b101 = 5
+        let (value, proof, _) = open(&srs, &f, &point);
+        assert_eq!(value, f[5]);
+        assert!(verify_opening(&srs, &com, &point, value, &proof));
+    }
+
+    #[test]
+    fn wrong_value_is_rejected() {
+        let mut r = rng();
+        let srs = Srs::setup(4, &mut r);
+        let f = MultilinearPoly::random(4, &mut r);
+        let com = commit(&srs, &f);
+        let point: Vec<Fr> = (0..4).map(|_| Fr::random(&mut r)).collect();
+        let (value, proof, _) = open(&srs, &f, &point);
+        assert!(!verify_opening(&srs, &com, &point, value + Fr::one(), &proof));
+    }
+
+    #[test]
+    fn wrong_commitment_is_rejected() {
+        let mut r = rng();
+        let srs = Srs::setup(4, &mut r);
+        let f = MultilinearPoly::random(4, &mut r);
+        let g = MultilinearPoly::random(4, &mut r);
+        let com_g = commit(&srs, &g);
+        let point: Vec<Fr> = (0..4).map(|_| Fr::random(&mut r)).collect();
+        let (value, proof, _) = open(&srs, &f, &point);
+        assert!(!verify_opening(&srs, &com_g, &point, value, &proof));
+    }
+
+    #[test]
+    fn tampered_quotient_is_rejected() {
+        let mut r = rng();
+        let srs = Srs::setup(4, &mut r);
+        let f = MultilinearPoly::random(4, &mut r);
+        let com = commit(&srs, &f);
+        let point: Vec<Fr> = (0..4).map(|_| Fr::random(&mut r)).collect();
+        let (value, mut proof, _) = open(&srs, &f, &point);
+        proof.quotients[1] = Commitment(proof.quotients[1].0 + G1Projective::generator());
+        assert!(!verify_opening(&srs, &com, &point, value, &proof));
+    }
+
+    #[test]
+    fn malformed_proof_shapes_are_rejected() {
+        let mut r = rng();
+        let srs = Srs::setup(3, &mut r);
+        let f = MultilinearPoly::random(3, &mut r);
+        let com = commit(&srs, &f);
+        let point: Vec<Fr> = (0..3).map(|_| Fr::random(&mut r)).collect();
+        let (value, proof, _) = open(&srs, &f, &point);
+        // Too few quotients.
+        let short = OpeningProof {
+            quotients: proof.quotients[..2].to_vec(),
+        };
+        assert!(!verify_opening(&srs, &com, &point, value, &short));
+        // Point longer than the SRS supports.
+        let long_point: Vec<Fr> = (0..4).map(|_| Fr::random(&mut r)).collect();
+        let long = OpeningProof {
+            quotients: vec![Commitment::identity(); 4],
+        };
+        assert!(!verify_opening(&srs, &com, &long_point, value, &long));
+    }
+
+    #[test]
+    fn smaller_polynomials_open_against_suffix_trapdoor() {
+        let mut r = rng();
+        let srs = Srs::setup(5, &mut r);
+        let f = MultilinearPoly::random(3, &mut r);
+        let com = commit(&srs, &f);
+        let point: Vec<Fr> = (0..3).map(|_| Fr::random(&mut r)).collect();
+        let (value, proof, _) = open(&srs, &f, &point);
+        assert_eq!(value, f.evaluate(&point));
+        assert!(verify_opening(&srs, &com, &point, value, &proof));
+    }
+}

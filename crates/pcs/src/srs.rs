@@ -1,0 +1,177 @@
+//! The structured reference string (universal setup) for the multilinear
+//! polynomial commitment scheme.
+//!
+//! HyperPlonk's headline property is its *universal* trusted setup: one
+//! ceremony produces parameters reusable by every circuit up to a maximum
+//! size (Section 1 of the zkSpeed paper). The SRS here contains, for every
+//! prefix length `k ≤ μ`, the Lagrange-basis points
+//! `L^{(k)}_i = eq((τ_{k+1}, …, τ_μ), bits(i)) · G` over the *suffix* of the
+//! secret point τ. Level 0 commits full-size MLEs; levels 1…μ commit the
+//! successively halved quotient polynomials produced during opening — the
+//! `2^{μ−1}, 2^{μ−2}, …, 2^0`-point MSM sequence of Section 3.3.5.
+//!
+//! # Trapdoor substitution
+//!
+//! The real scheme verifies openings with BLS12-381 pairings. Pairings are
+//! verifier-side only and contribute nothing to the prover workload the
+//! zkSpeed accelerator models, so this reproduction keeps the toxic waste τ
+//! inside [`Srs`] and verifies the *same algebraic identity* the pairing
+//! would check, but in G1 (see `open::verify_opening`). This is documented in
+//! DESIGN.md as a substitution; all prover-side computation (the MSMs) is
+//! identical to the real scheme.
+
+use rand::Rng;
+use zkspeed_curve::{G1Affine, G1Projective};
+use zkspeed_field::Fr;
+use zkspeed_poly::MultilinearPoly;
+
+/// Structured reference string for committing to multilinear polynomials of
+/// up to `num_vars` variables.
+#[derive(Clone, Debug)]
+pub struct Srs {
+    num_vars: usize,
+    /// The generator G.
+    g: G1Affine,
+    /// `lagrange_bases[k][i] = eq((τ_{k+1}, …, τ_μ), bits(i)) · G`, of length
+    /// `2^{μ−k}`.
+    lagrange_bases: Vec<Vec<G1Affine>>,
+    /// The secret evaluation point τ (retained only for the trapdoor
+    /// verification substitution described in the module docs).
+    tau: Vec<Fr>,
+}
+
+impl Srs {
+    /// Runs the (mock) universal setup for polynomials of up to `num_vars`
+    /// variables.
+    ///
+    /// Setup cost is `O(2^μ)` group scalar multiplications; for the problem
+    /// sizes used in tests and examples (μ ≤ 12) this completes quickly,
+    /// while the paper-scale sizes (μ = 17–24) are exercised through the
+    /// analytical hardware model rather than the functional layer.
+    pub fn setup<R: Rng + ?Sized>(num_vars: usize, rng: &mut R) -> Self {
+        let tau: Vec<Fr> = (0..num_vars).map(|_| Fr::random(rng)).collect();
+        Self::setup_with_tau(num_vars, tau)
+    }
+
+    /// Deterministic setup from an explicit τ (used by tests and by the
+    /// repository's examples so results are reproducible).
+    pub fn setup_with_tau(num_vars: usize, tau: Vec<Fr>) -> Self {
+        assert_eq!(tau.len(), num_vars, "setup: τ length must equal num_vars");
+        let g = G1Affine::generator();
+        let g_proj = G1Projective::generator();
+        let mut lagrange_bases = Vec::with_capacity(num_vars + 1);
+        for k in 0..=num_vars {
+            let suffix = &tau[k..];
+            let eq = MultilinearPoly::eq_mle(suffix);
+            let points: Vec<G1Projective> = eq
+                .evaluations()
+                .iter()
+                .map(|e| g_proj.mul_scalar(e))
+                .collect();
+            lagrange_bases.push(G1Projective::batch_to_affine(&points));
+        }
+        Self {
+            num_vars,
+            g,
+            lagrange_bases,
+            tau,
+        }
+    }
+
+    /// Maximum number of variables this SRS supports.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The group generator.
+    pub fn generator(&self) -> G1Affine {
+        self.g
+    }
+
+    /// The Lagrange basis used to commit polynomials with `num_vars - level`
+    /// variables (level 0 = full size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > num_vars`.
+    pub fn lagrange_basis(&self, level: usize) -> &[G1Affine] {
+        &self.lagrange_bases[level]
+    }
+
+    /// The secret point τ (trapdoor), exposed for the mock verification path
+    /// and for tests only.
+    pub fn trapdoor(&self) -> &[Fr] {
+        &self.tau
+    }
+
+    /// Total number of G1 points stored in the SRS.
+    pub fn size_in_points(&self) -> usize {
+        self.lagrange_bases.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_000b)
+    }
+
+    #[test]
+    fn setup_shapes() {
+        let mut r = rng();
+        let srs = Srs::setup(4, &mut r);
+        assert_eq!(srs.num_vars(), 4);
+        assert_eq!(srs.lagrange_basis(0).len(), 16);
+        assert_eq!(srs.lagrange_basis(1).len(), 8);
+        assert_eq!(srs.lagrange_basis(4).len(), 1);
+        // 16 + 8 + 4 + 2 + 1
+        assert_eq!(srs.size_in_points(), 31);
+        assert_eq!(srs.trapdoor().len(), 4);
+    }
+
+    #[test]
+    fn lagrange_basis_sums_to_generator() {
+        // Σ_i eq(τ, i) = 1, so the basis points sum to G.
+        let mut r = rng();
+        let srs = Srs::setup(3, &mut r);
+        for level in 0..=3 {
+            let sum: G1Projective = srs
+                .lagrange_basis(level)
+                .iter()
+                .map(|p| p.to_projective())
+                .sum();
+            assert_eq!(sum, G1Projective::generator(), "level {level}");
+        }
+    }
+
+    #[test]
+    fn basis_encodes_eq_values() {
+        let tau = vec![Fr::from_u64(3), Fr::from_u64(5)];
+        let srs = Srs::setup_with_tau(2, tau.clone());
+        let eq = MultilinearPoly::eq_mle(&tau);
+        for i in 0..4 {
+            assert_eq!(
+                srs.lagrange_basis(0)[i].to_projective(),
+                G1Projective::generator().mul_scalar(&eq[i])
+            );
+        }
+        // Level 1 uses the suffix (τ₂).
+        let eq1 = MultilinearPoly::eq_mle(&tau[1..]);
+        for i in 0..2 {
+            assert_eq!(
+                srs.lagrange_basis(1)[i].to_projective(),
+                G1Projective::generator().mul_scalar(&eq1[i])
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "τ length")]
+    fn setup_rejects_mismatched_tau() {
+        let _ = Srs::setup_with_tau(3, vec![Fr::one()]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Multilinear polynomial machinery for the zkSpeed HyperPlonk reproduction.
+//!
+//! This crate is the functional counterpart of four zkSpeed hardware units:
+//!
+//! | Paper unit | Functional API |
+//! |---|---|
+//! | Multifunction Tree (Build MLE) | [`MultilinearPoly::eq_mle`] |
+//! | Multifunction Tree (MLE Evaluate) | [`MultilinearPoly::evaluate`] |
+//! | Multifunction Tree (Product MLE) | [`product_mle`] |
+//! | MLE Update | [`MultilinearPoly::fix_first_variable`] |
+//! | FracMLE (batched inversion) | [`fraction_mle`] |
+//! | MLE Combine (linear combinations) | [`MultilinearPoly::linear_combination`] |
+//!
+//! [`VirtualPolynomial`] describes the sum-of-products polynomials that the
+//! SumCheck crate proves statements about.
+//!
+//! # Examples
+//!
+//! ```
+//! use zkspeed_field::Fr;
+//! use zkspeed_poly::{MultilinearPoly, product_mle};
+//!
+//! let phi = MultilinearPoly::new(vec![
+//!     Fr::from_u64(2), Fr::from_u64(3), Fr::from_u64(5), Fr::from_u64(7),
+//! ]);
+//! let pi = product_mle(&phi);
+//! assert_eq!(pi[2], Fr::from_u64(210)); // grand product 2·3·5·7
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mle;
+mod prod_frac;
+mod virtual_poly;
+
+pub use mle::MultilinearPoly;
+pub use prod_frac::{
+    fraction_mle, fraction_mle_with_batch, grand_product_index, grand_product_point, product_mle,
+    split_even_odd, FRACMLE_BATCH_SIZE,
+};
+pub use virtual_poly::{Term, VirtualPolynomial};

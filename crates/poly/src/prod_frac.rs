@@ -1,0 +1,275 @@
+//! Product MLE and Fraction MLE construction (Wiring Identity building
+//! blocks, Section 3.3.3 and 4.4 of the zkSpeed paper).
+//!
+//! * [`fraction_mle`] — `φ[i] = N[i] / D[i]`, computed with Montgomery batch
+//!   inversion exactly as the FracMLE unit does in hardware;
+//! * [`product_mle`] — `π`, the concatenation of the pairwise-product tree
+//!   layers of `φ` (Multifunction Tree unit, product mode), padded with a
+//!   final zero entry;
+//! * [`split_even_odd`] — the `p₁ / p₂` polynomials (`p₁[i] = v[2i]`,
+//!   `p₂[i] = v[2i+1]` for `v = φ ∥ π`) that appear in the PermCheck
+//!   constraint of Eq. (4).
+
+use zkspeed_field::{batch_invert, Fr};
+
+use crate::mle::MultilinearPoly;
+
+/// Default batch size used when mirroring the FracMLE unit's batched
+/// inversion (the paper's optimum, Section 4.4.4).
+pub const FRACMLE_BATCH_SIZE: usize = 64;
+
+/// Computes the Fraction MLE `φ = N / D` element-wise.
+///
+/// Inversions are batched in groups of `batch_size` using Montgomery's
+/// trick, matching the dataflow of the FracMLE unit (partial-product
+/// multiplier tree + one BEEA inversion per batch). The result is identical
+/// for any batch size; the parameter exists so tests can exercise the same
+/// grouping the hardware model costs out.
+///
+/// # Panics
+///
+/// Panics if the tables differ in size, if `batch_size` is zero, or if any
+/// denominator entry is zero.
+pub fn fraction_mle_with_batch(
+    numerator: &MultilinearPoly,
+    denominator: &MultilinearPoly,
+    batch_size: usize,
+) -> MultilinearPoly {
+    assert_eq!(
+        numerator.num_vars(),
+        denominator.num_vars(),
+        "fraction_mle: size mismatch"
+    );
+    assert!(batch_size > 0, "fraction_mle: batch size must be positive");
+    let mut inv = denominator.evaluations().to_vec();
+    for chunk in inv.chunks_mut(batch_size) {
+        batch_invert(chunk);
+    }
+    let evals: Vec<Fr> = numerator
+        .evaluations()
+        .iter()
+        .zip(inv.iter())
+        .map(|(n, dinv)| *n * *dinv)
+        .collect();
+    MultilinearPoly::new(evals)
+}
+
+/// Computes the Fraction MLE `φ = N / D` with the default batch size.
+///
+/// # Panics
+///
+/// See [`fraction_mle_with_batch`].
+pub fn fraction_mle(numerator: &MultilinearPoly, denominator: &MultilinearPoly) -> MultilinearPoly {
+    fraction_mle_with_batch(numerator, denominator, FRACMLE_BATCH_SIZE)
+}
+
+/// Computes the Product MLE `π` of `φ`.
+///
+/// `π` is the concatenation of the successive pairwise-product layers of the
+/// binary product tree over `φ`: layer 1 has `2^{μ−1}` entries
+/// (`φ[2i]·φ[2i+1]`), layer 2 has `2^{μ−2}`, …, down to the single-entry
+/// layer holding the product of all `φ` entries; a final zero entry pads the
+/// table back to `2^μ`. The grand product therefore sits at index
+/// `2^μ − 2`.
+///
+/// # Panics
+///
+/// Panics if `φ` has no variables (`μ = 0`).
+pub fn product_mle(phi: &MultilinearPoly) -> MultilinearPoly {
+    assert!(phi.num_vars() > 0, "product_mle: need at least one variable");
+    let n = phi.len();
+    let mut evals: Vec<Fr> = Vec::with_capacity(n);
+    // First layer reads from φ; subsequent layers read from what has already
+    // been pushed into π (the "cumulative products applied on π itself").
+    let mut prev: Vec<Fr> = phi.evaluations().to_vec();
+    while prev.len() > 1 {
+        let mut layer = Vec::with_capacity(prev.len() / 2);
+        for pair in prev.chunks_exact(2) {
+            layer.push(pair[0] * pair[1]);
+        }
+        evals.extend_from_slice(&layer);
+        prev = layer;
+    }
+    evals.push(Fr::zero());
+    debug_assert_eq!(evals.len(), n);
+    MultilinearPoly::new(evals)
+}
+
+/// Index of the grand product inside a Product MLE of `2^μ` entries.
+pub fn grand_product_index(num_vars: usize) -> usize {
+    (1usize << num_vars) - 2
+}
+
+/// The Boolean point (LSB-first) at which a Product MLE evaluates to the
+/// grand product: `(0, 1, 1, …, 1)`.
+pub fn grand_product_point(num_vars: usize) -> Vec<Fr> {
+    let idx = grand_product_index(num_vars);
+    (0..num_vars)
+        .map(|j| {
+            if (idx >> j) & 1 == 1 {
+                Fr::one()
+            } else {
+                Fr::zero()
+            }
+        })
+        .collect()
+}
+
+/// Splits the concatenation `v = φ ∥ π` into the even/odd-index polynomials
+/// `p₁[i] = v[2i]` and `p₂[i] = v[2i+1]` used by the PermCheck constraint
+/// `π(x) = p₁(x)·p₂(x)`.
+///
+/// # Panics
+///
+/// Panics if the two tables differ in size.
+pub fn split_even_odd(
+    phi: &MultilinearPoly,
+    pi: &MultilinearPoly,
+) -> (MultilinearPoly, MultilinearPoly) {
+    assert_eq!(
+        phi.num_vars(),
+        pi.num_vars(),
+        "split_even_odd: size mismatch"
+    );
+    let n = phi.len();
+    let mut v: Vec<Fr> = Vec::with_capacity(2 * n);
+    v.extend_from_slice(phi.evaluations());
+    v.extend_from_slice(pi.evaluations());
+    let mut p1 = Vec::with_capacity(n);
+    let mut p2 = Vec::with_capacity(n);
+    for pair in v.chunks_exact(2) {
+        p1.push(pair[0]);
+        p2.push(pair[1]);
+    }
+    (MultilinearPoly::new(p1), MultilinearPoly::new(p2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_0007)
+    }
+
+    fn u(x: u64) -> Fr {
+        Fr::from_u64(x)
+    }
+
+    fn nonzero_random_mle(num_vars: usize, rng: &mut StdRng) -> MultilinearPoly {
+        MultilinearPoly::from_fn(num_vars, |_| {
+            let mut x = Fr::random(rng);
+            while x.is_zero() {
+                x = Fr::random(rng);
+            }
+            x
+        })
+    }
+
+    #[test]
+    fn fraction_mle_is_elementwise_quotient() {
+        let mut r = rng();
+        let n = MultilinearPoly::random(4, &mut r);
+        let d = nonzero_random_mle(4, &mut r);
+        for batch in [1usize, 3, 16, 64, 100] {
+            let phi = fraction_mle_with_batch(&n, &d, batch);
+            for i in 0..16 {
+                assert_eq!(phi[i] * d[i], n[i], "batch {batch}, index {i}");
+            }
+        }
+        let default = fraction_mle(&n, &d);
+        assert_eq!(default, fraction_mle_with_batch(&n, &d, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero element")]
+    fn fraction_mle_rejects_zero_denominator() {
+        let n = MultilinearPoly::constant(u(1), 2);
+        let mut d = MultilinearPoly::constant(u(1), 2);
+        d.evaluations_mut()[2] = Fr::zero();
+        let _ = fraction_mle(&n, &d);
+    }
+
+    #[test]
+    fn product_mle_small_example() {
+        // φ = [a, b, c, d] → π = [ab, cd, abcd, 0]
+        let (a, b, c, d) = (u(2), u(3), u(5), u(7));
+        let phi = MultilinearPoly::new(vec![a, b, c, d]);
+        let pi = product_mle(&phi);
+        assert_eq!(pi.evaluations(), &[a * b, c * d, a * b * c * d, Fr::zero()]);
+        assert_eq!(pi[grand_product_index(2)], u(210));
+    }
+
+    #[test]
+    fn grand_product_matches_full_product() {
+        let mut r = rng();
+        for mu in 1..=6usize {
+            let phi = nonzero_random_mle(mu, &mut r);
+            let pi = product_mle(&phi);
+            let expect: Fr = phi.evaluations().iter().product();
+            assert_eq!(pi[grand_product_index(mu)], expect, "mu = {mu}");
+            // The grand-product point evaluates the MLE at the same entry.
+            assert_eq!(pi.evaluate(&grand_product_point(mu)), expect);
+        }
+    }
+
+    #[test]
+    fn product_tree_constraint_holds() {
+        // π[i] = v[2i]·v[2i+1] with v = φ ∥ π, for every index except where
+        // the zero pad participates (and there the identity holds because the
+        // pad multiplies into the final, discarded slot).
+        let mut r = rng();
+        let mu = 4;
+        let phi = nonzero_random_mle(mu, &mut r);
+        let pi = product_mle(&phi);
+        let (p1, p2) = split_even_odd(&phi, &pi);
+        for i in 0..(1 << mu) {
+            assert_eq!(pi[i], p1[i] * p2[i], "index {i}");
+        }
+    }
+
+    #[test]
+    fn fraction_product_check_completeness() {
+        // If φ = N/D where N is a permutation of D, the grand product is 1.
+        let mut r = rng();
+        let mu = 3;
+        let d = nonzero_random_mle(mu, &mut r);
+        // N = reversed D (a permutation).
+        let n_evals: Vec<Fr> = d.evaluations().iter().rev().copied().collect();
+        let n = MultilinearPoly::new(n_evals);
+        let phi = fraction_mle(&n, &d);
+        let pi = product_mle(&phi);
+        assert_eq!(pi[grand_product_index(mu)], Fr::one());
+    }
+
+    #[test]
+    fn grand_product_point_is_boolean_encoding_of_index() {
+        for mu in 2..=5 {
+            let p = grand_product_point(mu);
+            let mut idx = 0usize;
+            for (j, b) in p.iter().enumerate() {
+                if *b == Fr::one() {
+                    idx |= 1 << j;
+                }
+            }
+            assert_eq!(idx, grand_product_index(mu));
+            assert_eq!(p[0], Fr::zero());
+        }
+    }
+
+    #[test]
+    fn split_even_odd_shapes() {
+        let mut r = rng();
+        let phi = nonzero_random_mle(3, &mut r);
+        let pi = product_mle(&phi);
+        let (p1, p2) = split_even_odd(&phi, &pi);
+        assert_eq!(p1.num_vars(), 3);
+        assert_eq!(p2.num_vars(), 3);
+        assert_eq!(p1[0], phi[0]);
+        assert_eq!(p2[0], phi[1]);
+        assert_eq!(p1[4], pi[0]);
+        assert_eq!(p2[4], pi[1]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for SumCheck verification.
+
+use core::fmt;
+
+/// Reasons a SumCheck (or ZeroCheck) verification can fail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SumcheckError {
+    /// The prover's proof has the wrong number of rounds.
+    WrongNumberOfRounds {
+        /// Rounds present in the proof.
+        got: usize,
+        /// Rounds the verifier expected.
+        expected: usize,
+    },
+    /// A round polynomial has the wrong number of evaluations for the
+    /// declared degree.
+    WrongRoundPolynomialSize {
+        /// The offending round (0-based).
+        round: usize,
+        /// Evaluations present.
+        got: usize,
+        /// Evaluations expected (`degree + 1`).
+        expected: usize,
+    },
+    /// A round polynomial is inconsistent with the running claim:
+    /// `g_i(0) + g_i(1) != claim_i`.
+    RoundClaimMismatch {
+        /// The offending round (0-based).
+        round: usize,
+    },
+    /// The final claimed evaluation does not match the oracle evaluation of
+    /// the underlying polynomial.
+    FinalEvaluationMismatch,
+}
+
+impl fmt::Display for SumcheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SumcheckError::WrongNumberOfRounds { got, expected } => {
+                write!(f, "proof has {got} rounds, expected {expected}")
+            }
+            SumcheckError::WrongRoundPolynomialSize {
+                round,
+                got,
+                expected,
+            } => write!(
+                f,
+                "round {round} polynomial has {got} evaluations, expected {expected}"
+            ),
+            SumcheckError::RoundClaimMismatch { round } => {
+                write!(f, "round {round} polynomial does not match the running claim")
+            }
+            SumcheckError::FinalEvaluationMismatch => {
+                write!(f, "final evaluation does not match the oracle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SumcheckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SumcheckError::WrongNumberOfRounds { got: 3, expected: 4 };
+        assert!(e.to_string().contains("3 rounds"));
+        let e = SumcheckError::RoundClaimMismatch { round: 2 };
+        assert!(e.to_string().contains("round 2"));
+        let e = SumcheckError::WrongRoundPolynomialSize {
+            round: 1,
+            got: 2,
+            expected: 5,
+        };
+        assert!(e.to_string().contains("expected 5"));
+        assert!(SumcheckError::FinalEvaluationMismatch.to_string().contains("oracle"));
+    }
+}

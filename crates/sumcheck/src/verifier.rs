@@ -1,0 +1,250 @@
+//! The SumCheck verifier.
+//!
+//! The verifier replays the prover's transcript interaction: each round it
+//! checks `gᵢ(0) + gᵢ(1)` against the running claim, derives the same
+//! challenge the prover saw, and folds the claim to `gᵢ(rᵢ)` by evaluating
+//! the round polynomial from its evaluations at `0..=d` (barycentric-style
+//! Lagrange interpolation over uniform nodes — the same fixed interpolation
+//! step the paper's SumCheck unit performs at the end of each round).
+
+use zkspeed_field::{batch_invert, Fr};
+use zkspeed_transcript::Transcript;
+
+use crate::error::SumcheckError;
+use crate::prover::SumcheckProof;
+
+/// What a successful SumCheck verification reduces the original claim to: the
+/// statement that the proved polynomial evaluates to `expected_evaluation` at
+/// `point`. The caller discharges this sub-claim with polynomial-commitment
+/// openings (or direct evaluation in tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubClaim {
+    /// The challenge point accumulated over the rounds.
+    pub point: Vec<Fr>,
+    /// The evaluation the proved polynomial must have at `point`.
+    pub expected_evaluation: Fr,
+}
+
+/// Verifies a SumCheck proof of `claimed_sum` for a `num_vars`-variate
+/// polynomial of per-round degree at most `degree`.
+///
+/// # Errors
+///
+/// Returns a [`SumcheckError`] if the proof shape is wrong or any round
+/// polynomial is inconsistent with the running claim.
+pub fn verify(
+    claimed_sum: Fr,
+    num_vars: usize,
+    degree: usize,
+    proof: &SumcheckProof,
+    transcript: &mut Transcript,
+) -> Result<SubClaim, SumcheckError> {
+    if proof.round_evaluations.len() != num_vars {
+        return Err(SumcheckError::WrongNumberOfRounds {
+            got: proof.round_evaluations.len(),
+            expected: num_vars,
+        });
+    }
+    let mut claim = claimed_sum;
+    let mut point = Vec::with_capacity(num_vars);
+    for (round, evals) in proof.round_evaluations.iter().enumerate() {
+        if evals.len() != degree + 1 {
+            return Err(SumcheckError::WrongRoundPolynomialSize {
+                round,
+                got: evals.len(),
+                expected: degree + 1,
+            });
+        }
+        if evals[0] + evals[1] != claim {
+            return Err(SumcheckError::RoundClaimMismatch { round });
+        }
+        transcript.append_scalars(b"sumcheck-round", evals);
+        let challenge = transcript.challenge_scalar(b"sumcheck-challenge");
+        claim = interpolate_uniform(evals, challenge);
+        point.push(challenge);
+    }
+    Ok(SubClaim {
+        point,
+        expected_evaluation: claim,
+    })
+}
+
+/// Evaluates at `x` the unique degree-`n−1` polynomial passing through the
+/// points `(0, evals[0]), (1, evals[1]), …, (n−1, evals[n−1])`.
+///
+/// Uses the barycentric form over uniform nodes; for the small degrees that
+/// occur in HyperPlonk (≤ 4) this costs a handful of modmuls, matching the
+/// "fixed interpolation step" the paper adds at the end of each round.
+pub fn interpolate_uniform(evals: &[Fr], x: Fr) -> Fr {
+    let n = evals.len();
+    assert!(n > 0, "interpolate_uniform: empty evaluations");
+    if n == 1 {
+        return evals[0];
+    }
+    // If x is one of the nodes, return directly (avoids a zero denominator).
+    for (i, e) in evals.iter().enumerate() {
+        if x == Fr::from_u64(i as u64) {
+            return *e;
+        }
+    }
+    // prefix[i] = Π_{j<i} (x - j), suffix[i] = Π_{j>i} (x - j)
+    let nodes: Vec<Fr> = (0..n).map(|i| x - Fr::from_u64(i as u64)).collect();
+    let mut prefix = vec![Fr::one(); n];
+    for i in 1..n {
+        prefix[i] = prefix[i - 1] * nodes[i - 1];
+    }
+    let mut suffix = vec![Fr::one(); n];
+    for i in (0..n - 1).rev() {
+        suffix[i] = suffix[i + 1] * nodes[i + 1];
+    }
+    // Denominators: i!·(n−1−i)!·(−1)^{n−1−i}
+    let mut factorials = vec![Fr::one(); n];
+    for i in 1..n {
+        factorials[i] = factorials[i - 1] * Fr::from_u64(i as u64);
+    }
+    let mut denoms: Vec<Fr> = (0..n)
+        .map(|i| {
+            let d = factorials[i] * factorials[n - 1 - i];
+            if (n - 1 - i) % 2 == 1 {
+                -d
+            } else {
+                d
+            }
+        })
+        .collect();
+    batch_invert(&mut denoms);
+    let mut acc = Fr::zero();
+    for i in 0..n {
+        acc += evals[i] * prefix[i] * suffix[i] * denoms[i];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::{prove, round_polynomial};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkspeed_poly::{MultilinearPoly, VirtualPolynomial};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_0009)
+    }
+
+    fn u(x: u64) -> Fr {
+        Fr::from_u64(x)
+    }
+
+    fn example_poly(num_vars: usize, rng: &mut StdRng) -> VirtualPolynomial {
+        let f = MultilinearPoly::random(num_vars, rng);
+        let g = MultilinearPoly::random(num_vars, rng);
+        let mut vp = VirtualPolynomial::new(num_vars);
+        let fi = vp.add_mle(f);
+        let gi = vp.add_mle(g);
+        vp.add_term(u(1), vec![fi, gi, gi]);
+        vp.add_term(u(4), vec![fi]);
+        vp
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial_values() {
+        // p(t) = 3t^3 + 2t + 7 sampled at 0..=3, evaluated elsewhere.
+        let p = |t: Fr| u(3) * t * t * t + u(2) * t + u(7);
+        let evals: Vec<Fr> = (0..4).map(|i| p(u(i))).collect();
+        for x in [u(0), u(1), u(3), u(17), u(123_456)] {
+            assert_eq!(interpolate_uniform(&evals, x), p(x));
+        }
+        // Degenerate cases.
+        assert_eq!(interpolate_uniform(&[u(9)], u(42)), u(9));
+        let linear: Vec<Fr> = vec![u(5), u(8)];
+        assert_eq!(interpolate_uniform(&linear, u(10)), u(35));
+    }
+
+    #[test]
+    fn honest_prover_verifies() {
+        let mut r = rng();
+        for num_vars in 1..=6usize {
+            let vp = example_poly(num_vars, &mut r);
+            let claim = vp.sum_over_hypercube();
+            let mut pt = Transcript::new(b"sumcheck");
+            let out = prove(&vp, &mut pt);
+            let mut vt = Transcript::new(b"sumcheck");
+            let sub = verify(claim, num_vars, vp.degree(), &out.proof, &mut vt)
+                .expect("honest proof verifies");
+            assert_eq!(sub.point, out.point);
+            // The sub-claim's expected evaluation matches the real polynomial.
+            assert_eq!(sub.expected_evaluation, vp.evaluate(&sub.point));
+        }
+    }
+
+    #[test]
+    fn wrong_claim_is_rejected() {
+        let mut r = rng();
+        let vp = example_poly(4, &mut r);
+        let claim = vp.sum_over_hypercube() + u(1);
+        let mut pt = Transcript::new(b"sumcheck");
+        let out = prove(&vp, &mut pt);
+        let mut vt = Transcript::new(b"sumcheck");
+        let err = verify(claim, 4, vp.degree(), &out.proof, &mut vt).unwrap_err();
+        assert_eq!(err, SumcheckError::RoundClaimMismatch { round: 0 });
+    }
+
+    #[test]
+    fn tampered_round_is_rejected() {
+        let mut r = rng();
+        let vp = example_poly(4, &mut r);
+        let claim = vp.sum_over_hypercube();
+        let mut pt = Transcript::new(b"sumcheck");
+        let mut out = prove(&vp, &mut pt);
+        out.proof.round_evaluations[2][1] += u(1);
+        let mut vt = Transcript::new(b"sumcheck");
+        let err = verify(claim, 4, vp.degree(), &out.proof, &mut vt).unwrap_err();
+        // Either the tampered round itself or a later consistency check must
+        // fail; it can never verify.
+        match err {
+            SumcheckError::RoundClaimMismatch { round } => assert!(round >= 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_shape_is_rejected() {
+        let mut r = rng();
+        let vp = example_poly(3, &mut r);
+        let claim = vp.sum_over_hypercube();
+        let mut pt = Transcript::new(b"sumcheck");
+        let out = prove(&vp, &mut pt);
+        let mut vt = Transcript::new(b"sumcheck");
+        assert_eq!(
+            verify(claim, 4, vp.degree(), &out.proof, &mut vt).unwrap_err(),
+            SumcheckError::WrongNumberOfRounds { got: 3, expected: 4 }
+        );
+        let mut vt = Transcript::new(b"sumcheck");
+        assert!(matches!(
+            verify(claim, 3, vp.degree() + 2, &out.proof, &mut vt).unwrap_err(),
+            SumcheckError::WrongRoundPolynomialSize { .. }
+        ));
+    }
+
+    #[test]
+    fn final_subclaim_uses_interpolated_round_polynomials() {
+        // The last claim equals g_last(r_last); cross-check against a manual
+        // recomputation of the final round polynomial.
+        let mut r = rng();
+        let vp = example_poly(3, &mut r);
+        let claim = vp.sum_over_hypercube();
+        let mut pt = Transcript::new(b"sumcheck");
+        let out = prove(&vp, &mut pt);
+        let mut vt = Transcript::new(b"sumcheck");
+        let sub = verify(claim, 3, vp.degree(), &out.proof, &mut vt).unwrap();
+        let fixed = vp
+            .fix_first_variable(out.point[0])
+            .fix_first_variable(out.point[1]);
+        let last_round = round_polynomial(&fixed, vp.degree());
+        assert_eq!(
+            sub.expected_evaluation,
+            interpolate_uniform(&last_round, out.point[2])
+        );
+    }
+}

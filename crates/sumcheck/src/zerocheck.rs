@@ -1,0 +1,222 @@
+//! ZeroCheck: proving that a virtual polynomial vanishes on the whole
+//! Boolean hypercube.
+//!
+//! As described in Section 3.3.2 of the zkSpeed paper, summing `f(X)` alone
+//! is necessary but not sufficient, so the prover first obtains `μ` random
+//! challenges, builds the `eq(X, r)` table (**Build MLE**, Multifunction
+//! Tree unit) and runs SumCheck on `f(X)·eq(X, r)` with claimed sum zero.
+
+use std::sync::Arc;
+
+use zkspeed_field::Fr;
+use zkspeed_poly::{MultilinearPoly, VirtualPolynomial};
+use zkspeed_transcript::Transcript;
+
+use crate::error::SumcheckError;
+use crate::prover::{prove, ProverOutput, SumcheckProof};
+use crate::verifier::{verify, SubClaim};
+
+/// A ZeroCheck proof is a SumCheck proof over the `eq`-masked polynomial.
+pub type ZerocheckProof = SumcheckProof;
+
+/// Output of the ZeroCheck prover.
+#[derive(Clone, Debug)]
+pub struct ZerocheckProverOutput {
+    /// The underlying SumCheck output (proof, point, MLE evaluations —
+    /// including the appended `eq` MLE as the last entry).
+    pub sumcheck: ProverOutput,
+    /// The Build-MLE challenges `r` used to construct `eq(X, r)`.
+    pub build_mle_challenges: Vec<Fr>,
+}
+
+/// The sub-claim a verified ZeroCheck reduces to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZerocheckSubClaim {
+    /// The SumCheck challenge point.
+    pub point: Vec<Fr>,
+    /// The value `f(point)·eq(point, r)` must equal.
+    pub expected_evaluation: Fr,
+    /// The Build-MLE challenges `r`.
+    pub build_mle_challenges: Vec<Fr>,
+}
+
+impl ZerocheckSubClaim {
+    /// The value that `f(point)` itself must equal, i.e. the expected
+    /// evaluation divided by `eq(point, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in the (probability ≈ 0) event that `eq(point, r)` is zero.
+    pub fn expected_f_evaluation(&self) -> Fr {
+        let eq = MultilinearPoly::eq_eval(&self.point, &self.build_mle_challenges);
+        self.expected_evaluation
+            * eq.invert()
+                .expect("eq(point, r) is nonzero with overwhelming probability")
+    }
+}
+
+/// Builds the masked polynomial `f(X)·eq(X, r)` from `f` and the challenges.
+pub fn mask_with_eq(poly: &VirtualPolynomial, challenges: &[Fr]) -> VirtualPolynomial {
+    assert_eq!(
+        challenges.len(),
+        poly.num_vars(),
+        "mask_with_eq: challenge count must equal the number of variables"
+    );
+    let eq = Arc::new(MultilinearPoly::eq_mle(challenges));
+    let mut masked = VirtualPolynomial::new(poly.num_vars());
+    // Re-register the original MLEs (shared, not cloned) and append eq.
+    for mle in poly.mles() {
+        masked.add_shared_mle(mle.clone());
+    }
+    let eq_index = masked.add_shared_mle(eq);
+    for term in poly.terms() {
+        let mut indices = term.mle_indices.clone();
+        indices.push(eq_index);
+        masked.add_term(term.coefficient, indices);
+    }
+    masked
+}
+
+/// Runs the ZeroCheck prover: draws the Build-MLE challenges from the
+/// transcript, masks `poly` with `eq(X, r)` and runs SumCheck with claimed
+/// sum zero.
+///
+/// # Panics
+///
+/// Panics if `poly` has no variables or no terms.
+pub fn prove_zerocheck(
+    poly: &VirtualPolynomial,
+    transcript: &mut Transcript,
+) -> ZerocheckProverOutput {
+    let challenges = transcript.challenge_scalars(b"zerocheck-r", poly.num_vars());
+    let masked = mask_with_eq(poly, &challenges);
+    let sumcheck = prove(&masked, transcript);
+    ZerocheckProverOutput {
+        sumcheck,
+        build_mle_challenges: challenges,
+    }
+}
+
+/// Verifies a ZeroCheck proof for a `num_vars`-variate polynomial whose
+/// masked degree (original degree + 1 for the `eq` factor) is `masked_degree`.
+///
+/// # Errors
+///
+/// Returns a [`SumcheckError`] if the proof is malformed or inconsistent.
+pub fn verify_zerocheck(
+    num_vars: usize,
+    masked_degree: usize,
+    proof: &ZerocheckProof,
+    transcript: &mut Transcript,
+) -> Result<ZerocheckSubClaim, SumcheckError> {
+    let challenges = transcript.challenge_scalars(b"zerocheck-r", num_vars);
+    let sub: SubClaim = verify(Fr::zero(), num_vars, masked_degree, proof, transcript)?;
+    Ok(ZerocheckSubClaim {
+        point: sub.point,
+        expected_evaluation: sub.expected_evaluation,
+        build_mle_challenges: challenges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_000a)
+    }
+
+    fn u(x: u64) -> Fr {
+        Fr::from_u64(x)
+    }
+
+    /// Builds a virtual polynomial that vanishes on the hypercube:
+    /// f·g − g·f (trivially zero) plus h·(1−h)·c where h is boolean-valued.
+    fn vanishing_poly(num_vars: usize, rng: &mut StdRng) -> VirtualPolynomial {
+        let f = MultilinearPoly::random(num_vars, rng);
+        let g = MultilinearPoly::random(num_vars, rng);
+        // h takes only 0/1 values on the hypercube, so h·(1−h) = h − h² = 0.
+        let h = MultilinearPoly::from_fn(num_vars, |i| u(((i * 7 + 3) % 2) as u64));
+        let c = MultilinearPoly::random(num_vars, rng);
+        let mut vp = VirtualPolynomial::new(num_vars);
+        let fi = vp.add_mle(f);
+        let gi = vp.add_mle(g);
+        let hi = vp.add_mle(h);
+        let ci = vp.add_mle(c);
+        vp.add_term(u(1), vec![fi, gi]);
+        vp.add_term(-u(1), vec![gi, fi]);
+        vp.add_term(u(5), vec![hi, ci]);
+        vp.add_term(-u(5), vec![hi, hi, ci]);
+        vp
+    }
+
+    #[test]
+    fn mask_with_eq_zeroes_the_sum_for_vanishing_polynomials() {
+        let mut r = rng();
+        let vp = vanishing_poly(4, &mut r);
+        assert_eq!(vp.sum_over_hypercube(), Fr::zero());
+        let challenges: Vec<Fr> = (0..4).map(|_| Fr::random(&mut r)).collect();
+        let masked = mask_with_eq(&vp, &challenges);
+        assert_eq!(masked.sum_over_hypercube(), Fr::zero());
+        assert_eq!(masked.degree(), vp.degree() + 1);
+        // Non-vanishing polynomials masked with eq generally do NOT sum to 0.
+        let mut nonzero = VirtualPolynomial::new(4);
+        let i = nonzero.add_mle(MultilinearPoly::constant(u(1), 4));
+        nonzero.add_term(u(1), vec![i]);
+        let masked_nonzero = mask_with_eq(&nonzero, &challenges);
+        assert_ne!(masked_nonzero.sum_over_hypercube(), Fr::zero());
+    }
+
+    #[test]
+    fn honest_zerocheck_roundtrip() {
+        let mut r = rng();
+        for num_vars in 2..=5usize {
+            let vp = vanishing_poly(num_vars, &mut r);
+            let mut pt = Transcript::new(b"zerocheck");
+            let out = prove_zerocheck(&vp, &mut pt);
+            let mut vt = Transcript::new(b"zerocheck");
+            let sub = verify_zerocheck(num_vars, vp.degree() + 1, &out.sumcheck.proof, &mut vt)
+                .expect("honest zerocheck verifies");
+            assert_eq!(sub.build_mle_challenges, out.build_mle_challenges);
+            assert_eq!(sub.point, out.sumcheck.point);
+            // The sub-claim is discharged by the real polynomial evaluations.
+            let f_eval = vp.evaluate(&sub.point);
+            let eq_eval =
+                MultilinearPoly::eq_eval(&sub.point, &sub.build_mle_challenges);
+            assert_eq!(sub.expected_evaluation, f_eval * eq_eval);
+            assert_eq!(sub.expected_f_evaluation(), f_eval);
+        }
+    }
+
+    #[test]
+    fn cheating_prover_is_caught() {
+        let mut r = rng();
+        // A polynomial that does not vanish everywhere: a single random MLE.
+        let f = MultilinearPoly::random(4, &mut r);
+        let mut vp = VirtualPolynomial::new(4);
+        let fi = vp.add_mle(f);
+        vp.add_term(u(1), vec![fi]);
+        assert_ne!(vp.sum_over_hypercube(), Fr::zero());
+
+        let mut pt = Transcript::new(b"zerocheck");
+        let out = prove_zerocheck(&vp, &mut pt);
+        let mut vt = Transcript::new(b"zerocheck");
+        let result = verify_zerocheck(4, vp.degree() + 1, &out.sumcheck.proof, &mut vt);
+        assert!(result.is_err(), "non-vanishing polynomial must not verify");
+    }
+
+    #[test]
+    fn tampered_proof_is_caught() {
+        let mut r = rng();
+        let vp = vanishing_poly(3, &mut r);
+        let mut pt = Transcript::new(b"zerocheck");
+        let mut out = prove_zerocheck(&vp, &mut pt);
+        out.sumcheck.proof.round_evaluations[0][0] += u(1);
+        let mut vt = Transcript::new(b"zerocheck");
+        assert!(
+            verify_zerocheck(3, vp.degree() + 1, &out.sumcheck.proof, &mut vt).is_err()
+        );
+    }
+}

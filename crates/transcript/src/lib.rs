@@ -1,0 +1,33 @@
+//! SHA3-256 and the Fiat–Shamir transcript for the zkSpeed HyperPlonk
+//! reproduction.
+//!
+//! The crate has two layers:
+//!
+//! * [`Sha3_256`] / [`keccak_f1600`] — a from-scratch FIPS 202 implementation
+//!   (the functional counterpart of zkSpeed's SHA3 unit);
+//! * [`Transcript`] — the Fiat–Shamir transcript that turns the interactive
+//!   HyperPlonk protocol into a non-interactive one and enforces the serial
+//!   ordering of protocol steps described in Section 3.3.6 of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use zkspeed_transcript::{Sha3_256, Transcript};
+//!
+//! assert_eq!(Sha3_256::digest(b"zkSpeed").len(), 32);
+//!
+//! let mut t = Transcript::new(b"hyperplonk");
+//! t.append_message(b"witness-commitment", b"...");
+//! let alpha = t.challenge_scalar(b"alpha");
+//! let beta = t.challenge_scalar(b"beta");
+//! assert_ne!(alpha, beta);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod keccak;
+mod transcript;
+
+pub use keccak::{keccak_f1600, Sha3_256, SHA3_256_RATE};
+pub use transcript::Transcript;

@@ -1,0 +1,47 @@
+//! Run a reduced design-space exploration (the Figure 9 flow) and print the
+//! global Pareto frontier plus the design the paper highlights in Table 5.
+//!
+//! Run with: `cargo run --release --example design_space_exploration [mu]`
+
+use zkspeed_core::{explore, pareto_frontier, ChipConfig, DesignSpace, Workload};
+
+fn main() {
+    let num_vars: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let workload = Workload::standard(num_vars);
+    println!("exploring the reduced Table 2 design space at 2^{num_vars} gates…");
+
+    let space = DesignSpace::reduced();
+    let points = explore(&space, &workload);
+    let frontier = pareto_frontier(&points);
+    println!(
+        "{} designs evaluated, {} on the global Pareto frontier\n",
+        points.len(),
+        frontier.len()
+    );
+    println!(
+        "{:>12} {:>12} {:>10} {:>9} {:>9} {:>11}",
+        "Runtime(ms)", "Area(mm^2)", "BW(GB/s)", "MSM PEs", "SC PEs", "UpdatePEs"
+    );
+    for p in frontier.iter().take(20) {
+        println!(
+            "{:>12.3} {:>12.1} {:>10.0} {:>9} {:>9} {:>11}",
+            p.runtime_seconds * 1e3,
+            p.area_mm2,
+            p.config.memory.bandwidth_gbps,
+            p.config.msm.total_pes(),
+            p.config.sumcheck.pes,
+            p.config.mle_update.pes
+        );
+    }
+
+    let table5 = ChipConfig::table5_design().with_max_num_vars(num_vars);
+    let sim = table5.simulate(&workload);
+    println!(
+        "\nthe paper's highlighted design: {:.1} mm^2, {:.3} ms at 2^{num_vars} gates",
+        table5.area().total_mm2(),
+        sim.total_seconds() * 1e3
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build a small circuit, run the universal setup, prove it with
+//! HyperPlonk, verify the proof, and estimate what the zkSpeed accelerator
+//! would do with the same workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkspeed_core::{ChipConfig, CpuModel, Workload};
+use zkspeed_field::Fr;
+use zkspeed_hyperplonk::{preprocess, prove_with_report, verify, CircuitBuilder};
+use zkspeed_pcs::Srs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Express a statement as a circuit: "I know x such that x^3 + x + 5 = 35".
+    let mut builder = CircuitBuilder::new();
+    let x = builder.input(Fr::from_u64(3)); // the secret witness
+    let x2 = builder.mul(x, x);
+    let x3 = builder.mul(x2, x);
+    let t = builder.add(x3, x);
+    let five = builder.constant(Fr::from_u64(5));
+    let lhs = builder.add(t, five);
+    let target = builder.constant(Fr::from_u64(35));
+    builder.assert_equal(lhs, target);
+    let (circuit, witness) = builder.build();
+    println!("circuit: 2^{} = {} gates", circuit.num_vars(), circuit.num_gates());
+
+    // 2. Universal setup + per-circuit preprocessing.
+    let mut rng = StdRng::seed_from_u64(42);
+    let srs = Srs::setup(circuit.num_vars(), &mut rng);
+    let (pk, vk) = preprocess(circuit, &srs);
+
+    // 3. Prove and verify.
+    let (proof, report) = prove_with_report(&pk, &witness)?;
+    verify(&vk, &proof)?;
+    println!("proof verified; size ≈ {} bytes", proof.size_in_bytes());
+    println!("prover wall-clock: {:.3} ms", report.total_seconds() * 1e3);
+
+    // 4. What would zkSpeed do with a realistic problem size?
+    let chip = ChipConfig::table5_design();
+    let workload = Workload::standard(20);
+    let sim = chip.simulate(&workload);
+    println!(
+        "zkSpeed model @ 2^20 gates: {:.2} ms on a {:.0} mm^2 chip ({}x faster than the paper's CPU baseline)",
+        sim.total_seconds() * 1e3,
+        chip.area().total_mm2(),
+        (CpuModel::total_seconds(20) / sim.total_seconds()).round()
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Cross-crate integration tests: the full HyperPlonk pipeline from circuit
+//! construction through proving and verification, exercising every substrate
+//! crate together.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkspeed_field::Fr;
+use zkspeed_hyperplonk::{
+    mock_circuit, preprocess, prove, prove_with_report, verify, CircuitBuilder, ProtocolStep,
+    SparsityProfile,
+};
+use zkspeed_pcs::Srs;
+
+#[test]
+fn mock_circuit_proof_roundtrip_multiple_sizes() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for mu in [2usize, 5, 7] {
+        let srs = Srs::setup(mu, &mut rng);
+        let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut rng);
+        let (pk, vk) = preprocess(circuit, &srs);
+        let proof = prove(&pk, &witness).expect("valid witness proves");
+        verify(&vk, &proof).expect("honest proof verifies");
+        // Succinctness: proof is tiny compared to the witness.
+        let witness_bytes = 3 * (1 << mu) * 32;
+        assert!(proof.size_in_bytes() < witness_bytes.max(6000) * 4);
+    }
+}
+
+#[test]
+fn builder_circuit_proof_roundtrip() {
+    // The quickstart statement: x^3 + x + 5 = 35.
+    let mut rng = StdRng::seed_from_u64(102);
+    let mut builder = CircuitBuilder::new();
+    let x = builder.input(Fr::from_u64(3));
+    let x2 = builder.mul(x, x);
+    let x3 = builder.mul(x2, x);
+    let t = builder.add(x3, x);
+    let five = builder.constant(Fr::from_u64(5));
+    let lhs = builder.add(t, five);
+    let target = builder.constant(Fr::from_u64(35));
+    builder.assert_equal(lhs, target);
+    let (circuit, witness) = builder.build();
+    let srs = Srs::setup(circuit.num_vars(), &mut rng);
+    let (pk, vk) = preprocess(circuit, &srs);
+    let proof = prove(&pk, &witness).expect("valid witness");
+    verify(&vk, &proof).expect("valid proof");
+}
+
+#[test]
+fn srs_is_universal_across_circuits() {
+    // One setup serves two different circuits of different sizes — the
+    // universal-setup property that motivates HyperPlonk over Groth16.
+    let mut rng = StdRng::seed_from_u64(103);
+    let srs = Srs::setup(6, &mut rng);
+    for mu in [4usize, 6] {
+        let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut rng);
+        let (pk, vk) = preprocess(circuit, &srs);
+        let proof = prove(&pk, &witness).expect("valid witness");
+        verify(&vk, &proof).expect("valid proof");
+    }
+}
+
+#[test]
+fn prover_report_step_times_cover_all_steps() {
+    let mut rng = StdRng::seed_from_u64(104);
+    let mu = 6;
+    let srs = Srs::setup(mu, &mut rng);
+    let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut rng);
+    let (pk, vk) = preprocess(circuit, &srs);
+    let (proof, report) = prove_with_report(&pk, &witness).expect("valid witness");
+    verify(&vk, &proof).expect("valid proof");
+    for step in ProtocolStep::ALL {
+        assert!(report.seconds(step) > 0.0, "{:?} has zero time", step);
+    }
+    assert!(report.witness_msm.ones > 0, "sparse witness expected");
+    assert!(report.wiring_msm.fq_muls() > 0);
+    assert!(report.opening_msm.fq_muls() > 0);
+    // The witness sparsity assumption holds for the generated workload.
+    assert!(witness.sparsity() > 0.5);
+}
+
+#[test]
+fn dense_witness_circuits_also_prove() {
+    let mut rng = StdRng::seed_from_u64(105);
+    let mu = 4;
+    let srs = Srs::setup(mu, &mut rng);
+    let (circuit, witness) = mock_circuit(mu, SparsityProfile::dense(), &mut rng);
+    let (pk, vk) = preprocess(circuit, &srs);
+    let proof = prove(&pk, &witness).expect("valid witness");
+    verify(&vk, &proof).expect("valid proof");
+}

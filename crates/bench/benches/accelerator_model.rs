@@ -1,16 +1,15 @@
 //! Benchmarks of the accelerator-model layer itself: one full-chip
 //! simulation and one reduced design-space exploration sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use zkspeed_core::{explore, pareto_frontier, ChipConfig, DesignSpace, Workload};
+use zkspeed_rt::bench::Harness;
 
-fn bench_model(c: &mut Criterion) {
-    let mut group = c.benchmark_group("accelerator_model");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("accelerator_model");
     let chip = ChipConfig::table5_design();
     let workload = Workload::standard(20);
-    group.bench_function("simulate_2^20", |b| b.iter(|| chip.simulate(&workload)));
-    group.bench_function("area_power", |b| b.iter(|| (chip.area(), chip.power())));
+    h.bench("simulate_2^20", || chip.simulate(&workload));
+    h.bench("area_power", || (chip.area(), chip.power()));
     let space = DesignSpace {
         bandwidths_gbps: vec![2048.0],
         msm_points_per_pe: vec![2048],
@@ -18,11 +17,8 @@ fn bench_model(c: &mut Criterion) {
         mle_update_modmuls: vec![4],
         ..DesignSpace::reduced()
     };
-    group.bench_function("dse_sweep_small", |b| {
-        b.iter(|| pareto_frontier(&explore(&space, &workload)))
+    h.bench("dse_sweep_small", || {
+        pareto_frontier(&explore(&space, &workload))
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_model);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Benchmarks of the G1 group operations and the MSM kernels (Witness
 //! Commit / Wiring Identity workloads at reduced sizes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use zkspeed_curve::{msm, sparse_msm, G1Affine, G1Projective};
 use zkspeed_field::Fr;
+use zkspeed_rt::bench::{black_box, Harness};
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::{Rng, SeedableRng};
 
 fn setup(n: usize, rng: &mut StdRng) -> (Vec<G1Affine>, Vec<Fr>) {
     let proj: Vec<G1Projective> = (0..n).map(|_| G1Projective::random(rng)).collect();
@@ -14,25 +14,21 @@ fn setup(n: usize, rng: &mut StdRng) -> (Vec<G1Affine>, Vec<Fr>) {
     (points, scalars)
 }
 
-fn bench_curve(c: &mut Criterion) {
+fn main() {
     let mut rng = StdRng::seed_from_u64(2);
     let p = G1Projective::random(&mut rng);
     let q = G1Projective::random(&mut rng);
     let s = Fr::random(&mut rng);
 
-    let mut group = c.benchmark_group("curve");
-    group.sample_size(20);
-    group.bench_function("padd", |b| b.iter(|| p + q));
-    group.bench_function("pdbl", |b| b.iter(|| p.double()));
-    group.bench_function("scalar_mul", |b| b.iter(|| p.mul_scalar(&s)));
-    group.finish();
+    let mut h = Harness::new("curve");
+    h.bench("padd", || black_box(p) + black_box(q));
+    h.bench("pdbl", || black_box(p).double());
+    h.bench("scalar_mul", || black_box(p).mul_scalar(&s));
 
-    let mut group = c.benchmark_group("msm");
-    group.sample_size(10);
     for log_n in [8usize, 10] {
         let (points, scalars) = setup(1 << log_n, &mut rng);
-        group.bench_with_input(BenchmarkId::new("dense", 1 << log_n), &log_n, |b, _| {
-            b.iter(|| msm(&points, &scalars))
+        h.bench(format!("msm/dense/{}", 1 << log_n), || {
+            msm(&points, &scalars)
         });
         // Witness-style sparse scalars (45% zero, 45% one, 10% dense).
         let sparse: Vec<Fr> = scalars
@@ -48,12 +44,9 @@ fn bench_curve(c: &mut Criterion) {
                 }
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("sparse", 1 << log_n), &log_n, |b, _| {
-            b.iter(|| sparse_msm(&points, &sparse))
+        h.bench(format!("msm/sparse/{}", 1 << log_n), || {
+            sparse_msm(&points, &sparse)
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_curve);
-criterion_main!(benches);

@@ -1,39 +1,31 @@
 //! Microbenchmarks of the BLS12-381 field arithmetic (the "modmul" the
 //! entire zkSpeed cost model is denominated in).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zkspeed_field::{batch_invert, Fq, Fr};
+use zkspeed_rt::bench::{black_box, Harness};
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::SeedableRng;
 
-fn bench_field_ops(c: &mut Criterion) {
+fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let a = Fr::random(&mut rng);
     let b = Fr::random(&mut rng);
     let x = Fq::random(&mut rng);
     let y = Fq::random(&mut rng);
+    let vals: Vec<Fr> = (0..64).map(|_| Fr::random(&mut rng)).collect();
 
-    let mut group = c.benchmark_group("field");
-    group.bench_function("fr_mul_255b", |bench| bench.iter(|| a * b));
-    group.bench_function("fq_mul_381b", |bench| bench.iter(|| x * y));
-    group.bench_function("fr_invert_beea", |bench| bench.iter(|| a.invert().unwrap()));
-    group.bench_function("fr_invert_fermat", |bench| {
-        bench.iter(|| a.invert_fermat().unwrap())
+    let mut h = Harness::new("field");
+    h.bench("fr_mul_255b", || black_box(a) * black_box(b));
+    h.bench("fq_mul_381b", || black_box(x) * black_box(y));
+    h.bench("fr_invert_beea", || black_box(a).invert().unwrap());
+    h.bench("fr_invert_fermat", || black_box(a).invert_fermat().unwrap());
+    // Reuse one scratch buffer so each iteration only pays a 2 KiB copy on
+    // top of the inversion, not an allocation.
+    let mut scratch = vals.clone();
+    h.bench("fr_batch_invert_64", || {
+        scratch.copy_from_slice(&vals);
+        batch_invert(&mut scratch);
+        scratch[0]
     });
-    group.bench_function("fr_batch_invert_64", |bench| {
-        let vals: Vec<Fr> = (0..64).map(|_| Fr::random(&mut rng)).collect();
-        bench.iter_batched(
-            || vals.clone(),
-            |mut v| batch_invert(&mut v),
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_field_ops
-}
-criterion_main!(benches);

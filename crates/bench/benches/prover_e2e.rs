@@ -1,30 +1,26 @@
 //! End-to-end HyperPlonk prover and verifier benchmarks (the CPU baseline
 //! this repository measures directly, at laptop-scale problem sizes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zkspeed_hyperplonk::{mock_circuit, preprocess, prove, verify, SparsityProfile};
 use zkspeed_pcs::Srs;
+use zkspeed_rt::bench::Harness;
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::SeedableRng;
 
-fn bench_prover(c: &mut Criterion) {
+fn main() {
     let mut rng = StdRng::seed_from_u64(4);
-    let mut group = c.benchmark_group("hyperplonk");
-    group.sample_size(10);
+    let mut h = Harness::new("hyperplonk");
     for num_vars in [6usize, 8] {
         let srs = Srs::setup(num_vars, &mut rng);
         let (circuit, witness) = mock_circuit(num_vars, SparsityProfile::paper_default(), &mut rng);
         let (pk, vk) = preprocess(circuit, &srs);
-        group.bench_with_input(BenchmarkId::new("prove", 1 << num_vars), &num_vars, |b, _| {
-            b.iter(|| prove(&pk, &witness).expect("valid witness"))
+        h.bench(format!("prove/{}", 1 << num_vars), || {
+            prove(&pk, &witness).expect("valid witness")
         });
         let proof = prove(&pk, &witness).expect("valid witness");
-        group.bench_with_input(BenchmarkId::new("verify", 1 << num_vars), &num_vars, |b, _| {
-            b.iter(|| verify(&vk, &proof).expect("valid proof"))
+        h.bench(format!("verify/{}", 1 << num_vars), || {
+            verify(&vk, &proof).expect("valid proof")
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_prover);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Benchmarks of the SumCheck kernels: Build MLE, a ZeroCheck-shaped round,
 //! the MLE Update, and a full ZeroCheck proof.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zkspeed_field::Fr;
 use zkspeed_poly::{MultilinearPoly, VirtualPolynomial};
+use zkspeed_rt::bench::Harness;
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::SeedableRng;
 use zkspeed_sumcheck::{prove_zerocheck, round_polynomial};
 use zkspeed_transcript::Transcript;
 
@@ -25,40 +25,28 @@ fn gate_shaped_poly(num_vars: usize, rng: &mut StdRng) -> VirtualPolynomial {
     vp
 }
 
-fn bench_sumcheck(c: &mut Criterion) {
+fn main() {
     let mut rng = StdRng::seed_from_u64(3);
+    let mut h = Harness::new("sumcheck");
 
-    let mut group = c.benchmark_group("sumcheck");
-    group.sample_size(10);
     for num_vars in [10usize, 12] {
         let point: Vec<Fr> = (0..num_vars).map(|_| Fr::random(&mut rng)).collect();
-        group.bench_with_input(BenchmarkId::new("build_mle", num_vars), &num_vars, |b, _| {
-            b.iter(|| MultilinearPoly::eq_mle(&point))
+        h.bench(format!("build_mle/{num_vars}"), || {
+            MultilinearPoly::eq_mle(&point)
         });
         let table = MultilinearPoly::random(num_vars, &mut rng);
         let r = Fr::random(&mut rng);
-        group.bench_with_input(BenchmarkId::new("mle_update", num_vars), &num_vars, |b, _| {
-            b.iter(|| table.fix_first_variable(r))
+        h.bench(format!("mle_update/{num_vars}"), || {
+            table.fix_first_variable(r)
         });
         let vp = gate_shaped_poly(num_vars, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("zerocheck_round", num_vars),
-            &num_vars,
-            |b, _| b.iter(|| round_polynomial(&vp, 4)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("zerocheck_full", num_vars),
-            &num_vars,
-            |b, _| {
-                b.iter(|| {
-                    let mut t = Transcript::new(b"bench");
-                    prove_zerocheck(&vp, &mut t)
-                })
-            },
-        );
+        h.bench(format!("zerocheck_round/{num_vars}"), || {
+            round_polynomial(&vp, 4)
+        });
+        h.bench(format!("zerocheck_full/{num_vars}"), || {
+            let mut t = Transcript::new(b"bench");
+            prove_zerocheck(&vp, &mut t)
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_sumcheck);
-criterion_main!(benches);

@@ -8,7 +8,10 @@ fn breakdown(label: &str, config: &ChipConfig, workload: &Workload) {
     section(label);
     let area = config.area();
     let total = area.total_mm2();
-    println!("total area {total:.1} mm^2, bandwidth {:.0} GB/s", config.memory.bandwidth_gbps);
+    println!(
+        "total area {total:.1} mm^2, bandwidth {:.0} GB/s",
+        config.memory.bandwidth_gbps
+    );
     println!(
         "  area %: MSM {:.1}  SumCheck {:.1}  MLE-Combine {:.1}  MTU {:.1}  on-chip mem {:.1}  HBM PHY {:.1}  other {:.1}",
         pct(area.msm / total),
@@ -37,7 +40,12 @@ fn breakdown(label: &str, config: &ChipConfig, workload: &Workload) {
 fn main() {
     banner("Figure 10 reproduction: area & runtime breakdown of Pareto points A-D");
     let workload = Workload::standard(20);
-    for (label, bw) in [("A (512 GB/s)", 512.0), ("B (1 TB/s)", 1024.0), ("C (2 TB/s)", 2048.0), ("D (4 TB/s)", 4096.0)] {
+    for (label, bw) in [
+        ("A (512 GB/s)", 512.0),
+        ("B (1 TB/s)", 1024.0),
+        ("C (2 TB/s)", 2048.0),
+        ("D (4 TB/s)", 4096.0),
+    ] {
         let space = DesignSpace::reduced_at_bandwidth(bw);
         let frontier = pareto_frontier(&explore(&space, &workload));
         // Highest-performing design at this bandwidth = first frontier entry.

@@ -16,7 +16,10 @@ fn main() {
     let pes = [1usize, 2, 4, 8, 16];
     let bws = [512.0, 1024.0, 2048.0, 4096.0];
     let study = scaling_study(&workload, &pes, &bws);
-    for (name, points) in [("MSM kernels", &study.msm), ("SumCheck kernels", &study.sumcheck)] {
+    for (name, points) in [
+        ("MSM kernels", &study.msm),
+        ("SumCheck kernels", &study.sumcheck),
+    ] {
         println!("\n{name} (speedup vs 1 PE @ 512 GB/s)");
         print!("{:>10}", "PEs");
         for bw in bws {

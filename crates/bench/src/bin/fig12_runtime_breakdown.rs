@@ -23,10 +23,21 @@ fn main() {
     let chip = ChipConfig::table5_design();
     let sim = chip.simulate(&Workload::standard(20));
     let t = sim.total_seconds();
-    let names = ["Witness MSMs", "Gate Identity", "Wire Identity", "Batch Evals", "Batch Evals & Poly Open"];
+    let names = [
+        "Witness MSMs",
+        "Gate Identity",
+        "Wire Identity",
+        "Batch Evals",
+        "Batch Evals & Poly Open",
+    ];
     println!("total {:.3} ms  (paper: 11.405 ms)", ms(t));
     for (name, sec) in names.iter().zip(sim.step_seconds.iter()) {
-        println!("  {:<24} {:>8.3} ms  ({:>5.1}%)", name, ms(*sec), pct(sec / t));
+        println!(
+            "  {:<24} {:>8.3} ms  ({:>5.1}%)",
+            name,
+            ms(*sec),
+            pct(sec / t)
+        );
     }
     println!();
     println!("Expected shape (paper 12b): Wire Identity ~48.5%, Batch Evals & Poly Open ~35.4%,");

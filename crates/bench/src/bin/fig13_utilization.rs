@@ -10,7 +10,10 @@ fn main() {
     let sim = chip.simulate(&Workload::standard(20));
     let util = sim.utilization();
     let shares = chip.area().compute_area_shares();
-    println!("{:<22} {:>14} {:>16}", "Unit", "Utilization", "Area share (AU)");
+    println!(
+        "{:<22} {:>14} {:>16}",
+        "Unit", "Utilization", "Area share (AU)"
+    );
     for (i, unit) in Unit::ALL.iter().enumerate() {
         println!(
             "{:<22} {:>13.1}% {:>15.2}%",

@@ -35,20 +35,44 @@ fn main() {
         let r = speedup_from_simulation(&sim, mu);
         println!(
             "{:>6} {:>10.1} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
-            mu, pick.area_mm2, r.total, r.witness_msm, r.wiring_msm, r.polyopen_msm,
-            r.zerocheck, r.permcheck, r.opencheck
+            mu,
+            pick.area_mm2,
+            r.total,
+            r.witness_msm,
+            r.wiring_msm,
+            r.polyopen_msm,
+            r.zerocheck,
+            r.permcheck,
+            r.opencheck
         );
         totals.push(r.total);
-        for (v, bucket) in [r.witness_msm, r.wiring_msm, r.polyopen_msm, r.zerocheck, r.permcheck, r.opencheck]
-            .iter()
-            .zip(per_kernel.iter_mut())
+        for (v, bucket) in [
+            r.witness_msm,
+            r.wiring_msm,
+            r.polyopen_msm,
+            r.zerocheck,
+            r.permcheck,
+            r.opencheck,
+        ]
+        .iter()
+        .zip(per_kernel.iter_mut())
         {
             bucket.push(*v);
         }
     }
     println!();
-    println!("geomean total speedup: {:.0}x  (paper: 801x; >=2 orders of magnitude expected)", geomean(&totals));
-    let names = ["Witness MSMs", "Wiring MSMs", "PolyOpen MSMs", "ZeroCheck", "PermCheck", "OpenCheck"];
+    println!(
+        "geomean total speedup: {:.0}x  (paper: 801x; >=2 orders of magnitude expected)",
+        geomean(&totals)
+    );
+    let names = [
+        "Witness MSMs",
+        "Wiring MSMs",
+        "PolyOpen MSMs",
+        "ZeroCheck",
+        "PermCheck",
+        "OpenCheck",
+    ];
     for (name, vals) in names.iter().zip(per_kernel.iter()) {
         println!("geomean {name}: {:.0}x", geomean(vals));
     }

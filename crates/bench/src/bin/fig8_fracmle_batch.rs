@@ -12,7 +12,10 @@ fn main() {
     );
     for k in 1..=8usize {
         let b = 1usize << k;
-        let cfg = FracMleConfig { pes: 1, batch_size: b };
+        let cfg = FracMleConfig {
+            pes: 1,
+            batch_size: b,
+        };
         println!(
             "{:>12} {:>20.0} {:>16} {:>14.2}",
             b,

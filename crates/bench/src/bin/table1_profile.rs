@@ -7,10 +7,10 @@
 //! modmul counts are also extrapolated linearly to 2^20 (every kernel is
 //! O(n) in the gate count).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zkspeed_bench::{banner, section};
 use zkspeed_hyperplonk::profile_kernels;
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::SeedableRng;
 
 fn main() {
     let num_vars: usize = std::env::args()

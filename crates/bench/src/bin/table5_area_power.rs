@@ -1,15 +1,40 @@
 //! Regenerates Table 5: area and power breakdown of the highlighted 366 mm^2
 //! zkSpeed design.
+//!
+//! Pass `--json` to emit the configuration and both breakdowns as a stable
+//! machine-readable JSON document instead of the human-readable table.
 
 use zkspeed_bench::banner;
 use zkspeed_core::ChipConfig;
+use zkspeed_rt::{JsonValue, ToJson};
 
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        let chip = ChipConfig::table5_design();
+        let doc = JsonValue::Object(vec![
+            ("config".into(), chip.to_json()),
+            ("area_mm2".into(), chip.area().to_json()),
+            ("power_w".into(), chip.power().to_json()),
+            (
+                "total_area_mm2".into(),
+                JsonValue::Float(chip.area().total_mm2()),
+            ),
+            (
+                "total_power_w".into(),
+                JsonValue::Float(chip.power().total_w()),
+            ),
+        ]);
+        println!("{}", doc.pretty());
+        return;
+    }
     banner("Table 5 reproduction: area and power of the highlighted design");
     let chip = ChipConfig::table5_design();
     let a = chip.area();
     let p = chip.power();
-    println!("{:<28} {:>12} {:>12} {:>12} {:>12}", "Module", "Area (mm^2)", "Paper", "Power (W)", "Paper");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>12}",
+        "Module", "Area (mm^2)", "Paper", "Power (W)", "Paper"
+    );
     let rows: [(&str, f64, f64, f64, f64); 8] = [
         ("MSM (16 PEs)", a.msm, 105.64, p.msm, 76.19),
         ("SumCheck (2 PEs)", a.sumcheck, 24.96, p.sumcheck, 5.38),
@@ -23,8 +48,35 @@ fn main() {
     for (name, area, parea, power, ppower) in rows {
         println!("{name:<28} {area:>12.2} {parea:>12.2} {power:>12.2} {ppower:>12.2}");
     }
-    println!("{:<28} {:>12.2} {:>12.2} {:>12.2} {:>12.2}", "Total Compute", a.compute_mm2(), 163.53, p.msm + p.sumcheck + p.construct_nd + p.fracmle + p.mle_combine + p.mle_update + p.mtu + p.other, 87.68);
-    println!("{:<28} {:>12.2} {:>12.2} {:>12.2} {:>12.2}", "SRAM", a.sram, 143.73, p.sram, 19.60);
-    println!("{:<28} {:>12.2} {:>12.2} {:>12.2} {:>12.2}", "HBM3 (2 PHYs)", a.hbm_phy, 59.20, p.memory, 63.60);
-    println!("{:<28} {:>12.2} {:>12.2} {:>12.2} {:>12.2}", "Total", a.total_mm2(), 366.46, p.total_w(), 170.88);
+    println!(
+        "{:<28} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+        "Total Compute",
+        a.compute_mm2(),
+        163.53,
+        p.msm
+            + p.sumcheck
+            + p.construct_nd
+            + p.fracmle
+            + p.mle_combine
+            + p.mle_update
+            + p.mtu
+            + p.other,
+        87.68
+    );
+    println!(
+        "{:<28} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+        "SRAM", a.sram, 143.73, p.sram, 19.60
+    );
+    println!(
+        "{:<28} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+        "HBM3 (2 PHYs)", a.hbm_phy, 59.20, p.memory, 63.60
+    );
+    println!(
+        "{:<28} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+        "Total",
+        a.total_mm2(),
+        366.46,
+        p.total_w(),
+        170.88
+    );
 }

@@ -2,8 +2,6 @@
 //! baseline (Figures 12 and 14, Table 3), PE/bandwidth scaling (Figure 11),
 //! and the cross-accelerator comparison (Table 4).
 
-use serde::{Deserialize, Serialize};
-
 use zkspeed_hw::{MsmUnitConfig, SumcheckUnitConfig};
 
 use crate::chip::{ChipConfig, ChipSimulation};
@@ -12,7 +10,7 @@ use crate::workload::Workload;
 
 /// Speedups of the accelerator over the CPU baseline, total and per kernel
 /// (the Figure 14 grouping).
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 #[allow(missing_docs)]
 pub struct SpeedupReport {
     pub num_vars: usize,
@@ -60,7 +58,7 @@ pub fn geomean(values: &[f64]) -> f64 {
 }
 
 /// One point of the Figure 11 scaling study.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct ScalingPoint {
     /// Number of PEs of the scaled unit.
     pub pes: usize,
@@ -72,7 +70,7 @@ pub struct ScalingPoint {
 
 /// The Figure 11 study: how MSM-kernel and SumCheck-kernel latencies scale
 /// with PE count and bandwidth, normalized to one PE at 512 GB/s.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScalingStudy {
     /// MSM-kernel scaling points.
     pub msm: Vec<ScalingPoint>,
@@ -160,7 +158,7 @@ pub fn scaling_study(
 }
 
 /// One row of the Table 4 cross-accelerator comparison.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AcceleratorComparison {
     /// Accelerator name.
     pub name: &'static str,
@@ -324,3 +322,35 @@ mod tests {
         assert!((zkspeed.chip_area_mm2 - 366.0).abs() < 80.0);
     }
 }
+
+zkspeed_rt::impl_to_json_struct!(SpeedupReport {
+    num_vars,
+    cpu_seconds,
+    zkspeed_seconds,
+    total,
+    witness_msm,
+    wiring_msm,
+    polyopen_msm,
+    zerocheck,
+    permcheck,
+    opencheck,
+});
+zkspeed_rt::impl_to_json_struct!(ScalingPoint {
+    pes,
+    bandwidth_gbps,
+    speedup,
+});
+zkspeed_rt::impl_to_json_struct!(ScalingStudy { msm, sumcheck });
+zkspeed_rt::impl_to_json_struct!(AcceleratorComparison {
+    name,
+    protocol,
+    main_kernels,
+    encoding,
+    proof_size_bytes,
+    setup,
+    cpu_prover_seconds,
+    hw_prover_ms,
+    verifier_ms,
+    chip_area_mm2,
+    power_w,
+});

@@ -2,8 +2,6 @@
 //! the protocol scheduler that maps the five HyperPlonk steps onto the
 //! accelerator units under a bandwidth constraint (Section 5 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use zkspeed_hw::params::{power_density, CLOCK_HZ, INTERCONNECT_FRACTION};
 use zkspeed_hw::{
     ConstructNdConfig, FracMleConfig, MemoryConfig, MleCombineConfig, MleUpdateUnitConfig,
@@ -19,7 +17,7 @@ const POINT_BYTES: f64 = 96.0;
 
 /// The accelerator units, in the order used for utilization reporting
 /// (Figure 13).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Unit {
     /// MSM unit.
     Msm,
@@ -69,7 +67,7 @@ impl Unit {
 
 /// A complete zkSpeed chip configuration (every Table 2 knob plus the
 /// memory system and the maximum supported problem size).
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct ChipConfig {
     /// MSM unit configuration.
     pub msm: MsmUnitConfig,
@@ -140,8 +138,7 @@ impl ChipConfig {
 
     /// Area breakdown of this configuration.
     pub fn area(&self) -> AreaBreakdown {
-        let msm =
-            self.msm.datapath_area_mm2() + SramModel::area_mm2(self.msm.local_sram_bytes());
+        let msm = self.msm.datapath_area_mm2() + SramModel::area_mm2(self.msm.local_sram_bytes());
         let sumcheck = self.sumcheck.area_mm2();
         let mle_update = self.mle_update.area_mm2();
         let mtu = self.mtu.area_mm2();
@@ -327,7 +324,7 @@ impl ChipConfig {
 }
 
 /// Per-unit area breakdown in mm².
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 #[allow(missing_docs)]
 pub struct AreaBreakdown {
     pub msm: f64,
@@ -385,7 +382,7 @@ impl AreaBreakdown {
 }
 
 /// Per-unit average power breakdown in watts.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 #[allow(missing_docs)]
 pub struct PowerBreakdown {
     pub msm: f64,
@@ -417,7 +414,7 @@ impl PowerBreakdown {
 }
 
 /// Per-kernel accelerator latencies (the Figure 14 kernel grouping).
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 #[allow(missing_docs)]
 pub struct KernelSeconds {
     pub witness_msm: f64,
@@ -430,7 +427,7 @@ pub struct KernelSeconds {
 }
 
 /// The result of simulating one proof generation on one chip configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ChipSimulation {
     /// Problem size `μ`.
     pub num_vars: usize,
@@ -561,8 +558,69 @@ mod tests {
         assert!(small.power().total_w() < big.power().total_w());
         // A 1-PE MSM is much slower on the MSM-heavy kernels.
         let w = Workload::standard(18);
-        assert!(
-            small.simulate(&w).kernels.wiring_msm > 4.0 * big.simulate(&w).kernels.wiring_msm
-        );
+        assert!(small.simulate(&w).kernels.wiring_msm > 4.0 * big.simulate(&w).kernels.wiring_msm);
     }
 }
+
+zkspeed_rt::impl_to_json_enum!(Unit {
+    Msm,
+    Sumcheck,
+    MleUpdate,
+    MultifunctionTree,
+    ConstructNd,
+    FracMle,
+    MleCombine,
+    Sha3,
+});
+zkspeed_rt::impl_to_json_struct!(ChipConfig {
+    msm,
+    sumcheck,
+    mle_update,
+    fracmle,
+    mtu,
+    memory,
+    construct_nd,
+    mle_combine,
+    sha3,
+    max_num_vars,
+});
+zkspeed_rt::impl_to_json_struct!(AreaBreakdown {
+    msm,
+    sumcheck,
+    mle_update,
+    mtu,
+    construct_nd,
+    fracmle,
+    mle_combine,
+    sha3,
+    interconnect,
+    sram,
+    hbm_phy,
+});
+zkspeed_rt::impl_to_json_struct!(PowerBreakdown {
+    msm,
+    sumcheck,
+    mle_update,
+    mtu,
+    construct_nd,
+    fracmle,
+    mle_combine,
+    other,
+    sram,
+    memory,
+});
+zkspeed_rt::impl_to_json_struct!(KernelSeconds {
+    witness_msm,
+    wiring_msm,
+    polyopen_msm,
+    zerocheck,
+    permcheck,
+    opencheck,
+    final_eval,
+});
+zkspeed_rt::impl_to_json_struct!(ChipSimulation {
+    num_vars,
+    step_seconds,
+    kernels,
+    busy,
+});

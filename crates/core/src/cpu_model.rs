@@ -11,8 +11,6 @@
 //! The functional Rust prover in `zkspeed-hyperplonk` provides a second,
 //! measured baseline at small sizes; `zkspeed-bench` compares the two.
 
-use serde::{Deserialize, Serialize};
-
 /// Table 3 anchors: (μ, end-to-end CPU milliseconds).
 const ANCHORS: [(usize, f64); 5] = [
     (17, 1429.0),
@@ -23,7 +21,7 @@ const ANCHORS: [(usize, f64); 5] = [
 ];
 
 /// Figure 12a: CPU runtime share per kernel at 2^20 gates.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct CpuKernelShares {
     /// Sparse (witness) MSMs.
     pub sparse_msms: f64,
@@ -76,7 +74,7 @@ impl CpuKernelShares {
 }
 
 /// Per-kernel CPU times in seconds (Figure 14 kernel grouping).
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 #[allow(missing_docs)]
 pub struct CpuKernelSeconds {
     pub witness_msm: f64,
@@ -102,7 +100,7 @@ impl CpuKernelSeconds {
 }
 
 /// The calibrated CPU baseline model.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct CpuModel;
 
 impl CpuModel {
@@ -146,8 +144,7 @@ impl CpuModel {
             zerocheck: total * s.gate_identity,
             permcheck: total * (s.permcheck + s.create_permcheck_mles),
             opencheck: total * s.opencheck,
-            other: total * (s.batch_evals + s.mle_combine)
-                + total * (1.0 - s.total()),
+            other: total * (s.batch_evals + s.mle_combine) + total * (1.0 - s.total()),
         }
     }
 
@@ -194,3 +191,25 @@ mod tests {
         assert!(msm_time / kernels.total() > 0.7);
     }
 }
+
+zkspeed_rt::impl_to_json_struct!(CpuKernelShares {
+    sparse_msms,
+    gate_identity,
+    create_permcheck_mles,
+    permcheck_dense_msms,
+    permcheck,
+    batch_evals,
+    mle_combine,
+    opencheck,
+    polyopen_dense_msms,
+});
+zkspeed_rt::impl_to_json_struct!(CpuKernelSeconds {
+    witness_msm,
+    wiring_msm,
+    polyopen_msm,
+    zerocheck,
+    permcheck,
+    opencheck,
+    other,
+});
+zkspeed_rt::impl_to_json_struct!(CpuModel {});

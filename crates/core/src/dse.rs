@@ -6,8 +6,6 @@
 //! the sweep, [`explore`] evaluates it against a workload, and
 //! [`pareto_frontier`] extracts the non-dominated points.
 
-use serde::{Deserialize, Serialize};
-
 use zkspeed_hw::{
     AggregationSchedule, FracMleConfig, MleUpdateUnitConfig, MsmUnitConfig, SumcheckUnitConfig,
 };
@@ -16,7 +14,7 @@ use crate::chip::ChipConfig;
 use crate::workload::Workload;
 
 /// A parameter sweep over the zkSpeed design knobs (Table 2).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DesignSpace {
     /// MSM core counts to explore.
     pub msm_cores: Vec<usize>,
@@ -148,7 +146,7 @@ impl DesignSpace {
 }
 
 /// One evaluated design point.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DesignPoint {
     /// The chip configuration.
     pub config: ChipConfig,
@@ -240,7 +238,10 @@ mod tests {
 
     #[test]
     fn design_space_sizes() {
-        assert_eq!(DesignSpace::paper().len(), 2 * 5 * 4 * 5 * 3 * 5 * 11 * 5 * 7);
+        assert_eq!(
+            DesignSpace::paper().len(),
+            2 * 5 * 4 * 5 * 3 * 5 * 11 * 5 * 7
+        );
         assert!(!DesignSpace::reduced().is_empty());
         assert!(DesignSpace::reduced().len() < DesignSpace::paper().len());
         let tiny = tiny_space();
@@ -301,3 +302,20 @@ mod tests {
         assert!(pick_iso_area(&[], 100.0).is_none());
     }
 }
+
+zkspeed_rt::impl_to_json_struct!(DesignSpace {
+    msm_cores,
+    msm_pes_per_core,
+    msm_window_bits,
+    msm_points_per_pe,
+    fracmle_pes,
+    sumcheck_pes,
+    mle_update_pes,
+    mle_update_modmuls,
+    bandwidths_gbps,
+});
+zkspeed_rt::impl_to_json_struct!(DesignPoint {
+    config,
+    area_mm2,
+    runtime_seconds,
+});

@@ -1,10 +1,8 @@
 //! Workload descriptions consumed by the chip model.
 
-use serde::{Deserialize, Serialize};
-
 /// A HyperPlonk proving workload, characterized (as in Section 6.2 of the
 /// paper) by its problem size and its witness sparsity statistics.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Workload {
     /// `μ`: the circuit has `2^μ` gates.
     pub num_vars: usize,
@@ -54,3 +52,9 @@ mod tests {
         assert!((d as f64 / (1 << 20) as f64 - 0.10).abs() < 0.01);
     }
 }
+
+zkspeed_rt::impl_to_json_struct!(Workload {
+    num_vars,
+    zero_fraction,
+    one_fraction,
+});

@@ -16,8 +16,8 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
-use rand::Rng;
 use zkspeed_field::{Fq, Fr};
+use zkspeed_rt::Rng;
 
 /// Number of Fq multiplications in one complete projective point addition
 /// (Renes–Costello–Batina Algorithm 7 for a = 0: 12 mul + 2 mul-by-3b).
@@ -244,34 +244,34 @@ impl G1Projective {
         let mut t2 = z1 * z2;
         let mut t3 = x1 + y1;
         let mut t4 = x2 + y2;
-        t3 = t3 * t4;
+        t3 *= t4;
         t4 = t0 + t1;
-        t3 = t3 - t4;
+        t3 -= t4;
         t4 = y1 + z1;
         let mut x3 = y2 + z2;
-        t4 = t4 * x3;
+        t4 *= x3;
         x3 = t1 + t2;
-        t4 = t4 - x3;
+        t4 -= x3;
         x3 = x1 + z1;
         let mut y3 = x2 + z2;
-        x3 = x3 * y3;
+        x3 *= y3;
         y3 = t0 + t2;
         y3 = x3 - y3;
         x3 = t0 + t0;
         t0 = x3 + t0;
         t2 = b3 * t2;
         let mut z3 = t1 + t2;
-        t1 = t1 - t2;
+        t1 -= t2;
         y3 = b3 * y3;
         x3 = t4 * y3;
         t2 = t3 * t1;
         x3 = t2 - x3;
-        y3 = y3 * t0;
-        t1 = t1 * z3;
+        y3 *= t0;
+        t1 *= z3;
         y3 = t1 + y3;
-        t0 = t0 * t3;
-        z3 = z3 * t4;
-        z3 = z3 + t0;
+        t0 *= t3;
+        z3 *= t4;
+        z3 += t0;
 
         Self {
             x: x3,
@@ -304,7 +304,7 @@ impl G1Projective {
         z3 = t1 * z3;
         t1 = t2 + t2;
         t2 = t1 + t2;
-        t0 = t0 - t2;
+        t0 -= t2;
         y3 = t0 * y3;
         y3 = x3 + y3;
         t1 = x * y;
@@ -440,8 +440,8 @@ impl Sum for G1Projective {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0003)
@@ -505,10 +505,7 @@ mod tests {
         let a = Fr::random(&mut r);
         let b = Fr::random(&mut r);
         assert_eq!(g.mul_scalar(&(a + b)), g.mul_scalar(&a) + g.mul_scalar(&b));
-        assert_eq!(
-            g.mul_scalar(&(a * b)),
-            g.mul_scalar(&a).mul_scalar(&b)
-        );
+        assert_eq!(g.mul_scalar(&(a * b)), g.mul_scalar(&a).mul_scalar(&b));
     }
 
     #[test]
@@ -534,8 +531,7 @@ mod tests {
     #[test]
     fn batch_to_affine_matches_individual() {
         let mut r = rng();
-        let mut points: Vec<G1Projective> =
-            (0..9).map(|_| G1Projective::random(&mut r)).collect();
+        let mut points: Vec<G1Projective> = (0..9).map(|_| G1Projective::random(&mut r)).collect();
         points.push(G1Projective::identity());
         let batch = G1Projective::batch_to_affine(&points);
         for (p, a) in points.iter().zip(batch.iter()) {

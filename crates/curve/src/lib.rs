@@ -20,8 +20,8 @@
 //! ```
 //! use zkspeed_curve::{msm, G1Affine, G1Projective};
 //! use zkspeed_field::{Field, Fr};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use zkspeed_rt::rngs::StdRng;
+//! use zkspeed_rt::SeedableRng;
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let points: Vec<G1Affine> = (0..8)

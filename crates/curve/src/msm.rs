@@ -40,21 +40,12 @@ impl Default for Aggregation {
 }
 
 /// Configuration for a Pippenger MSM run.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, Default)]
 pub struct MsmConfig {
     /// Window (bucket index) size in bits.
     pub window_bits: usize,
     /// Bucket aggregation schedule.
     pub aggregation: Aggregation,
-}
-
-impl Default for MsmConfig {
-    fn default() -> Self {
-        Self {
-            window_bits: 0, // 0 = auto-select from problem size
-            aggregation: Aggregation::default(),
-        }
-    }
 }
 
 /// Operation counts of an MSM execution, used by the zkSpeed hardware model
@@ -179,25 +170,53 @@ pub fn msm_with_config(
     let num_windows = num_bits.div_ceil(w);
     let num_buckets = (1usize << w) - 1;
 
+    // Each window's bucket accumulation and aggregation is independent of
+    // every other window, so the windows fan out over `ZKSPEED_THREADS`
+    // scoped workers (the serial combine below consumes them in window
+    // order, so results and operation counts are bit-identical to a serial
+    // run; with one thread this is exactly the serial schedule). Workers
+    // measure their thread-local modmul delta, rewind it, and hand it back
+    // so the profiling counters see the same totals at any thread count.
+    // MSMs below PAR_MIN_POINTS (the tail of the halving-MSM sequence, tiny
+    // commits) stay on the calling thread: thread-spawn overhead would dwarf
+    // the microseconds of useful work per window.
+    const PAR_MIN_POINTS: usize = 256;
+    let compute_window = |window: usize| {
+        let ((window_sum, bucket_adds, agg_adds), muls) = zkspeed_field::measure_modmuls(|| {
+            let mut buckets = vec![G1Projective::identity(); num_buckets];
+            let mut bucket_adds = 0u64;
+            for (limbs, point) in scalar_limbs.iter().zip(points.iter()) {
+                let idx = extract_window(limbs, window * w, w);
+                if idx != 0 {
+                    buckets[idx - 1] = buckets[idx - 1].add_affine(point);
+                    bucket_adds += 1;
+                }
+            }
+            let (window_sum, agg_adds) = aggregate_buckets(&buckets, config.aggregation);
+            (window_sum, bucket_adds, agg_adds)
+        });
+        (window_sum, bucket_adds, agg_adds, muls)
+    };
+    let window_sums: Vec<(G1Projective, u64, u64, zkspeed_field::ModmulCount)> =
+        if points.len() >= PAR_MIN_POINTS {
+            zkspeed_rt::par::map_indices(num_windows, compute_window)
+        } else {
+            (0..num_windows).map(compute_window).collect()
+        };
+
     let mut acc = G1Projective::identity();
-    for window in (0..num_windows).rev() {
+    for (window, &(window_sum, bucket_adds, agg_adds, muls)) in window_sums.iter().enumerate().rev()
+    {
         if window != num_windows - 1 {
             for _ in 0..w {
                 acc = acc.double();
                 stats.doublings += 1;
             }
         }
-        let mut buckets = vec![G1Projective::identity(); num_buckets];
-        for (limbs, point) in scalar_limbs.iter().zip(points.iter()) {
-            let idx = extract_window(limbs, window * w, w);
-            if idx != 0 {
-                buckets[idx - 1] = buckets[idx - 1].add_affine(point);
-                stats.bucket_adds += 1;
-            }
-        }
-        let (window_sum, agg_adds) = aggregate_buckets(&buckets, config.aggregation);
+        stats.bucket_adds += bucket_adds;
         stats.aggregation_adds += agg_adds;
-        acc = acc + window_sum;
+        zkspeed_field::add_modmul_count(muls);
+        acc += window_sum;
         stats.combine_adds += 1;
     }
     (acc, stats)
@@ -219,8 +238,8 @@ fn aggregate_serial(buckets: &[G1Projective]) -> (G1Projective, u64) {
     let mut total = G1Projective::identity();
     let mut adds = 0u64;
     for b in buckets.iter().rev() {
-        running = running + *b;
-        total = total + running;
+        running += *b;
+        total += running;
         adds += 2;
     }
     (total, adds)
@@ -246,8 +265,8 @@ fn aggregate_grouped(buckets: &[G1Projective], group_size: usize) -> (G1Projecti
         let mut weighted = G1Projective::identity();
         // Highest j first so the running sum accumulates the right weights.
         for b in chunk.iter().rev() {
-            running = running + *b;
-            weighted = weighted + running;
+            running += *b;
+            weighted += running;
             adds += 2;
         }
         inner_weighted.push(weighted);
@@ -258,8 +277,8 @@ fn aggregate_grouped(buckets: &[G1Projective], group_size: usize) -> (G1Projecti
     let mut running = G1Projective::identity();
     let mut cross = G1Projective::identity();
     for t in group_totals.iter().skip(1).rev() {
-        running = running + *t;
-        cross = cross + running;
+        running += *t;
+        cross += running;
         adds += 2;
     }
     // Multiply the cross-group sum by s via double-and-add (s is tiny).
@@ -269,16 +288,16 @@ fn aggregate_grouped(buckets: &[G1Projective], group_size: usize) -> (G1Projecti
         bit -= 1;
         s_times_cross = s_times_cross.double();
         if (s >> bit) & 1 == 1 {
-            s_times_cross = s_times_cross + cross;
+            s_times_cross += cross;
             adds += 1;
         }
     }
     let mut total = G1Projective::identity();
     for wsum in inner_weighted.iter() {
-        total = total + *wsum;
+        total += *wsum;
         adds += 1;
     }
-    total = total + s_times_cross;
+    total += s_times_cross;
     adds += 1;
     (total, adds)
 }
@@ -364,8 +383,8 @@ fn extract_window(limbs: &[u64; 4], offset: usize, width: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::{Rng, SeedableRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0004)
@@ -466,12 +485,10 @@ mod tests {
     #[test]
     fn aggregation_schedules_agree() {
         let mut r = rng();
-        let buckets: Vec<G1Projective> =
-            (0..31).map(|_| G1Projective::random(&mut r)).collect();
+        let buckets: Vec<G1Projective> = (0..31).map(|_| G1Projective::random(&mut r)).collect();
         let (serial, serial_adds) = aggregate_buckets(&buckets, Aggregation::Serial);
         for gs in [1usize, 2, 4, 8, 16, 31, 64] {
-            let (grouped, _) =
-                aggregate_buckets(&buckets, Aggregation::Grouped { group_size: gs });
+            let (grouped, _) = aggregate_buckets(&buckets, Aggregation::Grouped { group_size: gs });
             assert_eq!(grouped, serial, "group_size = {gs}");
         }
         assert_eq!(serial_adds, 2 * 31);
@@ -495,8 +512,7 @@ mod tests {
     fn tree_sum_matches_linear_sum() {
         let mut r = rng();
         for n in [0usize, 1, 2, 5, 16, 17] {
-            let points: Vec<G1Projective> =
-                (0..n).map(|_| G1Projective::random(&mut r)).collect();
+            let points: Vec<G1Projective> = (0..n).map(|_| G1Projective::random(&mut r)).collect();
             let linear: G1Projective = points.iter().copied().sum();
             let (tree, adds) = tree_sum(&points);
             assert_eq!(tree, linear, "n = {n}");

@@ -55,10 +55,10 @@ impl Fq {
         }
         padded.push_str(s);
         let mut limbs = [0u64; Self::LIMBS];
-        for i in 0..Self::LIMBS {
+        for (i, limb) in limbs.iter_mut().enumerate() {
             let start = padded.len() - (i + 1) * 16;
             let chunk = &padded[start..start + 16];
-            limbs[i] = u64::from_str_radix(chunk, 16).ok()?;
+            *limb = u64::from_str_radix(chunk, 16).ok()?;
         }
         if !crate::arith::limbs_lt(&limbs, &Self::MODULUS) {
             return None;
@@ -70,9 +70,8 @@ impl Fq {
 #[cfg(test)]
 mod tests {
     use super::Fq;
-    use crate::Field;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0002)
@@ -150,33 +149,33 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use zkspeed_rt::Rng;
 
-        fn arb_fq() -> impl Strategy<Value = Fq> {
-            any::<[u64; 6]>().prop_map(|limbs| {
-                let mut wide = Vec::with_capacity(48);
-                for l in limbs.iter() {
-                    wide.extend_from_slice(&l.to_le_bytes());
-                }
-                Fq::from_bytes_le_mod_order(&wide)
-            })
+        fn arb_fq(r: &mut StdRng) -> Fq {
+            let mut wide = [0u8; 48];
+            r.fill_bytes(&mut wide);
+            Fq::from_bytes_le_mod_order(&wide)
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(32))]
-
-            #[test]
-            fn ring_axioms(a in arb_fq(), b in arb_fq(), c in arb_fq()) {
-                prop_assert_eq!(a + b, b + a);
-                prop_assert_eq!((a * b) * c, a * (b * c));
-                prop_assert_eq!(a * (b + c), a * b + a * c);
-                prop_assert_eq!(a + (-a), Fq::zero());
+        #[test]
+        fn ring_axioms() {
+            let mut r = StdRng::seed_from_u64(0x5eed_0002_0001);
+            for _ in 0..32 {
+                let (a, b, c) = (arb_fq(&mut r), arb_fq(&mut r), arb_fq(&mut r));
+                assert_eq!(a + b, b + a);
+                assert_eq!((a * b) * c, a * (b * c));
+                assert_eq!(a * (b + c), a * b + a * c);
+                assert_eq!(a + (-a), Fq::zero());
             }
+        }
 
-            #[test]
-            fn inverse_prop(a in arb_fq()) {
+        #[test]
+        fn inverse_prop() {
+            let mut r = StdRng::seed_from_u64(0x5eed_0002_0002);
+            for _ in 0..32 {
+                let a = arb_fq(&mut r);
                 if !a.is_zero() {
-                    prop_assert_eq!(a * a.invert().unwrap(), Fq::one());
+                    assert_eq!(a * a.invert().unwrap(), Fq::one());
                 }
             }
         }

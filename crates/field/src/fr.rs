@@ -33,9 +33,9 @@ crate::impl_montgomery_field!(
 #[cfg(test)]
 mod tests {
     use super::Fr;
-    use crate::{batch_invert, Field};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::batch_invert;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0001)
@@ -176,68 +176,75 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use zkspeed_rt::Rng;
 
-        fn arb_fr() -> impl Strategy<Value = Fr> {
-            any::<[u64; 4]>().prop_map(|limbs| {
-                let mut wide = Vec::with_capacity(32);
-                for l in limbs.iter() {
-                    wide.extend_from_slice(&l.to_le_bytes());
-                }
-                Fr::from_bytes_le_mod_order(&wide)
-            })
+        fn arb_fr(r: &mut StdRng) -> Fr {
+            let mut wide = [0u8; 32];
+            r.fill_bytes(&mut wide);
+            Fr::from_bytes_le_mod_order(&wide)
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
-
-            #[test]
-            fn add_commutes(a in arb_fr(), b in arb_fr()) {
-                prop_assert_eq!(a + b, b + a);
+        /// Runs `check` against 64 pseudorandom triples drawn from a seed
+        /// derived from `salt`, replacing the old proptest cases.
+        fn for_random_triples(salt: u64, check: impl Fn(Fr, Fr, Fr)) {
+            let mut r = StdRng::seed_from_u64(0x5eed_0001_0000 ^ salt);
+            for _ in 0..64 {
+                check(arb_fr(&mut r), arb_fr(&mut r), arb_fr(&mut r));
             }
+        }
 
-            #[test]
-            fn mul_commutes(a in arb_fr(), b in arb_fr()) {
-                prop_assert_eq!(a * b, b * a);
-            }
+        #[test]
+        fn add_commutes() {
+            for_random_triples(1, |a, b, _| assert_eq!(a + b, b + a));
+        }
 
-            #[test]
-            fn mul_associates(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
-                prop_assert_eq!((a * b) * c, a * (b * c));
-            }
+        #[test]
+        fn mul_commutes() {
+            for_random_triples(2, |a, b, _| assert_eq!(a * b, b * a));
+        }
 
-            #[test]
-            fn distributive(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
-                prop_assert_eq!(a * (b + c), a * b + a * c);
-            }
+        #[test]
+        fn mul_associates() {
+            for_random_triples(3, |a, b, c| assert_eq!((a * b) * c, a * (b * c)));
+        }
 
-            #[test]
-            fn add_sub_inverse(a in arb_fr(), b in arb_fr()) {
-                prop_assert_eq!(a + b - b, a);
-                prop_assert_eq!(a - a, Fr::zero());
-            }
+        #[test]
+        fn distributive() {
+            for_random_triples(4, |a, b, c| assert_eq!(a * (b + c), a * b + a * c));
+        }
 
-            #[test]
-            fn neg_is_additive_inverse(a in arb_fr()) {
-                prop_assert_eq!(a + (-a), Fr::zero());
-            }
+        #[test]
+        fn add_sub_inverse() {
+            for_random_triples(5, |a, b, _| {
+                assert_eq!(a + b - b, a);
+                assert_eq!(a - a, Fr::zero());
+            });
+        }
 
-            #[test]
-            fn inversion_property(a in arb_fr()) {
+        #[test]
+        fn neg_is_additive_inverse() {
+            for_random_triples(6, |a, _, _| assert_eq!(a + (-a), Fr::zero()));
+        }
+
+        #[test]
+        fn inversion_property() {
+            for_random_triples(7, |a, _, _| {
                 if !a.is_zero() {
-                    prop_assert_eq!(a * a.invert().unwrap(), Fr::one());
+                    assert_eq!(a * a.invert().unwrap(), Fr::one());
                 }
-            }
+            });
+        }
 
-            #[test]
-            fn bytes_roundtrip_prop(a in arb_fr()) {
-                prop_assert_eq!(Fr::from_bytes_le(&a.to_bytes_le()).unwrap(), a);
-            }
+        #[test]
+        fn bytes_roundtrip_prop() {
+            for_random_triples(8, |a, _, _| {
+                assert_eq!(Fr::from_bytes_le(&a.to_bytes_le()).unwrap(), a);
+            });
+        }
 
-            #[test]
-            fn square_matches_mul(a in arb_fr()) {
-                prop_assert_eq!(a.square(), a * a);
-            }
+        #[test]
+        fn square_matches_mul() {
+            for_random_triples(9, |a, _, _| assert_eq!(a.square(), a * a));
         }
     }
 }

@@ -5,7 +5,7 @@ use core::hash::Hash;
 use core::iter::{Product, Sum};
 use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
-use rand::Rng;
+use zkspeed_rt::Rng;
 
 /// A prime field element.
 ///

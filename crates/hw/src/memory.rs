@@ -1,15 +1,13 @@
 //! The memory system model: HBM/DDR bandwidth and PHYs, and the on-chip
 //! SRAM sizing with the MLE compression scheme of Section 4.6.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::{
     BYTES_PER_FR, DDR5_CHANNEL_GBPS, DDR5_PHY_MM2, HBM2_PHY_MM2, HBM2_STACK_GBPS, HBM3_PHY_MM2,
     HBM3_STACK_GBPS, HBM_PHY_W, SRAM_MM2_PER_MIB, SRAM_W_PER_MM2,
 };
 
 /// The memory technology implied by a bandwidth target.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum MemoryTechnology {
     /// DDR5-class (≤ 256 GB/s in the paper's taxonomy).
     Ddr5,
@@ -20,7 +18,7 @@ pub enum MemoryTechnology {
 }
 
 /// Off-chip memory configuration.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct MemoryConfig {
     /// Aggregate off-chip bandwidth in GB/s.
     pub bandwidth_gbps: f64,
@@ -81,7 +79,7 @@ impl MemoryConfig {
 }
 
 /// On-chip SRAM model with the Section 4.6 MLE compression scheme.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct SramModel;
 
 impl SramModel {
@@ -138,15 +136,41 @@ mod tests {
 
     #[test]
     fn technology_classification() {
-        assert_eq!(MemoryConfig { bandwidth_gbps: 64.0 }.technology(), MemoryTechnology::Ddr5);
-        assert_eq!(MemoryConfig { bandwidth_gbps: 256.0 }.technology(), MemoryTechnology::Ddr5);
-        assert_eq!(MemoryConfig { bandwidth_gbps: 512.0 }.technology(), MemoryTechnology::Hbm2);
-        assert_eq!(MemoryConfig { bandwidth_gbps: 2048.0 }.technology(), MemoryTechnology::Hbm3);
+        assert_eq!(
+            MemoryConfig {
+                bandwidth_gbps: 64.0
+            }
+            .technology(),
+            MemoryTechnology::Ddr5
+        );
+        assert_eq!(
+            MemoryConfig {
+                bandwidth_gbps: 256.0
+            }
+            .technology(),
+            MemoryTechnology::Ddr5
+        );
+        assert_eq!(
+            MemoryConfig {
+                bandwidth_gbps: 512.0
+            }
+            .technology(),
+            MemoryTechnology::Hbm2
+        );
+        assert_eq!(
+            MemoryConfig {
+                bandwidth_gbps: 2048.0
+            }
+            .technology(),
+            MemoryTechnology::Hbm3
+        );
     }
 
     #[test]
     fn phy_area_matches_table5_at_2tbps() {
-        let m = MemoryConfig { bandwidth_gbps: 2048.0 };
+        let m = MemoryConfig {
+            bandwidth_gbps: 2048.0,
+        };
         assert_eq!(m.num_interfaces(), 2);
         assert!((m.phy_area_mm2() - 59.2).abs() < 1e-9);
         assert!((m.power_w() - 63.6).abs() < 0.1);
@@ -154,8 +178,12 @@ mod tests {
 
     #[test]
     fn transfer_time_scales_inversely_with_bandwidth() {
-        let slow = MemoryConfig { bandwidth_gbps: 512.0 };
-        let fast = MemoryConfig { bandwidth_gbps: 2048.0 };
+        let slow = MemoryConfig {
+            bandwidth_gbps: 512.0,
+        };
+        let fast = MemoryConfig {
+            bandwidth_gbps: 2048.0,
+        };
         let bytes = 1.0e9;
         assert!((slow.transfer_seconds(bytes) / fast.transfer_seconds(bytes) - 4.0).abs() < 1e-9);
     }
@@ -177,3 +205,7 @@ mod tests {
         assert!(SramModel::power_w(100.0) > 10.0);
     }
 }
+
+zkspeed_rt::impl_to_json_enum!(MemoryTechnology { Ddr5, Hbm2, Hbm3 });
+zkspeed_rt::impl_to_json_struct!(MemoryConfig { bandwidth_gbps });
+zkspeed_rt::impl_to_json_struct!(SramModel {});

@@ -2,15 +2,13 @@
 //! with the Sparse-MSM tree mode and the two bucket-aggregation schedules
 //! compared in Figure 5 of the paper.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::{MODMUL_381_MM2, PADD_FQ_MULS, PADD_LATENCY_CYCLES};
 
 /// Scalar bit width of BLS12-381 Fr (the MSM scalars).
 const SCALAR_BITS: usize = 255;
 
 /// Bucket-aggregation schedule (Section 4.2.2).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum AggregationSchedule {
     /// SZKP's serial running-sum aggregation.
     SzkpSerial,
@@ -23,7 +21,7 @@ pub enum AggregationSchedule {
 }
 
 /// Configuration of the MSM unit (the Table 2 design knobs).
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct MsmUnitConfig {
     /// Number of MSM cores (1 or 2 in the DSE).
     pub cores: usize,
@@ -220,10 +218,10 @@ mod tests {
         // The analytic count should be within 2× of the functional layer's
         // counted operations for the same window size (the functional layer
         // skips zero-valued windows, the model does not).
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
         use zkspeed_curve::{msm_with_config, G1Projective, MsmConfig};
         use zkspeed_field::Fr;
+        use zkspeed_rt::rngs::StdRng;
+        use zkspeed_rt::SeedableRng;
         let mut rng = StdRng::seed_from_u64(7);
         let n = 64;
         let points: Vec<_> = (0..n)
@@ -244,7 +242,33 @@ mod tests {
         };
         let model = cfg.dense_msm_fq_muls(n);
         let measured = stats.fq_muls() as f64;
-        assert!(model > measured * 0.5 && model < measured * 2.5,
-            "model {model} vs measured {measured}");
+        assert!(
+            model > measured * 0.5 && model < measured * 2.5,
+            "model {model} vs measured {measured}"
+        );
     }
 }
+
+impl zkspeed_rt::ToJson for AggregationSchedule {
+    fn to_json(&self) -> zkspeed_rt::JsonValue {
+        use zkspeed_rt::JsonValue;
+        match self {
+            AggregationSchedule::SzkpSerial => JsonValue::Str("SzkpSerial".to_string()),
+            AggregationSchedule::Grouped { group_size } => JsonValue::Object(vec![(
+                "Grouped".to_string(),
+                JsonValue::Object(vec![(
+                    "group_size".to_string(),
+                    JsonValue::UInt(*group_size as u64),
+                )]),
+            )]),
+        }
+    }
+}
+
+zkspeed_rt::impl_to_json_struct!(MsmUnitConfig {
+    cores,
+    pes_per_core,
+    window_bits,
+    points_per_pe,
+    aggregation,
+});

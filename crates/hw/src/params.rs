@@ -120,9 +120,11 @@ mod tests {
         assert_eq!(BEEA_LATENCY_CYCLES, 2 * 255 - 1);
         assert_eq!(SUMCHECK_PE_MODMULS_SHARED, 94);
         // Resource sharing savings quoted by the paper: 48.9% and 41%.
-        let sumcheck_saving = 1.0 - SUMCHECK_PE_MODMULS_SHARED as f64 / SUMCHECK_PE_MODMULS_UNSHARED as f64;
+        let sumcheck_saving =
+            1.0 - SUMCHECK_PE_MODMULS_SHARED as f64 / SUMCHECK_PE_MODMULS_UNSHARED as f64;
         assert!((sumcheck_saving - 0.489).abs() < 0.01);
-        let combine_saving = 1.0 - MLE_COMBINE_MODMULS_SHARED as f64 / MLE_COMBINE_MODMULS_UNSHARED as f64;
+        let combine_saving =
+            1.0 - MLE_COMBINE_MODMULS_SHARED as f64 / MLE_COMBINE_MODMULS_UNSHARED as f64;
         assert!((combine_saving - 0.41).abs() < 0.01);
         assert_eq!(DSE_BANDWIDTHS_GBPS.len(), 7);
     }

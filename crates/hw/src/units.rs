@@ -8,15 +8,13 @@
 //! the chip-level scheduler in `zkspeed-core`, which takes the maximum of a
 //! unit's compute time and the HBM streaming time for its traffic.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::{
     BEEA_LATENCY_CYCLES, MLE_COMBINE_MODMULS_SHARED, MODADD_255_MM2, MODMUL_255_MM2,
     MODMUL_LATENCY_CYCLES, SHA3_PERMUTATION_CYCLES, SHA3_UNIT_MM2, SUMCHECK_PE_MODMULS_SHARED,
 };
 
 /// SumCheck unit configuration (Section 4.1).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct SumcheckUnitConfig {
     /// Number of SumCheck Round PEs.
     pub pes: usize,
@@ -53,7 +51,7 @@ impl SumcheckUnitConfig {
 }
 
 /// MLE Update unit configuration (Eq. 2 applied between SumCheck rounds).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct MleUpdateUnitConfig {
     /// Number of MLE Update PEs (each handles one MLE table at a time).
     pub pes: usize,
@@ -86,7 +84,7 @@ impl MleUpdateUnitConfig {
 }
 
 /// Multifunction Tree unit configuration (Section 4.3).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct MtuConfig {
     /// Number of leaf-level PEs (`p` inputs are consumed per cycle).
     pub leaf_pes: usize,
@@ -135,7 +133,7 @@ impl MtuConfig {
 }
 
 /// FracMLE unit configuration (Section 4.4): batched modular inversion.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct FracMleConfig {
     /// Number of FracMLE PEs (Table 2: 1, 2 or 4).
     pub pes: usize,
@@ -185,7 +183,8 @@ impl FracMleConfig {
         let engine_area = 0.22; // BEEA shifters/subtractors + control
         let sram_mm2_per_batch = self.batch_size as f64 * 32.0 / (1 << 20) as f64 * 4.0;
         let tree_area = (self.batch_size.saturating_sub(1)) as f64 * MODMUL_255_MM2;
-        self.num_inverse_engines() as f64 * (engine_area + sram_mm2_per_batch + 2.0 * MODMUL_255_MM2)
+        self.num_inverse_engines() as f64
+            * (engine_area + sram_mm2_per_batch + 2.0 * MODMUL_255_MM2)
             + tree_area
     }
 
@@ -201,12 +200,14 @@ impl FracMleConfig {
     /// Cycles to produce `n` fraction elements: the unit is a pipeline with
     /// one output per cycle per PE once full.
     pub fn fraction_cycles(&self, n: usize) -> f64 {
-        n as f64 / self.pes as f64 + self.inversion_path_cycles() + self.partial_product_path_cycles()
+        n as f64 / self.pes as f64
+            + self.inversion_path_cycles()
+            + self.partial_product_path_cycles()
     }
 }
 
 /// Construct N&D unit (Section 4.4.1): six multiply-add streams.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub struct ConstructNdConfig;
 
 impl ConstructNdConfig {
@@ -224,7 +225,7 @@ impl ConstructNdConfig {
 }
 
 /// MLE Combine unit (Section 4.5): linear combinations of MLEs.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub struct MleCombineConfig;
 
 impl MleCombineConfig {
@@ -237,13 +238,12 @@ impl MleCombineConfig {
     /// output (one multiply-accumulate per input element, spread over the
     /// shared multipliers).
     pub fn combine_cycles(&self, tables: usize, entries: usize) -> f64 {
-        (tables * entries) as f64 / MLE_COMBINE_MODMULS_SHARED as f64
-            + MODMUL_LATENCY_CYCLES as f64
+        (tables * entries) as f64 / MLE_COMBINE_MODMULS_SHARED as f64 + MODMUL_LATENCY_CYCLES as f64
     }
 }
 
 /// SHA3 transcript unit.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub struct Sha3UnitConfig;
 
 impl Sha3UnitConfig {
@@ -336,12 +336,26 @@ mod tests {
             (32..=128).contains(&best_imbalance),
             "imbalance optimum at {best_imbalance}"
         );
-        assert!((32..=128).contains(&best_area), "area optimum at {best_area}");
+        assert!(
+            (32..=128).contains(&best_area),
+            "area optimum at {best_area}"
+        );
         // Paper: 256 engines at b = 2 versus ~12 at b = 64.
-        let engines_b2 = FracMleConfig { pes: 1, batch_size: 2 }.num_inverse_engines();
-        let engines_b64 = FracMleConfig { pes: 1, batch_size: 64 }.num_inverse_engines();
+        let engines_b2 = FracMleConfig {
+            pes: 1,
+            batch_size: 2,
+        }
+        .num_inverse_engines();
+        let engines_b64 = FracMleConfig {
+            pes: 1,
+            batch_size: 64,
+        }
+        .num_inverse_engines();
         assert!(engines_b2 > 200, "engines at b=2: {engines_b2}");
-        assert!((8..=16).contains(&engines_b64), "engines at b=64: {engines_b64}");
+        assert!(
+            (8..=16).contains(&engines_b64),
+            "engines at b=64: {engines_b64}"
+        );
     }
 
     #[test]
@@ -363,3 +377,14 @@ mod tests {
         assert!(cfg.fraction_cycles(1 << 20) >= (1 << 20) as f64);
     }
 }
+
+zkspeed_rt::impl_to_json_struct!(SumcheckUnitConfig { pes });
+zkspeed_rt::impl_to_json_struct!(MleUpdateUnitConfig {
+    pes,
+    modmuls_per_pe
+});
+zkspeed_rt::impl_to_json_struct!(MtuConfig { leaf_pes });
+zkspeed_rt::impl_to_json_struct!(FracMleConfig { pes, batch_size });
+zkspeed_rt::impl_to_json_struct!(ConstructNdConfig {});
+zkspeed_rt::impl_to_json_struct!(MleCombineConfig {});
+zkspeed_rt::impl_to_json_struct!(Sha3UnitConfig {});

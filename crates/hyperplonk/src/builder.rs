@@ -164,7 +164,7 @@ impl CircuitBuilder {
 
         // Union-find over the 3n global slots.
         let mut parent: Vec<usize> = (0..3 * n).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        fn find(parent: &mut [usize], x: usize) -> usize {
             let mut root = x;
             while parent[root] != root {
                 root = parent[root];

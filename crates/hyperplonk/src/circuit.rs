@@ -236,9 +236,8 @@ impl Circuit {
     /// The identity MLEs `id₁, id₂, id₃` (`id_j[i] = (j)·2^μ + i`).
     pub fn identity_mles(&self) -> [MultilinearPoly; 3] {
         let n = self.num_gates() as u64;
-        [0u64, 1, 2].map(|j| {
-            MultilinearPoly::from_fn(self.num_vars, |i| Fr::from_u64(j * n + i as u64))
-        })
+        [0u64, 1, 2]
+            .map(|j| MultilinearPoly::from_fn(self.num_vars, |i| Fr::from_u64(j * n + i as u64)))
     }
 
     /// Checks that a witness satisfies every gate and wiring constraint.
@@ -265,9 +264,8 @@ impl Circuit {
             }
         }
         for (j, col_sigma) in self.sigma.iter().enumerate() {
-            for i in 0..n {
+            for (i, &target) in col_sigma.iter().enumerate() {
                 let slot = j * n + i;
-                let target = col_sigma[i];
                 let here = witness.columns[j][i];
                 let there = witness.columns[target / n][target % n];
                 if here != there {

@@ -103,8 +103,8 @@ mod tests {
     use super::*;
     use crate::circuit::GateSelectors;
     use crate::mock::{mock_circuit, SparsityProfile};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_000f)
@@ -123,7 +123,10 @@ mod tests {
             vk.selector_commitments[0],
             commit(&srs, &circuit.selectors()[0])
         );
-        assert_eq!(vk.sigma_commitments[2], commit(&srs, &circuit.sigma_mles()[2]));
+        assert_eq!(
+            vk.sigma_commitments[2],
+            commit(&srs, &circuit.sigma_mles()[2])
+        );
     }
 
     #[test]

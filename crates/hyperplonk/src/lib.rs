@@ -19,8 +19,8 @@
 //! # Examples
 //!
 //! ```
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use zkspeed_rt::rngs::StdRng;
+//! use zkspeed_rt::SeedableRng;
 //! use zkspeed_hyperplonk::{mock_circuit, preprocess, prove, verify, SparsityProfile};
 //! use zkspeed_pcs::Srs;
 //!
@@ -46,7 +46,7 @@ mod prover;
 mod verifier;
 
 pub use builder::{CircuitBuilder, Variable};
-pub use circuit::{Circuit, GateSelectors, SatisfactionError, Witness, WireColumn};
+pub use circuit::{Circuit, GateSelectors, SatisfactionError, WireColumn, Witness};
 pub use keys::{bind_circuit_to_transcript, preprocess, ProvingKey, VerifyingKey};
 pub use mock::{mock_circuit, NamedWorkload, SparsityProfile, NAMED_WORKLOADS};
 pub use profile::{profile_kernels, KernelProfile, BYTES_PER_FIELD_ELEMENT, BYTES_PER_G1_POINT};

@@ -7,9 +7,9 @@
 //! (≈45% zero, ≈45% one, ≈10% full-width witness values) and lists the five
 //! named workloads of Table 3.
 
-use rand::Rng;
 use zkspeed_field::Fr;
 use zkspeed_poly::MultilinearPoly;
+use zkspeed_rt::Rng;
 
 use crate::circuit::{Circuit, GateSelectors, Witness};
 
@@ -33,7 +33,10 @@ impl SparsityProfile {
 
     /// A fully dense witness (no sparsity).
     pub fn dense() -> Self {
-        Self { zeros: 0.0, ones: 0.0 }
+        Self {
+            zeros: 0.0,
+            ones: 0.0,
+        }
     }
 }
 
@@ -177,8 +180,8 @@ pub fn mock_circuit<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_000e)

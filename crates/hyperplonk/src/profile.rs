@@ -13,9 +13,9 @@
 //! reports both the measured values and an O(n) extrapolation to 2^20, since
 //! every kernel except the MSMs is linear in the number of gates).
 
-use rand::Rng;
 use zkspeed_field::{modmul_count, reset_modmul_count, Fr};
 use zkspeed_poly::{fraction_mle, product_mle, MultilinearPoly, VirtualPolynomial};
+use zkspeed_rt::Rng;
 use zkspeed_sumcheck::round_polynomial;
 
 use crate::mock::{mock_circuit, SparsityProfile};
@@ -73,8 +73,9 @@ pub fn profile_kernels<R: Rng + ?Sized>(num_vars: usize, rng: &mut R) -> Vec<Ker
     let points: Vec<zkspeed_curve::G1Affine> = {
         // A small synthetic basis is enough for counting: op counts depend on
         // the number of scalars and the window configuration only.
-        let proj: Vec<zkspeed_curve::G1Projective> =
-            (0..n).map(|i| g.mul_scalar(&Fr::from_u64(i as u64 + 1))).collect();
+        let proj: Vec<zkspeed_curve::G1Projective> = (0..n)
+            .map(|i| g.mul_scalar(&Fr::from_u64(i as u64 + 1)))
+            .collect();
         zkspeed_curve::G1Projective::batch_to_affine(&proj)
     };
 
@@ -232,7 +233,9 @@ pub fn profile_kernels<R: Rng + ?Sized>(num_vars: usize, rng: &mut R) -> Vec<Ker
     let before = modmul_count();
     let _n_tables: Vec<MultilinearPoly> = (0..3)
         .map(|j| {
-            MultilinearPoly::from_fn(num_vars, |i| witness.columns[j][i] + beta * ids[j][i] + gamma)
+            MultilinearPoly::from_fn(num_vars, |i| {
+                witness.columns[j][i] + beta * ids[j][i] + gamma
+            })
         })
         .chain((0..3).map(|j| {
             MultilinearPoly::from_fn(num_vars, |i| {
@@ -296,8 +299,8 @@ pub fn profile_kernels<R: Rng + ?Sized>(num_vars: usize, rng: &mut R) -> Vec<Ker
     rows.push(KernelProfile {
         kernel: "All MLE Updates",
         modmuls: 2 * modmul_count().since(&before).total(),
-        input_bytes: 2 * (f_gate.table_entries() + f_perm.table_entries() + f_open.table_entries())
-            as u64
+        input_bytes: 2
+            * (f_gate.table_entries() + f_perm.table_entries() + f_open.table_entries()) as u64
             * fe,
         output_bytes: (f_gate.table_entries() + f_perm.table_entries() + f_open.table_entries())
             as u64
@@ -315,8 +318,8 @@ pub fn profile_kernels<R: Rng + ?Sized>(num_vars: usize, rng: &mut R) -> Vec<Ker
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     #[test]
     fn profile_reproduces_table1_shape() {

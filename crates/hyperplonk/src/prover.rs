@@ -214,20 +214,16 @@ pub fn prove_unchecked(pk: &ProvingKey, witness: &Witness) -> (Proof, ProverRepo
 
     // Construct N & D: six intermediate MLEs plus their products.
     let numerators: Vec<MultilinearPoly> = (0..3)
-        .map(|j| {
-            MultilinearPoly::from_fn(mu, |i| {
-                witness.columns[j][i] + beta * ids[j][i] + gamma
-            })
-        })
+        .map(|j| MultilinearPoly::from_fn(mu, |i| witness.columns[j][i] + beta * ids[j][i] + gamma))
         .collect();
     let denominators: Vec<MultilinearPoly> = (0..3)
         .map(|j| {
-            MultilinearPoly::from_fn(mu, |i| {
-                witness.columns[j][i] + beta * sigmas[j][i] + gamma
-            })
+            MultilinearPoly::from_fn(mu, |i| witness.columns[j][i] + beta * sigmas[j][i] + gamma)
         })
         .collect();
-    let n_mle = numerators[0].hadamard(&numerators[1]).hadamard(&numerators[2]);
+    let n_mle = numerators[0]
+        .hadamard(&numerators[1])
+        .hadamard(&numerators[2]);
     let d_mle = denominators[0]
         .hadamard(&denominators[1])
         .hadamard(&denominators[2]);
@@ -329,16 +325,13 @@ pub fn prove_unchecked(pk: &ProvingKey, witness: &Witness) -> (Proof, ProverRepo
     let rho = open_out.point.clone();
 
     // Claimed evaluations of the combined polynomials at ρ.
-    let combined_evaluations: Vec<Fr> =
-        combined_polys.iter().map(|y| y.evaluate(&rho)).collect();
+    let combined_evaluations: Vec<Fr> = combined_polys.iter().map(|y| y.evaluate(&rho)).collect();
     transcript.append_scalars(b"combined-evaluations", &combined_evaluations);
 
     // Final combination g′ and its halving-MSM opening.
     let d = transcript.challenge_scalars(b"gprime-challenge", groups.len());
-    let gprime = MultilinearPoly::linear_combination(
-        &d,
-        &combined_polys.iter().collect::<Vec<_>>(),
-    );
+    let gprime =
+        MultilinearPoly::linear_combination(&d, &combined_polys.iter().collect::<Vec<_>>());
     let (gprime_value, gprime_opening, open_stats) = open(&pk.srs, &gprime, &rho);
     report.opening_msm.merge(&open_stats);
     debug_assert_eq!(
@@ -383,9 +376,9 @@ mod tests {
     use super::*;
     use crate::keys::preprocess;
     use crate::mock::{mock_circuit, SparsityProfile};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use zkspeed_pcs::Srs;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0010)

@@ -91,7 +91,10 @@ pub fn verify(vk: &VerifyingKey, proof: &Proof) -> Result<(), VerifyError> {
     // ----- Step 3: Wiring Identity ------------------------------------------
     let beta = transcript.challenge_scalar(b"beta");
     let gamma = transcript.challenge_scalar(b"gamma");
-    transcript.append_message(b"phi-commitment", &proof.phi_commitment.to_transcript_bytes());
+    transcript.append_message(
+        b"phi-commitment",
+        &proof.phi_commitment.to_transcript_bytes(),
+    );
     transcript.append_message(b"pi-commitment", &proof.pi_commitment.to_transcript_bytes());
     let alpha = transcript.challenge_scalar(b"alpha");
     let perm_sub = verify_zerocheck(
@@ -181,8 +184,8 @@ pub fn verify(vk: &VerifyingKey, proof: &Proof) -> Result<(), VerifyError> {
         let p1_s = (one - s_last) * phi_s0 + s_last * pi_s0;
         let p2_s = (one - s_last) * phi_s1 + s_last * pi_s1;
         let f_perm = pi_s - p1_s * p2_s
-            + alpha * (phi_s * d_eval[0] * d_eval[1] * d_eval[2]
-                - n_eval[0] * n_eval[1] * n_eval[2]);
+            + alpha
+                * (phi_s * d_eval[0] * d_eval[1] * d_eval[2] - n_eval[0] * n_eval[1] * n_eval[2]);
         let eq = MultilinearPoly::eq_eval(&perm_point, &perm_sub.build_mle_challenges);
         if f_perm * eq != perm_sub.expected_evaluation {
             return Err(VerifyError::PermIdentityMismatch);
@@ -234,8 +237,14 @@ pub fn verify(vk: &VerifyingKey, proof: &Proof) -> Result<(), VerifyError> {
         .zip(combined_values.iter())
         .map(|(cp, v)| *cp * *v)
         .sum();
-    let open_sub = sumcheck_verify(claim, mu, OPENCHECK_DEGREE, &proof.opencheck, &mut transcript)
-        .map_err(VerifyError::OpenCheck)?;
+    let open_sub = sumcheck_verify(
+        claim,
+        mu,
+        OPENCHECK_DEGREE,
+        &proof.opencheck,
+        &mut transcript,
+    )
+    .map_err(VerifyError::OpenCheck)?;
     let rho = open_sub.point.clone();
 
     if proof.combined_evaluations.len() != groups.len() {
@@ -279,9 +288,9 @@ mod tests {
     use crate::keys::preprocess;
     use crate::mock::{mock_circuit, SparsityProfile};
     use crate::prover::{prove, prove_unchecked};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use zkspeed_pcs::Srs;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0011)
@@ -363,7 +372,9 @@ mod tests {
 
     #[test]
     fn error_display_strings() {
-        assert!(VerifyError::GrandProductMismatch.to_string().contains("grand product"));
+        assert!(VerifyError::GrandProductMismatch
+            .to_string()
+            .contains("grand product"));
         assert!(VerifyError::OpeningFailed.to_string().contains("opening"));
         assert!(
             VerifyError::GateZerocheck(SumcheckError::FinalEvaluationMismatch)

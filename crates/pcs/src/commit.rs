@@ -69,8 +69,11 @@ pub fn commit(srs: &Srs, poly: &MultilinearPoly) -> Commitment {
 /// Panics if the polynomial is larger than the SRS supports.
 pub fn commit_with_stats(srs: &Srs, poly: &MultilinearPoly) -> (Commitment, MsmStats) {
     let basis = basis_for(srs, poly);
-    let (point, stats) =
-        zkspeed_curve::msm_with_config(basis, poly.evaluations(), zkspeed_curve::MsmConfig::default());
+    let (point, stats) = zkspeed_curve::msm_with_config(
+        basis,
+        poly.evaluations(),
+        zkspeed_curve::MsmConfig::default(),
+    );
     (Commitment(point), stats)
 }
 
@@ -101,8 +104,8 @@ fn basis_for<'a>(srs: &'a Srs, poly: &MultilinearPoly) -> &'a [zkspeed_curve::G1
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_000c)
@@ -148,8 +151,7 @@ mod tests {
         let b = Fr::random(&mut r);
         let combined_poly = MultilinearPoly::linear_combination(&[a, b], &[&f, &g]);
         let com_combined = commit(&srs, &combined_poly);
-        let com_lc =
-            Commitment::linear_combination(&[a, b], &[commit(&srs, &f), commit(&srs, &g)]);
+        let com_lc = Commitment::linear_combination(&[a, b], &[commit(&srs, &f), commit(&srs, &g)]);
         assert_eq!(com_combined, com_lc);
     }
 
@@ -160,8 +162,7 @@ mod tests {
         let small = MultilinearPoly::random(2, &mut r);
         let com = commit(&srs, &small);
         // Equals the evaluation at the τ suffix times G.
-        let expected =
-            G1Projective::generator().mul_scalar(&small.evaluate(&srs.trapdoor()[2..]));
+        let expected = G1Projective::generator().mul_scalar(&small.evaluate(&srs.trapdoor()[2..]));
         assert_eq!(com.0, expected);
     }
 

@@ -17,8 +17,8 @@
 //! # Examples
 //!
 //! ```
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use zkspeed_rt::rngs::StdRng;
+//! use zkspeed_rt::SeedableRng;
 //! use zkspeed_field::{Field, Fr};
 //! use zkspeed_pcs::{commit, open, verify_opening, Srs};
 //! use zkspeed_poly::MultilinearPoly;

@@ -93,8 +93,8 @@ pub fn verify_opening(
 mod tests {
     use super::*;
     use crate::commit::commit;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_000d)
@@ -134,7 +134,13 @@ mod tests {
         let com = commit(&srs, &f);
         let point: Vec<Fr> = (0..4).map(|_| Fr::random(&mut r)).collect();
         let (value, proof, _) = open(&srs, &f, &point);
-        assert!(!verify_opening(&srs, &com, &point, value + Fr::one(), &proof));
+        assert!(!verify_opening(
+            &srs,
+            &com,
+            &point,
+            value + Fr::one(),
+            &proof
+        ));
     }
 
     #[test]

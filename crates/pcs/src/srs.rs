@@ -20,10 +20,10 @@
 //! DESIGN.md as a substitution; all prover-side computation (the MSMs) is
 //! identical to the real scheme.
 
-use rand::Rng;
 use zkspeed_curve::{G1Affine, G1Projective};
 use zkspeed_field::Fr;
 use zkspeed_poly::MultilinearPoly;
+use zkspeed_rt::Rng;
 
 /// Structured reference string for committing to multilinear polynomials of
 /// up to `num_vars` variables.
@@ -113,8 +113,8 @@ impl Srs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_000b)

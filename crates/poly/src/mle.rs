@@ -24,8 +24,8 @@
 use core::fmt;
 use core::ops::Index;
 
-use rand::Rng;
 use zkspeed_field::Fr;
+use zkspeed_rt::Rng;
 
 /// A multilinear polynomial in `μ` variables represented by its `2^μ`
 /// evaluations over the Boolean hypercube.
@@ -52,7 +52,12 @@ pub struct MultilinearPoly {
 
 impl fmt::Debug for MultilinearPoly {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MultilinearPoly(μ={}, 2^μ={})", self.num_vars, self.evals.len())
+        write!(
+            f,
+            "MultilinearPoly(μ={}, 2^μ={})",
+            self.num_vars,
+            self.evals.len()
+        )
     }
 }
 
@@ -86,10 +91,10 @@ impl MultilinearPoly {
     }
 
     /// Builds an MLE by evaluating `f` at every hypercube index.
-    pub fn from_fn(num_vars: usize, mut f: impl FnMut(usize) -> Fr) -> Self {
+    pub fn from_fn(num_vars: usize, f: impl FnMut(usize) -> Fr) -> Self {
         Self {
             num_vars,
-            evals: (0..1usize << num_vars).map(|i| f(i)).collect(),
+            evals: (0..1usize << num_vars).map(f).collect(),
         }
     }
 
@@ -272,12 +277,19 @@ impl MultilinearPoly {
     /// Panics if the slices have different lengths, are empty, or the MLEs
     /// disagree on the number of variables.
     pub fn linear_combination(coeffs: &[Fr], polys: &[&Self]) -> Self {
-        assert_eq!(coeffs.len(), polys.len(), "linear_combination: length mismatch");
+        assert_eq!(
+            coeffs.len(),
+            polys.len(),
+            "linear_combination: length mismatch"
+        );
         assert!(!polys.is_empty(), "linear_combination: empty input");
         let num_vars = polys[0].num_vars;
         let mut evals = vec![Fr::zero(); 1 << num_vars];
         for (c, p) in coeffs.iter().zip(polys.iter()) {
-            assert_eq!(p.num_vars, num_vars, "linear_combination: variable mismatch");
+            assert_eq!(
+                p.num_vars, num_vars,
+                "linear_combination: variable mismatch"
+            );
             for (e, v) in evals.iter_mut().zip(p.evals.iter()) {
                 *e += *c * *v;
             }
@@ -296,8 +308,8 @@ impl Index<usize> for MultilinearPoly {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0005)
@@ -393,7 +405,10 @@ mod tests {
         }
         // And eq(r, r') == eq_eval(r, r') for random r'.
         let other: Vec<Fr> = (0..4).map(|_| Fr::random(&mut r)).collect();
-        assert_eq!(eq.evaluate(&other), MultilinearPoly::eq_eval(&other, &point));
+        assert_eq!(
+            eq.evaluate(&other),
+            MultilinearPoly::eq_eval(&other, &point)
+        );
     }
 
     #[test]
@@ -414,7 +429,10 @@ mod tests {
         let g = MultilinearPoly::random(3, &mut r);
         let point: Vec<Fr> = (0..3).map(|_| Fr::random(&mut r)).collect();
         let sum = f.add(&g);
-        assert_eq!(sum.evaluate(&point), f.evaluate(&point) + g.evaluate(&point));
+        assert_eq!(
+            sum.evaluate(&point),
+            f.evaluate(&point) + g.evaluate(&point)
+        );
         let scaled = f.scale(u(3));
         assert_eq!(scaled.evaluate(&point), f.evaluate(&point) * u(3));
         let lc = MultilinearPoly::linear_combination(&[u(2), u(5)], &[&f, &g]);
@@ -431,36 +449,41 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
 
-        fn arb_fr() -> impl Strategy<Value = Fr> {
-            any::<u64>().prop_map(Fr::from_u64)
+        fn arb_fr(r: &mut StdRng) -> Fr {
+            Fr::from_u64(r.gen())
         }
 
-        fn arb_mle(num_vars: usize) -> impl Strategy<Value = MultilinearPoly> {
-            proptest::collection::vec(arb_fr(), 1 << num_vars).prop_map(MultilinearPoly::new)
+        fn arb_mle(num_vars: usize, r: &mut StdRng) -> MultilinearPoly {
+            MultilinearPoly::new((0..1usize << num_vars).map(|_| arb_fr(r)).collect())
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(24))]
+        fn arb_point(len: usize, r: &mut StdRng) -> Vec<Fr> {
+            (0..len).map(|_| arb_fr(r)).collect()
+        }
 
-            #[test]
-            fn sum_splits_by_first_variable(f in arb_mle(4)) {
+        #[test]
+        fn sum_splits_by_first_variable() {
+            let mut r = StdRng::seed_from_u64(0x5eed_0005_0001);
+            for _ in 0..24 {
                 // Σ_x f(x) = Σ_y f(0, y) + Σ_y f(1, y)
+                let f = arb_mle(4, &mut r);
                 let f0 = f.fix_first_variable(Fr::zero());
                 let f1 = f.fix_first_variable(Fr::one());
-                prop_assert_eq!(
+                assert_eq!(
                     f.sum_over_hypercube(),
                     f0.sum_over_hypercube() + f1.sum_over_hypercube()
                 );
             }
+        }
 
-            #[test]
-            fn evaluate_agrees_with_eq_inner_product(
-                f in arb_mle(3),
-                p in proptest::collection::vec(arb_fr(), 3),
-            ) {
+        #[test]
+        fn evaluate_agrees_with_eq_inner_product() {
+            let mut r = StdRng::seed_from_u64(0x5eed_0005_0002);
+            for _ in 0..24 {
                 // f(r) = Σ_x f(x)·eq(x, r)
+                let f = arb_mle(3, &mut r);
+                let p = arb_point(3, &mut r);
                 let eq = MultilinearPoly::eq_mle(&p);
                 let inner: Fr = f
                     .evaluations()
@@ -468,15 +491,17 @@ mod tests {
                     .zip(eq.evaluations().iter())
                     .map(|(a, b)| *a * *b)
                     .sum();
-                prop_assert_eq!(f.evaluate(&p), inner);
+                assert_eq!(f.evaluate(&p), inner);
             }
+        }
 
-            #[test]
-            fn fixing_all_variables_is_evaluation(
-                f in arb_mle(3),
-                p in proptest::collection::vec(arb_fr(), 3),
-            ) {
-                prop_assert_eq!(f.fix_first_variables(&p).evaluations()[0], f.evaluate(&p));
+        #[test]
+        fn fixing_all_variables_is_evaluation() {
+            let mut r = StdRng::seed_from_u64(0x5eed_0005_0003);
+            for _ in 0..24 {
+                let f = arb_mle(3, &mut r);
+                let p = arb_point(3, &mut r);
+                assert_eq!(f.fix_first_variables(&p).evaluations()[0], f.evaluate(&p));
             }
         }
     }

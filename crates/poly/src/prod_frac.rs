@@ -76,7 +76,10 @@ pub fn fraction_mle(numerator: &MultilinearPoly, denominator: &MultilinearPoly) 
 ///
 /// Panics if `φ` has no variables (`μ = 0`).
 pub fn product_mle(phi: &MultilinearPoly) -> MultilinearPoly {
-    assert!(phi.num_vars() > 0, "product_mle: need at least one variable");
+    assert!(
+        phi.num_vars() > 0,
+        "product_mle: need at least one variable"
+    );
     let n = phi.len();
     let mut evals: Vec<Fr> = Vec::with_capacity(n);
     // First layer reads from φ; subsequent layers read from what has already
@@ -147,8 +150,8 @@ pub fn split_even_odd(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0007)

@@ -161,7 +161,11 @@ impl VirtualPolynomial {
     ///
     /// Panics if the point length does not match the number of variables.
     pub fn evaluate(&self, point: &[Fr]) -> Fr {
-        assert_eq!(point.len(), self.num_vars, "evaluate: point length mismatch");
+        assert_eq!(
+            point.len(),
+            self.num_vars,
+            "evaluate: point length mismatch"
+        );
         let mle_evals: Vec<Fr> = self.mles.iter().map(|m| m.evaluate(point)).collect();
         let mut acc = Fr::zero();
         for term in &self.terms {
@@ -214,8 +218,8 @@ impl VirtualPolynomial {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0006)

@@ -53,11 +53,7 @@ pub fn keccak_f1600(state: &mut [u64; 25]) {
         // θ step.
         let mut c = [0u64; 5];
         for (x, cx) in c.iter_mut().enumerate() {
-            *cx = state[x]
-                ^ state[x + 5]
-                ^ state[x + 10]
-                ^ state[x + 15]
-                ^ state[x + 20];
+            *cx = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
         }
         let mut d = [0u64; 5];
         for x in 0..5 {
@@ -98,7 +94,7 @@ pub const SHA3_256_RATE: usize = 136;
 /// # Examples
 ///
 /// ```
-/// use zkspeed_transcript::Sha3_256;
+/// use zkspeed_rt::Sha3_256;
 ///
 /// let mut h = Sha3_256::new();
 /// h.update(b"abc");

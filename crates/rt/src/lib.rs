@@ -1,0 +1,40 @@
+//! Runtime substrate for the zkSpeed workspace.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! everything the other `zkspeed-*` crates would normally pull from external
+//! dependencies lives here, implemented from scratch on top of `std`:
+//!
+//! * [`keccak_f1600`] / [`Sha3_256`] — the Keccak permutation and SHA3-256
+//!   (FIPS 202), shared by the Fiat–Shamir transcript and the PRNG;
+//! * [`StdRng`] / [`Rng`] / [`SeedableRng`] — a deterministic,
+//!   `rand`-compatible PRNG facade backed by the SHA3 XOF (SHAKE-style
+//!   squeezing), so every test, example and benchmark is reproducible from a
+//!   single `u64` seed;
+//! * [`JsonValue`] / [`ToJson`] — hand-rolled, stable (insertion-ordered)
+//!   JSON emission for the hardware-model report structs, replacing `serde`;
+//! * [`bench::Harness`] — a minimal warmup + median-of-N benchmark harness
+//!   with JSON output, replacing `criterion`;
+//! * [`par`] — scoped-thread chunked parallel-map primitives with a
+//!   `ZKSPEED_THREADS` override and a serial fallback, used by the MSM and
+//!   SumCheck hot paths. Work is always split into deterministic contiguous
+//!   chunks combined in chunk order, so parallel runs are bit-identical to
+//!   serial runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+mod json;
+mod keccak;
+pub mod par;
+mod rng;
+
+pub use json::{JsonValue, ToJson};
+pub use keccak::{keccak_f1600, Sha3_256, SHA3_256_RATE};
+pub use rng::{FromRng, Rng, SampleUniform, SeedableRng, StdRng};
+
+/// `rand`-style module alias so call sites can keep the familiar
+/// `use zkspeed_rt::rngs::StdRng;` import shape.
+pub mod rngs {
+    pub use crate::rng::StdRng;
+}

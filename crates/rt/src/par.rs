@@ -1,0 +1,215 @@
+//! Scoped-thread chunked parallelism with deterministic combining.
+//!
+//! The primitives here split an index space into contiguous chunks, run one
+//! `std::thread::scope` worker per chunk, and return the per-chunk results
+//! **in chunk order**. Callers combine chunk results left to right, so a
+//! parallel run is bit-identical to the serial run for any associative
+//! combine (exact modular field addition, elliptic-curve point accumulation,
+//! statistics counters, …).
+//!
+//! Thread count resolution, in priority order:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (used by the
+//!    parallel-vs-serial equivalence tests);
+//! 2. the `ZKSPEED_THREADS` environment variable (`1` forces the serial
+//!    path);
+//! 3. [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+fn env_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let hardware = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        match std::env::var("ZKSPEED_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!(
+                        "zkspeed-rt: ignoring invalid ZKSPEED_THREADS={v:?} \
+                         (want an integer >= 1); using hardware parallelism"
+                    );
+                    hardware()
+                }
+            },
+            Err(_) => hardware(),
+        }
+    })
+}
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel primitives will use on this thread.
+pub fn current_threads() -> usize {
+    OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(env_threads)
+        .max(1)
+}
+
+/// Runs `f` with the thread count pinned to `threads` on the current thread
+/// (restored afterwards, even on panic). `with_threads(1, …)` forces every
+/// parallel primitive inside `f` onto the exact serial code path.
+pub fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    assert!(threads >= 1, "with_threads: need at least one thread");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(threads))));
+    f()
+}
+
+/// Splits `0..len` into at most `parts` contiguous, near-equal, non-empty
+/// ranges covering the whole index space in order.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Applies `f` to contiguous chunks of `0..len` and returns the chunk
+/// results in chunk order.
+///
+/// The index space is split into at most [`current_threads`] chunks, but
+/// never into chunks smaller than `min_chunk` (so tiny inputs stay serial
+/// and don't pay thread-spawn overhead). With one chunk the closure runs on
+/// the calling thread — the exact serial path.
+pub fn map_chunks<U: Send>(
+    len: usize,
+    min_chunk: usize,
+    f: impl Fn(Range<usize>) -> U + Sync,
+) -> Vec<U> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let max_parts = if min_chunk <= 1 {
+        len
+    } else {
+        len.div_ceil(min_chunk)
+    };
+    let parts = current_threads().min(max_parts).max(1);
+    if parts == 1 {
+        return vec![f(0..len)];
+    }
+    let ranges = split_ranges(len, parts);
+    // Workers inherit the caller's effective thread count, so a
+    // `with_threads` override keeps governing any nested parallel calls
+    // made from inside the chunks.
+    let inherited = current_threads();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(move || with_threads(inherited, || f(range))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("zkspeed-rt parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Applies `f` to every index in `0..len` and returns the results in index
+/// order, fanning the indices out over [`current_threads`] workers.
+pub fn map_indices<U: Send>(len: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    let mut chunks = map_chunks(len, 1, |range| range.map(&f).collect::<Vec<U>>());
+    if chunks.len() == 1 {
+        return chunks.pop().unwrap();
+    }
+    chunks.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_covers_everything_in_order() {
+        for len in [0usize, 1, 2, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 2000] {
+                let ranges = split_ranges(len, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+                if len > 0 {
+                    assert!(ranges.len() <= parts.max(1));
+                    let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let min = sizes.iter().min().unwrap();
+                    let max = sizes.iter().max().unwrap();
+                    assert!(max - min <= 1, "unbalanced split: {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_is_thread_count_invariant() {
+        let serial = with_threads(1, || map_chunks(1000, 1, |r| r.sum::<usize>()));
+        assert_eq!(serial.len(), 1);
+        let parallel = with_threads(8, || map_chunks(1000, 1, |r| r.sum::<usize>()));
+        assert!(parallel.len() > 1);
+        assert_eq!(serial.iter().sum::<usize>(), parallel.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn map_indices_preserves_order() {
+        for threads in [1usize, 2, 8] {
+            let out = with_threads(threads, || map_indices(100, |i| i * i));
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn min_chunk_forces_serial_for_small_inputs() {
+        with_threads(8, || {
+            let chunks = map_chunks(100, 1000, |r| r.len());
+            assert_eq!(chunks, vec![100]);
+        });
+    }
+
+    #[test]
+    fn override_propagates_into_workers() {
+        with_threads(2, || {
+            let seen = map_chunks(100, 1, |_range| current_threads());
+            assert_eq!(seen.len(), 2);
+            assert!(seen.iter().all(|&n| n == 2), "workers saw {seen:?}");
+        });
+    }
+
+    #[test]
+    fn with_threads_restores_previous_value() {
+        let before = current_threads();
+        with_threads(3, || assert_eq!(current_threads(), 3));
+        assert_eq!(current_threads(), before);
+        with_threads(2, || {
+            with_threads(5, || assert_eq!(current_threads(), 5));
+            assert_eq!(current_threads(), 2);
+        });
+    }
+}

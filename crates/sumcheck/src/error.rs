@@ -48,7 +48,10 @@ impl fmt::Display for SumcheckError {
                 "round {round} polynomial has {got} evaluations, expected {expected}"
             ),
             SumcheckError::RoundClaimMismatch { round } => {
-                write!(f, "round {round} polynomial does not match the running claim")
+                write!(
+                    f,
+                    "round {round} polynomial does not match the running claim"
+                )
             }
             SumcheckError::FinalEvaluationMismatch => {
                 write!(f, "final evaluation does not match the oracle")
@@ -65,7 +68,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SumcheckError::WrongNumberOfRounds { got: 3, expected: 4 };
+        let e = SumcheckError::WrongNumberOfRounds {
+            got: 3,
+            expected: 4,
+        };
         assert!(e.to_string().contains("3 rounds"));
         let e = SumcheckError::RoundClaimMismatch { round: 2 };
         assert!(e.to_string().contains("round 2"));
@@ -75,6 +81,8 @@ mod tests {
             expected: 5,
         };
         assert!(e.to_string().contains("expected 5"));
-        assert!(SumcheckError::FinalEvaluationMismatch.to_string().contains("oracle"));
+        assert!(SumcheckError::FinalEvaluationMismatch
+            .to_string()
+            .contains("oracle"));
     }
 }

@@ -65,8 +65,14 @@ pub struct ProverOutput {
 ///
 /// Panics if `poly` has no variables or no terms.
 pub fn prove(poly: &VirtualPolynomial, transcript: &mut Transcript) -> ProverOutput {
-    assert!(poly.num_vars() > 0, "sumcheck: polynomial must have variables");
-    assert!(!poly.terms().is_empty(), "sumcheck: polynomial must have terms");
+    assert!(
+        poly.num_vars() > 0,
+        "sumcheck: polynomial must have variables"
+    );
+    assert!(
+        !poly.terms().is_empty(),
+        "sumcheck: polynomial must have terms"
+    );
 
     let num_rounds = poly.num_vars();
     let degree = poly.degree();
@@ -101,34 +107,55 @@ pub fn round_polynomial(poly: &VirtualPolynomial, degree: usize) -> Vec<Fr> {
     let half = 1usize << (poly.num_vars() - 1);
     let num_mles = poly.mles().len();
     let num_points = degree + 1;
-    let mut acc = vec![Fr::zero(); num_points];
-    // Scratch: per-MLE evaluations at t = 0..=degree for one hypercube
-    // instance.
-    let mut mle_evals = vec![vec![Fr::zero(); num_points]; num_mles];
 
-    for i in 0..half {
-        // Per-MLE extension: evaluations at t = 0, 1 are table reads; the
-        // rest follow by repeatedly adding the slope.
-        for (m, evals) in poly.mles().iter().zip(mle_evals.iter_mut()) {
-            let lo = m[2 * i];
-            let hi = m[2 * i + 1];
-            let diff = hi - lo;
-            let mut v = lo;
-            evals[0] = v;
-            for e in evals.iter_mut().skip(1) {
-                v += diff;
-                *e = v;
-            }
-        }
-        // Per-term products and accumulation.
-        for term in poly.terms() {
-            for (t, a) in acc.iter_mut().enumerate() {
-                let mut prod = term.coefficient;
-                for &mi in &term.mle_indices {
-                    prod *= mle_evals[mi][t];
+    // The hypercube instances are split into contiguous chunks that fan out
+    // over `ZKSPEED_THREADS` scoped workers; each worker accumulates a local
+    // partial sum and the partials are added in chunk order. Field addition
+    // is exact mod p, so any chunking is bit-identical to the serial sweep.
+    // Inputs below MIN_CHUNK instances never leave the calling thread.
+    // Workers measure their thread-local modmul delta, rewind it, and hand
+    // it back so profiling counters see the same totals at any thread count.
+    const MIN_CHUNK: usize = 256;
+    let partials = zkspeed_rt::par::map_chunks(half, MIN_CHUNK, |range| {
+        zkspeed_field::measure_modmuls(|| {
+            let mut acc = vec![Fr::zero(); num_points];
+            // Scratch: per-MLE evaluations at t = 0..=degree for one hypercube
+            // instance.
+            let mut mle_evals = vec![vec![Fr::zero(); num_points]; num_mles];
+            for i in range {
+                // Per-MLE extension: evaluations at t = 0, 1 are table reads;
+                // the rest follow by repeatedly adding the slope.
+                for (m, evals) in poly.mles().iter().zip(mle_evals.iter_mut()) {
+                    let lo = m[2 * i];
+                    let hi = m[2 * i + 1];
+                    let diff = hi - lo;
+                    let mut v = lo;
+                    evals[0] = v;
+                    for e in evals.iter_mut().skip(1) {
+                        v += diff;
+                        *e = v;
+                    }
                 }
-                *a += prod;
+                // Per-term products and accumulation.
+                for term in poly.terms() {
+                    for (t, a) in acc.iter_mut().enumerate() {
+                        let mut prod = term.coefficient;
+                        for &mi in &term.mle_indices {
+                            prod *= mle_evals[mi][t];
+                        }
+                        *a += prod;
+                    }
+                }
             }
+            acc
+        })
+    });
+
+    let mut acc = vec![Fr::zero(); num_points];
+    for (partial, muls) in partials {
+        zkspeed_field::add_modmul_count(muls);
+        for (a, p) in acc.iter_mut().zip(partial) {
+            *a += p;
         }
     }
     acc
@@ -137,9 +164,9 @@ pub fn round_polynomial(poly: &VirtualPolynomial, degree: usize) -> Vec<Fr> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use zkspeed_poly::MultilinearPoly;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0008)
@@ -173,9 +200,9 @@ mod tests {
         // g(0) + g(1) must equal the full hypercube sum.
         assert_eq!(evals[0] + evals[1], vp.sum_over_hypercube());
         // g(t) for small integer t must match fixing the first variable to t.
-        for t in 0..=degree {
+        for (t, eval) in evals.iter().enumerate() {
             let fixed = vp.fix_first_variable(u(t as u64));
-            assert_eq!(evals[t], fixed.sum_over_hypercube(), "t = {t}");
+            assert_eq!(*eval, fixed.sum_over_hypercube(), "t = {t}");
         }
     }
 
@@ -188,10 +215,7 @@ mod tests {
         assert_eq!(out.proof.num_rounds(), 5);
         assert_eq!(out.point.len(), 5);
         assert_eq!(out.mle_evaluations.len(), 3);
-        assert_eq!(
-            out.proof.size_in_field_elements(),
-            5 * (vp.degree() + 1)
-        );
+        assert_eq!(out.proof.size_in_field_elements(), 5 * (vp.degree() + 1));
         // The recorded MLE evaluations really are the MLEs at the point.
         for (m, e) in vp.mles().iter().zip(out.mle_evaluations.iter()) {
             assert_eq!(m.evaluate(&out.point), *e);

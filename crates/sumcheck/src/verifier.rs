@@ -124,9 +124,9 @@ pub fn interpolate_uniform(evals: &[Fr], x: Fr) -> Fr {
 mod tests {
     use super::*;
     use crate::prover::{prove, round_polynomial};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use zkspeed_poly::{MultilinearPoly, VirtualPolynomial};
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0009)
@@ -218,7 +218,10 @@ mod tests {
         let mut vt = Transcript::new(b"sumcheck");
         assert_eq!(
             verify(claim, 4, vp.degree(), &out.proof, &mut vt).unwrap_err(),
-            SumcheckError::WrongNumberOfRounds { got: 3, expected: 4 }
+            SumcheckError::WrongNumberOfRounds {
+                got: 3,
+                expected: 4
+            }
         );
         let mut vt = Transcript::new(b"sumcheck");
         assert!(matches!(

@@ -121,8 +121,8 @@ pub fn verify_zerocheck(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_000a)
@@ -183,8 +183,7 @@ mod tests {
             assert_eq!(sub.point, out.sumcheck.point);
             // The sub-claim is discharged by the real polynomial evaluations.
             let f_eval = vp.evaluate(&sub.point);
-            let eq_eval =
-                MultilinearPoly::eq_eval(&sub.point, &sub.build_mle_challenges);
+            let eq_eval = MultilinearPoly::eq_eval(&sub.point, &sub.build_mle_challenges);
             assert_eq!(sub.expected_evaluation, f_eval * eq_eval);
             assert_eq!(sub.expected_f_evaluation(), f_eval);
         }
@@ -215,8 +214,6 @@ mod tests {
         let mut out = prove_zerocheck(&vp, &mut pt);
         out.sumcheck.proof.round_evaluations[0][0] += u(1);
         let mut vt = Transcript::new(b"zerocheck");
-        assert!(
-            verify_zerocheck(3, vp.degree() + 1, &out.sumcheck.proof, &mut vt).is_err()
-        );
+        assert!(verify_zerocheck(3, vp.degree() + 1, &out.sumcheck.proof, &mut vt).is_err());
     }
 }

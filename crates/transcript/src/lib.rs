@@ -4,7 +4,8 @@
 //! The crate has two layers:
 //!
 //! * [`Sha3_256`] / [`keccak_f1600`] — a from-scratch FIPS 202 implementation
-//!   (the functional counterpart of zkSpeed's SHA3 unit);
+//!   (the functional counterpart of zkSpeed's SHA3 unit), re-exported from
+//!   `zkspeed-rt` where it also backs the deterministic PRNG;
 //! * [`Transcript`] — the Fiat–Shamir transcript that turns the interactive
 //!   HyperPlonk protocol into a non-interactive one and enforces the serial
 //!   ordering of protocol steps described in Section 3.3.6 of the paper.
@@ -26,8 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod keccak;
 mod transcript;
 
-pub use keccak::{keccak_f1600, Sha3_256, SHA3_256_RATE};
 pub use transcript::Transcript;
+pub use zkspeed_rt::{keccak_f1600, Sha3_256, SHA3_256_RATE};

@@ -9,7 +9,7 @@
 
 use zkspeed_field::Fr;
 
-use crate::keccak::Sha3_256;
+use zkspeed_rt::Sha3_256;
 
 /// A SHA3-based Fiat–Shamir transcript.
 ///

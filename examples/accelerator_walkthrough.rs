@@ -4,12 +4,12 @@
 //!
 //! Run with: `cargo run --release --example accelerator_walkthrough`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zkspeed_core::{ChipConfig, Unit, Workload};
 use zkspeed_field::Fr;
 use zkspeed_hw::params::CLOCK_HZ;
 use zkspeed_poly::{fraction_mle, product_mle, MultilinearPoly};
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(11);
@@ -19,7 +19,10 @@ fn main() {
     // Build MLE (Multifunction Tree, forward mode).
     let challenges: Vec<Fr> = (0..mu_small).map(|_| Fr::random(&mut rng)).collect();
     let eq = MultilinearPoly::eq_mle(&challenges);
-    println!("Build MLE: eq table sums to one over the hypercube: {}", eq.sum_over_hypercube() == Fr::one());
+    println!(
+        "Build MLE: eq table sums to one over the hypercube: {}",
+        eq.sum_over_hypercube() == Fr::one()
+    );
 
     // FracMLE + Product MLE (Wiring Identity).
     let numerator = MultilinearPoly::random(mu_small, &mut rng);
@@ -28,8 +31,7 @@ fn main() {
     let pi = product_mle(&phi);
     println!(
         "FracMLE/ProdMLE: grand product reconstructed at index 2^mu-2: {}",
-        pi[(1 << mu_small) - 2]
-            == phi.evaluations().iter().copied().product::<Fr>()
+        pi[(1 << mu_small) - 2] == phi.evaluations().iter().copied().product::<Fr>()
     );
 
     println!("\n== Hardware model at 2^20 gates (Table 5 design, 2 TB/s) ==");
@@ -37,7 +39,11 @@ fn main() {
     let workload = Workload::standard(20);
     let sim = chip.simulate(&workload);
     let util = sim.utilization();
-    println!("total latency: {:.2} ms at {:.1} GHz", sim.total_seconds() * 1e3, CLOCK_HZ / 1e9);
+    println!(
+        "total latency: {:.2} ms at {:.1} GHz",
+        sim.total_seconds() * 1e3,
+        CLOCK_HZ / 1e9
+    );
     println!("{:<22} {:>12} {:>12}", "Unit", "Busy (ms)", "Utilization");
     for (i, unit) in Unit::ALL.iter().enumerate() {
         println!(

@@ -5,12 +5,12 @@
 //!
 //! Run with: `cargo run --release --example private_transaction_rollup`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use zkspeed_core::{ChipConfig, CpuModel, Workload};
 use zkspeed_field::Fr;
 use zkspeed_hyperplonk::{preprocess, prove_with_report, verify, CircuitBuilder, ProtocolStep};
 use zkspeed_pcs::Srs;
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);

@@ -4,12 +4,12 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zkspeed_core::{ChipConfig, CpuModel, Workload};
 use zkspeed_field::Fr;
 use zkspeed_hyperplonk::{preprocess, prove_with_report, verify, CircuitBuilder};
 use zkspeed_pcs::Srs;
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Express a statement as a circuit: "I know x such that x^3 + x + 5 = 35".
@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = builder.constant(Fr::from_u64(35));
     builder.assert_equal(lhs, target);
     let (circuit, witness) = builder.build();
-    println!("circuit: 2^{} = {} gates", circuit.num_vars(), circuit.num_gates());
+    println!(
+        "circuit: 2^{} = {} gates",
+        circuit.num_vars(),
+        circuit.num_gates()
+    );
 
     // 2. Universal setup + per-circuit preprocessing.
     let mut rng = StdRng::seed_from_u64(42);

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs one benchmark target end-to-end with tiny sample counts, as a smoke
+# test that the harness, the JSON emitter and the benched kernels all work.
+#
+# Usage: scripts/bench_smoke.sh [bench-target]   (default: field_ops)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TARGET="${1:-field_ops}"
+
+export ZKSPEED_BENCH_SAMPLES="${ZKSPEED_BENCH_SAMPLES:-3}"
+export ZKSPEED_BENCH_WARMUP="${ZKSPEED_BENCH_WARMUP:-1}"
+
+echo ">> cargo bench --offline --bench ${TARGET} (samples=${ZKSPEED_BENCH_SAMPLES}, warmup=${ZKSPEED_BENCH_WARMUP})"
+cargo bench --offline --bench "${TARGET}"

@@ -1,0 +1,46 @@
+//! Umbrella crate for the zkSpeed HyperPlonk reproduction.
+//!
+//! This crate owns the workspace-level integration tests (`tests/`) and
+//! examples (`examples/`), and re-exports every layer of the stack under one
+//! roof so downstream users can depend on a single crate:
+//!
+//! * [`rt`] — dependency-free runtime (SHA3, deterministic PRNG, JSON,
+//!   bench harness, scoped-thread parallelism);
+//! * [`field`] / [`curve`] / [`poly`] — BLS12-381 arithmetic and multilinear
+//!   polynomials;
+//! * [`transcript`] / [`sumcheck`] / [`pcs`] / [`hyperplonk`] — the
+//!   functional HyperPlonk prover and verifier;
+//! * [`hw`] / [`model`] — the zkSpeed accelerator's analytical hardware
+//!   model and design-space exploration;
+//! * [`bench`] — helpers shared by the figure/table reproduction binaries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use zkspeed::hyperplonk::{mock_circuit, preprocess, prove, verify, SparsityProfile};
+//! use zkspeed::pcs::Srs;
+//! use zkspeed::rt::rngs::StdRng;
+//! use zkspeed::rt::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let srs = Srs::setup(4, &mut rng);
+//! let (circuit, witness) = mock_circuit(4, SparsityProfile::paper_default(), &mut rng);
+//! let (pk, vk) = preprocess(circuit, &srs);
+//! let proof = prove(&pk, &witness).expect("valid witness");
+//! verify(&vk, &proof).expect("honest proof verifies");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use zkspeed_bench as bench;
+pub use zkspeed_core as model;
+pub use zkspeed_curve as curve;
+pub use zkspeed_field as field;
+pub use zkspeed_hw as hw;
+pub use zkspeed_hyperplonk as hyperplonk;
+pub use zkspeed_pcs as pcs;
+pub use zkspeed_poly as poly;
+pub use zkspeed_rt as rt;
+pub use zkspeed_sumcheck as sumcheck;
+pub use zkspeed_transcript as transcript;

@@ -2,8 +2,7 @@
 //! layer and against the headline numbers of the paper.
 
 use zkspeed_core::{
-    explore, geomean, pareto_frontier, speedup_report, ChipConfig, CpuModel, DesignSpace,
-    Workload,
+    explore, geomean, pareto_frontier, speedup_report, ChipConfig, CpuModel, DesignSpace, Workload,
 };
 use zkspeed_hw::SramModel;
 
@@ -13,8 +12,16 @@ fn table5_design_reproduces_headline_area_power_and_latency() {
     let area = chip.area();
     let power = chip.power();
     // Paper: 366.46 mm^2 and 170.88 W.
-    assert!((area.total_mm2() - 366.46).abs() < 40.0, "area {}", area.total_mm2());
-    assert!((power.total_w() - 170.88).abs() < 35.0, "power {}", power.total_w());
+    assert!(
+        (area.total_mm2() - 366.46).abs() < 40.0,
+        "area {}",
+        area.total_mm2()
+    );
+    assert!(
+        (power.total_w() - 170.88).abs() < 35.0,
+        "power {}",
+        power.total_w()
+    );
     // Power density stays below the CPU's (the paper's 0.46 W/mm^2 argument).
     assert!(power.total_w() / area.total_mm2() < 0.75);
     // Paper Table 3: 11.4 ms at 2^20; allow a generous modeling band.

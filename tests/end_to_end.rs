@@ -2,14 +2,14 @@
 //! construction through proving and verification, exercising every substrate
 //! crate together.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zkspeed_field::Fr;
 use zkspeed_hyperplonk::{
     mock_circuit, preprocess, prove, prove_with_report, verify, CircuitBuilder, ProtocolStep,
     SparsityProfile,
 };
 use zkspeed_pcs::Srs;
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::SeedableRng;
 
 #[test]
 fn mock_circuit_proof_roundtrip_multiple_sizes() {

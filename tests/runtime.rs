@@ -1,0 +1,188 @@
+//! Tests of the `zkspeed-rt` runtime substrate as seen by the whole stack:
+//! PRNG determinism (same seed → same stream, cross-thread independence) and
+//! parallel-vs-serial equivalence of the MSM, the SumCheck round polynomial
+//! and end-to-end proof generation.
+//!
+//! The equivalence tests pin the worker count with
+//! `zkspeed_rt::par::with_threads`, so they compare the true serial path
+//! against a genuinely fanned-out run regardless of how `ZKSPEED_THREADS` is
+//! set for the test process (the CI matrix runs them under both
+//! `ZKSPEED_THREADS=1` and `ZKSPEED_THREADS=8`).
+
+use zkspeed_curve::{msm_with_config, sparse_msm, G1Affine, G1Projective, MsmConfig};
+use zkspeed_field::Fr;
+use zkspeed_hyperplonk::{mock_circuit, preprocess, prove, verify, SparsityProfile};
+use zkspeed_pcs::Srs;
+use zkspeed_poly::{MultilinearPoly, VirtualPolynomial};
+use zkspeed_rt::par::with_threads;
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::{Rng, SeedableRng};
+use zkspeed_sumcheck::round_polynomial;
+
+// ---------------------------------------------------------------- PRNG ----
+
+#[test]
+fn prng_same_seed_reproduces_field_elements() {
+    let mut a = StdRng::seed_from_u64(0xD5EE_D001);
+    let mut b = StdRng::seed_from_u64(0xD5EE_D001);
+    for _ in 0..50 {
+        assert_eq!(Fr::random(&mut a), Fr::random(&mut b));
+    }
+    // And the streams are sensitive to the seed.
+    let mut c = StdRng::seed_from_u64(0xD5EE_D002);
+    let from_a: Vec<Fr> = (0..8).map(|_| Fr::random(&mut a)).collect();
+    let from_c: Vec<Fr> = (0..8).map(|_| Fr::random(&mut c)).collect();
+    assert_ne!(from_a, from_c);
+}
+
+#[test]
+fn prng_streams_are_thread_independent() {
+    // Each thread draws from its own seed; the streams must match a
+    // single-threaded recomputation exactly (no hidden shared state) and be
+    // pairwise distinct across seeds.
+    let handles: Vec<_> = (0..4u64)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..32).map(|_| rng.next_u64()).collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+    let streams: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (seed, stream) in streams.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed as u64);
+        let expect: Vec<u64> = (0..32).map(|_| rng.next_u64()).collect();
+        assert_eq!(stream, &expect, "seed {seed}");
+    }
+    for i in 0..streams.len() {
+        for j in i + 1..streams.len() {
+            assert_ne!(streams[i], streams[j], "seeds {i} and {j} collide");
+        }
+    }
+}
+
+#[test]
+fn prng_uniform_helpers_are_deterministic() {
+    let mut a = StdRng::seed_from_u64(77);
+    let mut b = StdRng::seed_from_u64(77);
+    for _ in 0..100 {
+        let ra: u64 = a.gen_range(10..1_000_000);
+        let rb: u64 = b.gen_range(10..1_000_000);
+        assert_eq!(ra, rb);
+        let fa: f64 = a.gen();
+        let fb: f64 = b.gen();
+        assert_eq!(fa.to_bits(), fb.to_bits());
+    }
+}
+
+// ------------------------------------------- parallel-vs-serial: MSM ----
+
+fn random_msm_instance(n: usize, seed: u64) -> (Vec<G1Affine>, Vec<Fr>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let proj: Vec<G1Projective> = (0..n).map(|_| G1Projective::random(&mut rng)).collect();
+    let points = G1Projective::batch_to_affine(&proj);
+    let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+    (points, scalars)
+}
+
+#[test]
+fn msm_parallel_matches_serial_bitwise() {
+    let (points, scalars) = random_msm_instance(512, 0xD5EE_D010);
+    let config = MsmConfig::default();
+    let serial = with_threads(1, || msm_with_config(&points, &scalars, config));
+    for threads in [2usize, 8] {
+        let parallel = with_threads(threads, || msm_with_config(&points, &scalars, config));
+        assert_eq!(parallel.0, serial.0, "{threads}-thread MSM result drifted");
+        assert_eq!(parallel.1, serial.1, "{threads}-thread MSM stats drifted");
+    }
+}
+
+#[test]
+fn sparse_msm_parallel_matches_serial() {
+    let (points, dense_scalars) = random_msm_instance(256, 0xD5EE_D011);
+    let mut rng = StdRng::seed_from_u64(0xD5EE_D012);
+    // Witness-style sparsity: mostly zeros and ones.
+    let scalars: Vec<Fr> = dense_scalars
+        .iter()
+        .map(|v| {
+            let roll: f64 = rng.gen();
+            if roll < 0.45 {
+                Fr::zero()
+            } else if roll < 0.9 {
+                Fr::one()
+            } else {
+                *v
+            }
+        })
+        .collect();
+    let serial = with_threads(1, || sparse_msm(&points, &scalars));
+    let parallel = with_threads(8, || sparse_msm(&points, &scalars));
+    assert_eq!(parallel.0, serial.0);
+    assert_eq!(parallel.1, serial.1);
+}
+
+#[test]
+fn modmul_counters_are_thread_count_invariant() {
+    // The kernel profiler (Table 1) reads thread-local modmul counters;
+    // parallel workers must hand their counts back to the spawning thread.
+    let (points, scalars) = random_msm_instance(256, 0xD5EE_D013);
+    let count = |threads: usize| {
+        with_threads(threads, || {
+            let before = zkspeed_field::modmul_count();
+            let _ = msm_with_config(&points, &scalars, MsmConfig::default());
+            zkspeed_field::modmul_count().since(&before)
+        })
+    };
+    let serial = count(1);
+    assert!(serial.total() > 0, "MSM must record modmuls");
+    assert_eq!(count(8), serial, "worker-side modmuls were dropped");
+}
+
+// -------------------------------------- parallel-vs-serial: SumCheck ----
+
+fn random_virtual_poly(num_vars: usize, seed: u64) -> VirtualPolynomial {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vp = VirtualPolynomial::new(num_vars);
+    let f = vp.add_mle(MultilinearPoly::random(num_vars, &mut rng));
+    let g = vp.add_mle(MultilinearPoly::random(num_vars, &mut rng));
+    let h = vp.add_mle(MultilinearPoly::random(num_vars, &mut rng));
+    vp.add_term(Fr::from_u64(3), vec![f, g, h]);
+    vp.add_term(-Fr::from_u64(2), vec![f, h]);
+    vp.add_term(Fr::one(), vec![g]);
+    vp
+}
+
+#[test]
+fn round_polynomial_parallel_matches_serial_bitwise() {
+    // 2^11 hypercube instances: enough to split into many 256-instance
+    // chunks when 8 workers are active.
+    let vp = random_virtual_poly(12, 0xD5EE_D020);
+    let degree = vp.degree();
+    let serial = with_threads(1, || round_polynomial(&vp, degree));
+    for threads in [2usize, 8] {
+        let parallel = with_threads(threads, || round_polynomial(&vp, degree));
+        assert_eq!(
+            parallel, serial,
+            "{threads}-thread round polynomial drifted"
+        );
+    }
+}
+
+// ------------------------------------ parallel-vs-serial: full prover ----
+
+#[test]
+fn end_to_end_proof_is_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(0xD5EE_D030);
+    let mu = 5;
+    let srs = Srs::setup(mu, &mut rng);
+    let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut rng);
+    let (pk, vk) = preprocess(circuit, &srs);
+
+    let serial = with_threads(1, || prove(&pk, &witness).expect("valid witness"));
+    let parallel = with_threads(8, || prove(&pk, &witness).expect("valid witness"));
+    // Structural equality covers every byte the proof serializes: the
+    // commitments, all sumcheck round evaluations and the opening proofs.
+    assert_eq!(parallel, serial, "proof bytes differ between thread counts");
+    assert_eq!(parallel.size_in_bytes(), serial.size_in_bytes());
+    verify(&vk, &parallel).expect("parallel proof verifies");
+}

@@ -1,15 +1,22 @@
 //! Soundness-oriented integration tests: proofs produced from invalid
 //! witnesses or tampered proof objects must be rejected by the verifier.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zkspeed_field::Fr;
 use zkspeed_hyperplonk::{
     mock_circuit, preprocess, prove, prove_unchecked, verify, SparsityProfile,
 };
 use zkspeed_pcs::Srs;
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::SeedableRng;
 
-fn setup(mu: usize, seed: u64) -> (zkspeed_hyperplonk::ProvingKey, zkspeed_hyperplonk::VerifyingKey, zkspeed_hyperplonk::Witness) {
+fn setup(
+    mu: usize,
+    seed: u64,
+) -> (
+    zkspeed_hyperplonk::ProvingKey,
+    zkspeed_hyperplonk::VerifyingKey,
+    zkspeed_hyperplonk::Witness,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     let srs = Srs::setup(mu, &mut rng);
     let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut rng);
@@ -23,7 +30,10 @@ fn gate_violating_witness_is_rejected() {
     // Corrupt a single output value: some gate constraint breaks.
     witness.columns[2].evaluations_mut()[7] += Fr::from_u64(1);
     let (proof, _) = prove_unchecked(&pk, &witness);
-    assert!(verify(&vk, &proof).is_err(), "gate violation must be caught");
+    assert!(
+        verify(&vk, &proof).is_err(),
+        "gate violation must be caught"
+    );
 }
 
 #[test]
@@ -58,7 +68,10 @@ fn wiring_violating_witness_is_rejected() {
             }
         }
     }
-    assert!(broke_something, "mock circuit should have nontrivial wiring");
+    assert!(
+        broke_something,
+        "mock circuit should have nontrivial wiring"
+    );
     let (proof, _) = prove_unchecked(&pk, &tampered);
     assert!(
         verify(&vk, &proof).is_err(),
@@ -117,9 +130,8 @@ fn every_proof_component_is_binding() {
 
     // Commitment tampering.
     let mut p = proof.clone();
-    p.phi_commitment = zkspeed_pcs::Commitment(
-        p.phi_commitment.0 + zkspeed_curve::G1Projective::generator(),
-    );
+    p.phi_commitment =
+        zkspeed_pcs::Commitment(p.phi_commitment.0 + zkspeed_curve::G1Projective::generator());
     assert!(verify(&vk, &p).is_err());
 
     // Opening-proof tampering.

@@ -1,25 +1,45 @@
 //! End-to-end HyperPlonk prover and verifier benchmarks (the CPU baseline
-//! this repository measures directly, at laptop-scale problem sizes).
+//! this repository measures directly, at laptop-scale problem sizes),
+//! driven through the backend-threaded session entry points so key setup
+//! happens once per size.
 
-use zkspeed_hyperplonk::{mock_circuit, preprocess, prove, verify, SparsityProfile};
+use std::sync::Arc;
+
+use zkspeed_hyperplonk::{
+    mock_circuit, prove_batch_on, prove_on, try_preprocess_on, verify, SparsityProfile,
+};
 use zkspeed_pcs::Srs;
 use zkspeed_rt::bench::Harness;
+use zkspeed_rt::pool::{self, Backend};
 use zkspeed_rt::rngs::StdRng;
 use zkspeed_rt::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut h = Harness::new("hyperplonk");
+    let backend: Arc<dyn Backend> = pool::ambient();
     for num_vars in [6usize, 8] {
-        let srs = Srs::setup(num_vars, &mut rng);
+        let srs = Srs::try_setup(num_vars, &mut rng).expect("setup fits");
         let (circuit, witness) = mock_circuit(num_vars, SparsityProfile::paper_default(), &mut rng);
-        let (pk, vk) = preprocess(circuit, &srs);
+        let (pk, vk) = try_preprocess_on(circuit, &srs, &backend).expect("circuit fits");
         h.bench(format!("prove/{}", 1 << num_vars), || {
-            prove(&pk, &witness).expect("valid witness")
+            prove_on(&pk, &witness, &backend).expect("valid witness")
         });
-        let proof = prove(&pk, &witness).expect("valid witness");
+        let witnesses = vec![
+            witness.clone(),
+            witness.clone(),
+            witness.clone(),
+            witness.clone(),
+        ];
+        h.bench(format!("prove_batch4/{}", 1 << num_vars), || {
+            prove_batch_on(&pk, &witnesses, &backend).expect("valid witnesses")
+        });
+        let proof = prove_on(&pk, &witness, &backend).expect("valid witness");
         h.bench(format!("verify/{}", 1 << num_vars), || {
             verify(&vk, &proof).expect("valid proof")
+        });
+        h.bench(format!("proof_to_bytes/{}", 1 << num_vars), || {
+            proof.to_bytes()
         });
     }
     h.finish();

@@ -17,6 +17,7 @@ use core::iter::Sum;
 use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
 use zkspeed_field::{Fq, Fr};
+use zkspeed_rt::codec::{DecodeError, Reader};
 use zkspeed_rt::Rng;
 
 /// Number of Fq multiplications in one complete projective point addition
@@ -131,7 +132,65 @@ impl G1Affine {
             }
         }
     }
+
+    /// Appends the canonical [`G1_ENCODED_BYTES`]-byte encoding: `x` and `y`
+    /// as 48-byte little-endian canonical field elements followed by an
+    /// infinity flag byte. The identity encodes as all-zero coordinates with
+    /// the flag set, so every point has exactly one encoding.
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        if self.infinity {
+            out.extend_from_slice(&[0u8; 96]);
+            out.push(1);
+        } else {
+            out.extend_from_slice(&self.x.to_bytes_le());
+            out.extend_from_slice(&self.y.to_bytes_le());
+            out.push(0);
+        }
+    }
+
+    /// Reads a canonical encoding produced by [`Self::write_canonical`],
+    /// rejecting non-canonical field elements, non-canonical identity
+    /// encodings, and points off the curve.
+    pub fn read_canonical(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let bytes = reader.take(G1_ENCODED_BYTES)?;
+        let (x_bytes, y_bytes, flag) = (&bytes[..48], &bytes[48..96], bytes[96]);
+        match flag {
+            1 => {
+                if x_bytes.iter().chain(y_bytes).any(|b| *b != 0) {
+                    return Err(DecodeError::InvalidValue {
+                        what: "G1 identity with nonzero coordinates",
+                    });
+                }
+                Ok(Self::identity())
+            }
+            0 => {
+                let x = Fq::from_bytes_le(x_bytes).ok_or(DecodeError::InvalidValue {
+                    what: "non-canonical G1 x coordinate",
+                })?;
+                let y = Fq::from_bytes_le(y_bytes).ok_or(DecodeError::InvalidValue {
+                    what: "non-canonical G1 y coordinate",
+                })?;
+                let point = Self {
+                    x,
+                    y,
+                    infinity: false,
+                };
+                if !point.is_on_curve() {
+                    return Err(DecodeError::InvalidValue {
+                        what: "G1 point off the curve",
+                    });
+                }
+                Ok(point)
+            }
+            _ => Err(DecodeError::InvalidValue {
+                what: "G1 infinity flag",
+            }),
+        }
+    }
 }
+
+/// Size in bytes of the canonical [`G1Affine::write_canonical`] encoding.
+pub const G1_ENCODED_BYTES: usize = 97;
 
 impl Neg for G1Affine {
     type Output = G1Affine;
@@ -549,6 +608,52 @@ mod tests {
             G1Projective::identity()
         );
         assert_eq!(-G1Affine::identity(), G1Affine::identity());
+    }
+
+    #[test]
+    fn canonical_encoding_roundtrips_and_validates() {
+        let mut r = rng();
+        let mut points: Vec<G1Affine> = (0..4)
+            .map(|_| G1Projective::random(&mut r).to_affine())
+            .collect();
+        points.push(G1Affine::identity());
+        for p in &points {
+            let mut bytes = Vec::new();
+            p.write_canonical(&mut bytes);
+            assert_eq!(bytes.len(), G1_ENCODED_BYTES);
+            let mut reader = Reader::new(&bytes);
+            let back = G1Affine::read_canonical(&mut reader).expect("valid point");
+            assert_eq!(back, *p);
+            assert_eq!(reader.remaining(), 0);
+        }
+        // Off-curve data is rejected.
+        let mut bytes = Vec::new();
+        G1Affine::generator().write_canonical(&mut bytes);
+        bytes[0] ^= 1;
+        assert!(matches!(
+            G1Affine::read_canonical(&mut Reader::new(&bytes)),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+        // A non-canonical identity (flag set, nonzero coordinates) is rejected.
+        let mut bytes = Vec::new();
+        G1Affine::generator().write_canonical(&mut bytes);
+        bytes[96] = 1;
+        assert!(matches!(
+            G1Affine::read_canonical(&mut Reader::new(&bytes)),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+        // A bad flag byte is rejected.
+        let mut bytes = vec![0u8; 96];
+        bytes.push(7);
+        assert!(matches!(
+            G1Affine::read_canonical(&mut Reader::new(&bytes)),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+        // Truncated input is rejected.
+        assert!(matches!(
+            G1Affine::read_canonical(&mut Reader::new(&[0u8; 10])),
+            Err(DecodeError::UnexpectedEnd { .. })
+        ));
     }
 
     #[test]

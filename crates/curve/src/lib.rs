@@ -38,8 +38,9 @@
 mod g1;
 mod msm;
 
-pub use g1::{G1Affine, G1Projective, PADD_FQ_MULS, PDBL_FQ_MULS};
+pub use g1::{G1Affine, G1Projective, G1_ENCODED_BYTES, PADD_FQ_MULS, PDBL_FQ_MULS};
 pub use msm::{
-    aggregate_buckets, auto_window_bits, msm, msm_with_config, naive_msm, sparse_msm, tree_sum,
-    Aggregation, MsmConfig, MsmStats, SparseMsmStats,
+    aggregate_buckets, auto_window_bits, msm, msm_with_config, msm_with_config_on,
+    msm_with_config_shared, naive_msm, sparse_msm, sparse_msm_on, tree_sum, Aggregation, MsmConfig,
+    MsmStats, SparseMsmStats,
 };

@@ -13,7 +13,10 @@
 //!   that are 0 or 1 bypass Pippenger entirely (Section 3.3.1);
 //! * operation counters ([`MsmStats`]) that feed the hardware cost model.
 
+use std::sync::Arc;
+
 use zkspeed_field::Fr;
+use zkspeed_rt::pool::{self, Backend};
 
 use crate::g1::{G1Affine, G1Projective};
 
@@ -144,6 +147,10 @@ pub fn msm(points: &[G1Affine], scalars: &[Fr]) -> G1Projective {
 /// Computes `Σ sᵢ·Pᵢ` with Pippenger's algorithm and an explicit
 /// configuration, returning the result together with operation counts.
 ///
+/// Parallel fan-out follows the ambient configuration (`ZKSPEED_THREADS`,
+/// [`zkspeed_rt::par::with_threads`]); use [`msm_with_config_on`] to pin an
+/// explicit [`Backend`].
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths or if a grouped aggregation
@@ -153,13 +160,104 @@ pub fn msm_with_config(
     scalars: &[Fr],
     config: MsmConfig,
 ) -> (G1Projective, MsmStats) {
-    assert_eq!(points.len(), scalars.len(), "length mismatch");
+    msm_with_config_on(&pool::Ambient, points, scalars, config)
+}
+
+/// [`msm_with_config`] on an explicit execution backend.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or if a grouped aggregation
+/// with `group_size == 0` is requested.
+pub fn msm_with_config_on(
+    backend: &dyn Backend,
+    points: &[G1Affine],
+    scalars: &[Fr],
+    config: MsmConfig,
+) -> (G1Projective, MsmStats) {
+    msm_impl(backend, PointSource::Borrowed(points), scalars, config)
+}
+
+/// [`msm_with_config`] over a shared point vector: when the backend goes
+/// parallel the `Arc` is cloned into the worker jobs instead of copying the
+/// points, so SRS-basis commitments fan out with zero point copies.
+///
+/// # Panics
+///
+/// Panics if the lengths mismatch or if a grouped aggregation with
+/// `group_size == 0` is requested.
+pub fn msm_with_config_shared(
+    backend: &dyn Backend,
+    points: &Arc<Vec<G1Affine>>,
+    scalars: &[Fr],
+    config: MsmConfig,
+) -> (G1Projective, MsmStats) {
+    msm_impl(backend, PointSource::Shared(points), scalars, config)
+}
+
+/// How an MSM receives its point vector: borrowed (copied into an `Arc` only
+/// if the run actually fans out) or already shared.
+enum PointSource<'a> {
+    Borrowed(&'a [G1Affine]),
+    Shared(&'a Arc<Vec<G1Affine>>),
+}
+
+impl PointSource<'_> {
+    fn as_slice(&self) -> &[G1Affine] {
+        match self {
+            PointSource::Borrowed(p) => p,
+            PointSource::Shared(a) => a.as_slice(),
+        }
+    }
+
+    fn to_shared(&self) -> Arc<Vec<G1Affine>> {
+        match self {
+            // One pass of memcpy (~10 ns/point) against hundreds of point
+            // additions per point of MSM work; hot callers that own an Arc
+            // (SRS-basis commits) take the Shared arm and copy nothing.
+            PointSource::Borrowed(p) => Arc::new(p.to_vec()),
+            PointSource::Shared(a) => Arc::clone(a),
+        }
+    }
+}
+
+/// One window's bucket accumulation and aggregation — the unit of parallel
+/// work. Returns the window sum plus the bucket/aggregation addition counts.
+fn window_contribution(
+    points: &[G1Affine],
+    scalar_limbs: &[[u64; 4]],
+    window: usize,
+    w: usize,
+    num_buckets: usize,
+    aggregation: Aggregation,
+) -> (G1Projective, u64, u64) {
+    let mut buckets = vec![G1Projective::identity(); num_buckets];
+    let mut bucket_adds = 0u64;
+    for (limbs, point) in scalar_limbs.iter().zip(points.iter()) {
+        let idx = extract_window(limbs, window * w, w);
+        if idx != 0 {
+            buckets[idx - 1] = buckets[idx - 1].add_affine(point);
+            bucket_adds += 1;
+        }
+    }
+    let (window_sum, agg_adds) = aggregate_buckets(&buckets, aggregation);
+    (window_sum, bucket_adds, agg_adds)
+}
+
+fn msm_impl(
+    backend: &dyn Backend,
+    points: PointSource<'_>,
+    scalars: &[Fr],
+    config: MsmConfig,
+) -> (G1Projective, MsmStats) {
+    let point_slice = points.as_slice();
+    assert_eq!(point_slice.len(), scalars.len(), "length mismatch");
     let mut stats = MsmStats::default();
-    if points.is_empty() {
+    if point_slice.is_empty() {
         return (G1Projective::identity(), stats);
     }
     let w = if config.window_bits == 0 {
-        auto_window_bits(points.len())
+        auto_window_bits(point_slice.len())
     } else {
         config.window_bits
     };
@@ -171,38 +269,51 @@ pub fn msm_with_config(
     let num_buckets = (1usize << w) - 1;
 
     // Each window's bucket accumulation and aggregation is independent of
-    // every other window, so the windows fan out over `ZKSPEED_THREADS`
-    // scoped workers (the serial combine below consumes them in window
-    // order, so results and operation counts are bit-identical to a serial
-    // run; with one thread this is exactly the serial schedule). Workers
-    // measure their thread-local modmul delta, rewind it, and hand it back
-    // so the profiling counters see the same totals at any thread count.
-    // MSMs below PAR_MIN_POINTS (the tail of the halving-MSM sequence, tiny
-    // commits) stay on the calling thread: thread-spawn overhead would dwarf
-    // the microseconds of useful work per window.
+    // every other window, so the windows fan out over the backend's workers
+    // (the serial combine below consumes them in window order, so results
+    // and operation counts are bit-identical to a serial run; with one
+    // thread this is exactly the serial schedule). Workers measure their
+    // thread-local modmul delta, rewind it, and hand it back so the
+    // profiling counters see the same totals at any thread count. MSMs
+    // below PAR_MIN_POINTS (the tail of the halving-MSM sequence, tiny
+    // commits) stay on the calling thread: fan-out overhead would dwarf the
+    // microseconds of useful work per window.
     const PAR_MIN_POINTS: usize = 256;
-    let compute_window = |window: usize| {
-        let ((window_sum, bucket_adds, agg_adds), muls) = zkspeed_field::measure_modmuls(|| {
-            let mut buckets = vec![G1Projective::identity(); num_buckets];
-            let mut bucket_adds = 0u64;
-            for (limbs, point) in scalar_limbs.iter().zip(points.iter()) {
-                let idx = extract_window(limbs, window * w, w);
-                if idx != 0 {
-                    buckets[idx - 1] = buckets[idx - 1].add_affine(point);
-                    bucket_adds += 1;
-                }
-            }
-            let (window_sum, agg_adds) = aggregate_buckets(&buckets, config.aggregation);
-            (window_sum, bucket_adds, agg_adds)
-        });
-        (window_sum, bucket_adds, agg_adds, muls)
+    let parallel = point_slice.len() >= PAR_MIN_POINTS && backend.threads() > 1 && num_windows > 1;
+    let window_sums: Vec<(G1Projective, u64, u64, zkspeed_field::ModmulCount)> = if parallel {
+        let shared_points = points.to_shared();
+        let shared_limbs = Arc::new(scalar_limbs);
+        let aggregation = config.aggregation;
+        pool::map_indices_on(backend, num_windows, move |window| {
+            let (out, muls) = zkspeed_field::measure_modmuls(|| {
+                window_contribution(
+                    &shared_points,
+                    &shared_limbs,
+                    window,
+                    w,
+                    num_buckets,
+                    aggregation,
+                )
+            });
+            (out.0, out.1, out.2, muls)
+        })
+    } else {
+        (0..num_windows)
+            .map(|window| {
+                let (out, muls) = zkspeed_field::measure_modmuls(|| {
+                    window_contribution(
+                        point_slice,
+                        &scalar_limbs,
+                        window,
+                        w,
+                        num_buckets,
+                        config.aggregation,
+                    )
+                });
+                (out.0, out.1, out.2, muls)
+            })
+            .collect()
     };
-    let window_sums: Vec<(G1Projective, u64, u64, zkspeed_field::ModmulCount)> =
-        if points.len() >= PAR_MIN_POINTS {
-            zkspeed_rt::par::map_indices(num_windows, compute_window)
-        } else {
-            (0..num_windows).map(compute_window).collect()
-        };
 
     let mut acc = G1Projective::identity();
     for (window, &(window_sum, bucket_adds, agg_adds, muls)) in window_sums.iter().enumerate().rev()
@@ -310,6 +421,19 @@ fn aggregate_grouped(buckets: &[G1Projective], group_size: usize) -> (G1Projecti
 ///
 /// Panics if the slices have different lengths.
 pub fn sparse_msm(points: &[G1Affine], scalars: &[Fr]) -> (G1Projective, SparseMsmStats) {
+    sparse_msm_on(&pool::Ambient, points, scalars)
+}
+
+/// [`sparse_msm`] on an explicit execution backend.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sparse_msm_on(
+    backend: &dyn Backend,
+    points: &[G1Affine],
+    scalars: &[Fr],
+) -> (G1Projective, SparseMsmStats) {
     assert_eq!(points.len(), scalars.len(), "length mismatch");
     let one = Fr::one();
     let zero = Fr::zero();
@@ -334,8 +458,12 @@ pub fn sparse_msm(points: &[G1Affine], scalars: &[Fr]) -> (G1Projective, SparseM
     let (ones_sum, tree_adds) = tree_sum(&ones_points);
     stats.ops.combine_adds += tree_adds;
 
-    let (dense_sum, dense_stats) =
-        msm_with_config(&dense_points, &dense_scalars, MsmConfig::default());
+    let (dense_sum, dense_stats) = msm_impl(
+        backend,
+        PointSource::Shared(&Arc::new(dense_points)),
+        &dense_scalars,
+        MsmConfig::default(),
+    );
     stats.ops.merge(&dense_stats);
     let total = ones_sum + dense_sum;
     stats.ops.combine_adds += 1;

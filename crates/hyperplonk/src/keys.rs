@@ -6,10 +6,43 @@
 //! the circuit-independent, universal-setup property that motivates
 //! HyperPlonk over Groth16 in the zkSpeed paper's introduction.
 
-use zkspeed_pcs::{commit, Commitment, Srs};
+use core::fmt;
+use std::sync::Arc;
+
+use zkspeed_pcs::{commit_on, Commitment, Srs};
+use zkspeed_poly::MultilinearPoly;
+use zkspeed_rt::pool::{self, Backend, Serial};
 use zkspeed_transcript::Transcript;
 
 use crate::circuit::Circuit;
+
+/// Why preprocessing rejected a circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PreprocessError {
+    /// The SRS supports fewer variables than the circuit needs.
+    SrsTooSmall {
+        /// Variables supported by the SRS.
+        srs_num_vars: usize,
+        /// Variables required by the circuit.
+        circuit_num_vars: usize,
+    },
+}
+
+impl fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreprocessError::SrsTooSmall {
+                srs_num_vars,
+                circuit_num_vars,
+            } => write!(
+                f,
+                "SRS supports up to 2^{srs_num_vars} gates but the circuit has 2^{circuit_num_vars}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {}
 
 /// The prover's key: the circuit tables plus the SRS.
 #[derive(Clone, Debug)]
@@ -72,17 +105,72 @@ pub fn bind_circuit_to_transcript(
 ///
 /// # Panics
 ///
-/// Panics if the SRS is too small for the circuit.
+/// Panics if the SRS is too small for the circuit. Prefer
+/// [`try_preprocess`], which returns a [`PreprocessError`] instead; this
+/// shim remains for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `zkspeed::ProofSystem::preprocess` or `try_preprocess` instead"
+)]
 pub fn preprocess(circuit: Circuit, srs: &Srs) -> (ProvingKey, VerifyingKey) {
-    assert!(
-        circuit.num_vars() <= srs.num_vars(),
-        "SRS supports up to 2^{} gates but the circuit has 2^{}",
-        srs.num_vars(),
-        circuit.num_vars()
-    );
-    let selector_commitments = [0, 1, 2, 3, 4].map(|i| commit(srs, &circuit.selectors()[i]));
+    match try_preprocess(circuit, srs) {
+        Ok(keys) => keys,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Validating preprocessing: turns an undersized SRS into a
+/// [`PreprocessError`] instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`PreprocessError::SrsTooSmall`] if the circuit does not fit.
+pub fn try_preprocess(
+    circuit: Circuit,
+    srs: &Srs,
+) -> Result<(ProvingKey, VerifyingKey), PreprocessError> {
+    try_preprocess_on(circuit, srs, &pool::ambient())
+}
+
+/// [`try_preprocess`] on an explicit execution backend: the eight
+/// commitments (five selectors, three wiring permutations) fan out across
+/// the backend's workers.
+///
+/// # Errors
+///
+/// Returns [`PreprocessError::SrsTooSmall`] if the circuit does not fit.
+pub fn try_preprocess_on(
+    circuit: Circuit,
+    srs: &Srs,
+    backend: &Arc<dyn Backend>,
+) -> Result<(ProvingKey, VerifyingKey), PreprocessError> {
+    if circuit.num_vars() > srs.num_vars() {
+        return Err(PreprocessError::SrsTooSmall {
+            srs_num_vars: srs.num_vars(),
+            circuit_num_vars: circuit.num_vars(),
+        });
+    }
     let sigmas = circuit.sigma_mles();
-    let sigma_commitments = [0, 1, 2].map(|i| commit(srs, &sigmas[i]));
+    // Eight independent MSMs: one job each (the MSMs themselves stay serial
+    // inside their job so eight workers split the level evenly). Results are
+    // consumed in table order, so keys are identical at any thread count.
+    let tables: Vec<MultilinearPoly> = circuit
+        .selectors()
+        .iter()
+        .chain(sigmas.iter())
+        .cloned()
+        .collect();
+    let job_srs = srs.clone();
+    let commitments = pool::map_indices_on(&**backend, tables.len(), move |i| {
+        zkspeed_field::measure_modmuls(|| commit_on(&Serial, &job_srs, &tables[i]))
+    });
+    let mut ordered = Vec::with_capacity(commitments.len());
+    for (com, muls) in commitments {
+        zkspeed_field::add_modmul_count(muls);
+        ordered.push(com);
+    }
+    let selector_commitments = [0, 1, 2, 3, 4].map(|i| ordered[i]);
+    let sigma_commitments = [0, 1, 2].map(|i| ordered[5 + i]);
     let vk = VerifyingKey {
         num_vars: circuit.num_vars(),
         srs: srs.clone(),
@@ -95,7 +183,7 @@ pub fn preprocess(circuit: Circuit, srs: &Srs) -> (ProvingKey, VerifyingKey) {
         selector_commitments,
         sigma_commitments,
     };
-    (pk, vk)
+    Ok((pk, vk))
 }
 
 #[cfg(test)]
@@ -110,12 +198,14 @@ mod tests {
         StdRng::seed_from_u64(0x5eed_000f)
     }
 
+    use zkspeed_pcs::commit;
+
     #[test]
     fn preprocess_commits_to_circuit_tables() {
         let mut r = rng();
         let srs = Srs::setup(4, &mut r);
         let (circuit, _) = mock_circuit(4, SparsityProfile::paper_default(), &mut r);
-        let (pk, vk) = preprocess(circuit.clone(), &srs);
+        let (pk, vk) = try_preprocess(circuit.clone(), &srs).expect("circuit fits");
         assert_eq!(vk.num_vars, 4);
         assert_eq!(pk.selector_commitments, vk.selector_commitments);
         // Commitments match direct commitment of the tables.
@@ -135,8 +225,8 @@ mod tests {
         let srs = Srs::setup(3, &mut r);
         let add = Circuit::with_identity_wiring(&vec![GateSelectors::addition(); 8]);
         let mul = Circuit::with_identity_wiring(&vec![GateSelectors::multiplication(); 8]);
-        let (_, vk_add) = preprocess(add, &srs);
-        let (_, vk_mul) = preprocess(mul, &srs);
+        let (_, vk_add) = try_preprocess(add, &srs).unwrap();
+        let (_, vk_mul) = try_preprocess(mul, &srs).unwrap();
         assert_ne!(vk_add.selector_commitments, vk_mul.selector_commitments);
         // Binding to a transcript therefore yields different challenges.
         let mut ta = Transcript::new(b"t");
@@ -148,10 +238,40 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "SRS supports up to")]
-    fn undersized_srs_is_rejected() {
+    fn undersized_srs_is_rejected_by_the_deprecated_shim() {
         let mut r = rng();
         let srs = Srs::setup(2, &mut r);
         let (circuit, _) = mock_circuit(3, SparsityProfile::paper_default(), &mut r);
+        #[allow(deprecated)]
         let _ = preprocess(circuit, &srs);
+    }
+
+    #[test]
+    fn undersized_srs_is_a_structured_error() {
+        let mut r = rng();
+        let srs = Srs::setup(2, &mut r);
+        let (circuit, _) = mock_circuit(3, SparsityProfile::paper_default(), &mut r);
+        let err = try_preprocess(circuit, &srs).unwrap_err();
+        assert_eq!(
+            err,
+            PreprocessError::SrsTooSmall {
+                srs_num_vars: 2,
+                circuit_num_vars: 3
+            }
+        );
+        assert!(err.to_string().contains("SRS supports up to 2^2"));
+    }
+
+    #[test]
+    fn backend_preprocess_matches_serial() {
+        let mut r = rng();
+        let srs = Srs::setup(5, &mut r);
+        let (circuit, _) = mock_circuit(5, SparsityProfile::paper_default(), &mut r);
+        let serial: Arc<dyn Backend> = Arc::new(Serial);
+        let pool: Arc<dyn Backend> = Arc::new(zkspeed_rt::pool::ThreadPool::new(4));
+        let (_, vk_a) = try_preprocess_on(circuit.clone(), &srs, &serial).unwrap();
+        let (_, vk_b) = try_preprocess_on(circuit, &srs, &pool).unwrap();
+        assert_eq!(vk_a.selector_commitments, vk_b.selector_commitments);
+        assert_eq!(vk_a.sigma_commitments, vk_b.sigma_commitments);
     }
 }

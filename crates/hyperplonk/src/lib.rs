@@ -21,17 +21,24 @@
 //! ```
 //! use zkspeed_rt::rngs::StdRng;
 //! use zkspeed_rt::SeedableRng;
-//! use zkspeed_hyperplonk::{mock_circuit, preprocess, prove, verify, SparsityProfile};
+//! use zkspeed_rt::pool;
+//! use zkspeed_hyperplonk::{mock_circuit, prove_on, try_preprocess, verify, SparsityProfile};
 //! use zkspeed_pcs::Srs;
 //!
 //! let mut rng = StdRng::seed_from_u64(42);
-//! let srs = Srs::setup(4, &mut rng);
+//! let srs = Srs::try_setup(4, &mut rng)?;
 //! let (circuit, witness) = mock_circuit(4, SparsityProfile::paper_default(), &mut rng);
-//! let (pk, vk) = preprocess(circuit, &srs);
-//! let proof = prove(&pk, &witness)?;
+//! let (pk, vk) = try_preprocess(circuit, &srs)?;
+//! let proof = prove_on(&pk, &witness, &pool::ambient())?;
 //! verify(&vk, &proof)?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Downstream users should prefer the session API of the umbrella `zkspeed`
+//! crate (`ProofSystem::setup` → `preprocess` → `ProverHandle::prove`),
+//! which owns the keys and the execution backend; the free functions
+//! [`preprocess`], [`prove`], [`prove_with_report`] and [`prove_unchecked`]
+//! remain as deprecated shims for one release.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,16 +50,25 @@ mod mock;
 mod profile;
 mod proof;
 mod prover;
+mod serialize;
 mod verifier;
 
 pub use builder::{CircuitBuilder, Variable};
 pub use circuit::{Circuit, GateSelectors, SatisfactionError, WireColumn, Witness};
-pub use keys::{bind_circuit_to_transcript, preprocess, ProvingKey, VerifyingKey};
+#[allow(deprecated)]
+pub use keys::preprocess;
+pub use keys::{
+    bind_circuit_to_transcript, try_preprocess, try_preprocess_on, PreprocessError, ProvingKey,
+    VerifyingKey,
+};
 pub use mock::{mock_circuit, NamedWorkload, SparsityProfile, NAMED_WORKLOADS};
 pub use profile::{profile_kernels, KernelProfile, BYTES_PER_FIELD_ELEMENT, BYTES_PER_G1_POINT};
 pub use proof::{query_groups, BatchEvaluations, PolyLabel, Proof, QueryGroup};
+#[allow(deprecated)]
+pub use prover::{prove, prove_unchecked, prove_with_report};
 pub use prover::{
-    prove, prove_unchecked, prove_with_report, ProtocolStep, ProveError, ProverReport,
-    GATE_SUMCHECK_DEGREE, OPENCHECK_DEGREE, PERM_SUMCHECK_DEGREE,
+    prove_batch_on, prove_on, prove_unchecked_on, prove_with_report_on, ProtocolStep, ProveError,
+    ProverReport, GATE_SUMCHECK_DEGREE, OPENCHECK_DEGREE, PERM_SUMCHECK_DEGREE,
 };
+pub use serialize::{KIND_PROOF, KIND_VERIFYING_KEY};
 pub use verifier::{verify, VerifyError};

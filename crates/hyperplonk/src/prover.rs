@@ -14,13 +14,15 @@
 //! measurements per step; these calibrate the CPU baseline model used by the
 //! accelerator's design-space exploration.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use zkspeed_curve::{MsmStats, SparseMsmStats};
 use zkspeed_field::Fr;
-use zkspeed_pcs::{commit_sparse, commit_with_stats, open};
+use zkspeed_pcs::{commit_sparse_on, commit_with_stats_on, open_on};
 use zkspeed_poly::{fraction_mle, product_mle, split_even_odd, MultilinearPoly, VirtualPolynomial};
-use zkspeed_sumcheck::{prove as sumcheck_prove, prove_zerocheck};
+use zkspeed_rt::pool::{self, Backend, Serial};
+use zkspeed_sumcheck::{prove_on as sumcheck_prove_on, prove_zerocheck_on};
 use zkspeed_transcript::Transcript;
 
 use crate::circuit::{SatisfactionError, Witness};
@@ -127,31 +129,127 @@ impl std::error::Error for ProveError {}
 ///
 /// Returns [`ProveError::UnsatisfiedWitness`] if the witness fails the
 /// circuit's gate or wiring constraints.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `zkspeed::ProverHandle::prove` or `prove_on` instead"
+)]
 pub fn prove(pk: &ProvingKey, witness: &Witness) -> Result<Proof, ProveError> {
-    prove_with_report(pk, witness).map(|(proof, _)| proof)
+    prove_on(pk, witness, &pool::ambient())
 }
 
-/// Like [`prove`], additionally returning per-step measurements.
+/// Proves that `witness` satisfies the circuit in `pk` on an explicit
+/// execution backend.
 ///
 /// # Errors
 ///
 /// Returns [`ProveError::UnsatisfiedWitness`] if the witness fails the
 /// circuit's gate or wiring constraints.
+pub fn prove_on(
+    pk: &ProvingKey,
+    witness: &Witness,
+    backend: &Arc<dyn Backend>,
+) -> Result<Proof, ProveError> {
+    prove_with_report_on(pk, witness, backend).map(|(proof, _)| proof)
+}
+
+/// Like [`prove_on`], additionally returning per-step measurements.
+///
+/// # Errors
+///
+/// Returns [`ProveError::UnsatisfiedWitness`] if the witness fails the
+/// circuit's gate or wiring constraints.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `zkspeed::ProverHandle::prove_with_report` or `prove_with_report_on` instead"
+)]
 pub fn prove_with_report(
     pk: &ProvingKey,
     witness: &Witness,
 ) -> Result<(Proof, ProverReport), ProveError> {
+    prove_with_report_on(pk, witness, &pool::ambient())
+}
+
+/// [`prove_with_report`] on an explicit execution backend.
+///
+/// # Errors
+///
+/// Returns [`ProveError::UnsatisfiedWitness`] if the witness fails the
+/// circuit's gate or wiring constraints.
+pub fn prove_with_report_on(
+    pk: &ProvingKey,
+    witness: &Witness,
+    backend: &Arc<dyn Backend>,
+) -> Result<(Proof, ProverReport), ProveError> {
     pk.circuit
         .check_witness(witness)
         .map_err(ProveError::UnsatisfiedWitness)?;
-    Ok(prove_unchecked(pk, witness))
+    Ok(prove_unchecked_on(pk, witness, backend))
+}
+
+/// Proves every witness in `witnesses` against the same proving key,
+/// fanning the independent proofs out across the backend's worker pool.
+///
+/// All witnesses are validated up front; the proofs are returned in input
+/// order and each is bit-identical to a [`prove_on`] run of the same
+/// witness on any backend.
+///
+/// # Errors
+///
+/// Returns [`ProveError::UnsatisfiedWitness`] for the first invalid witness
+/// (no proving work is started in that case).
+pub fn prove_batch_on(
+    pk: &ProvingKey,
+    witnesses: &[Witness],
+    backend: &Arc<dyn Backend>,
+) -> Result<Vec<Proof>, ProveError> {
+    for witness in witnesses {
+        pk.circuit
+            .check_witness(witness)
+            .map_err(ProveError::UnsatisfiedWitness)?;
+    }
+    if witnesses.len() <= 1 || backend.threads() == 1 {
+        return Ok(witnesses
+            .iter()
+            .map(|w| prove_unchecked_on(pk, w, backend).0)
+            .collect());
+    }
+    // One job per proof; each job still hands its inner MSM / SumCheck work
+    // to the same pool, and the pool's helping scheduler keeps every thread
+    // busy across proof boundaries. Modmul deltas are re-added in input
+    // order so profiling counters match a serial batch.
+    let job_pk = pk.clone();
+    let job_witnesses = witnesses.to_vec();
+    let inner = Arc::clone(backend);
+    let proofs = pool::map_indices_on(&**backend, witnesses.len(), move |i| {
+        zkspeed_field::measure_modmuls(|| prove_unchecked_on(&job_pk, &job_witnesses[i], &inner).0)
+    });
+    Ok(proofs
+        .into_iter()
+        .map(|(proof, muls)| {
+            zkspeed_field::add_modmul_count(muls);
+            proof
+        })
+        .collect())
 }
 
 /// Runs the prover without checking witness satisfiability first.
 ///
 /// Used by soundness tests (an unsatisfied witness yields a proof the
 /// verifier rejects) and by callers that have already validated the witness.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `zkspeed::ProverHandle::prove_unchecked` or `prove_unchecked_on` instead"
+)]
 pub fn prove_unchecked(pk: &ProvingKey, witness: &Witness) -> (Proof, ProverReport) {
+    prove_unchecked_on(pk, witness, &pool::ambient())
+}
+
+/// [`prove_unchecked`] on an explicit execution backend.
+pub fn prove_unchecked_on(
+    pk: &ProvingKey,
+    witness: &Witness,
+    backend: &Arc<dyn Backend>,
+) -> (Proof, ProverReport) {
     let mu = pk.circuit.num_vars();
     let mut report = ProverReport {
         num_vars: mu,
@@ -167,10 +265,19 @@ pub fn prove_unchecked(pk: &ProvingKey, witness: &Witness) -> (Proof, ProverRepo
     );
 
     // ----- Step 1: Witness Commits (Sparse MSMs) -------------------------
+    // The three column commitments are independent, so they fan out as one
+    // job per column (each sparse MSM stays serial inside its job); results
+    // are folded into the transcript in column order, so the proof is
+    // bit-identical to a serial run.
     let t0 = Instant::now();
+    let job_srs = pk.srs.clone();
+    let job_columns = witness.columns.clone();
+    let column_commitments = pool::map_indices_on(&**backend, 3, move |j| {
+        zkspeed_field::measure_modmuls(|| commit_sparse_on(&Serial, &job_srs, &job_columns[j]))
+    });
     let mut witness_commitments = Vec::with_capacity(3);
-    for col in &witness.columns {
-        let (com, stats) = commit_sparse(&pk.srs, col);
+    for ((com, stats), muls) in column_commitments {
+        zkspeed_field::add_modmul_count(muls);
         report.witness_msm.zeros += stats.zeros;
         report.witness_msm.ones += stats.ones;
         report.witness_msm.dense += stats.dense;
@@ -201,7 +308,7 @@ pub fn prove_unchecked(pk: &ProvingKey, witness: &Witness) -> (Proof, ProverRepo
     f_gate.add_term(Fr::one(), vec![qm, w1, w2]);
     f_gate.add_term(-Fr::one(), vec![qo, w3]);
     f_gate.add_term(Fr::one(), vec![qc]);
-    let gate_out = prove_zerocheck(&f_gate, &mut transcript);
+    let gate_out = prove_zerocheck_on(&f_gate, &mut transcript, &**backend);
     let gate_point = gate_out.sumcheck.point.clone();
     report.step_seconds[1] = t1.elapsed().as_secs_f64();
 
@@ -232,9 +339,20 @@ pub fn prove_unchecked(pk: &ProvingKey, witness: &Witness) -> (Proof, ProverRepo
     let phi = fraction_mle(&n_mle, &d_mle);
     let pi = product_mle(&phi);
 
-    // Commit φ and π (dense MSMs on the critical path).
-    let (phi_commitment, phi_stats) = commit_with_stats(&pk.srs, &phi);
-    let (pi_commitment, pi_stats) = commit_with_stats(&pk.srs, &pi);
+    // Commit φ and π (dense MSMs on the critical path): two independent
+    // jobs, each splitting its windows over half the pool via the shared
+    // helping scheduler.
+    let job_srs = pk.srs.clone();
+    let job_polys = [phi.clone(), pi.clone()];
+    let inner = Arc::clone(backend);
+    let wiring_commitments = pool::map_indices_on(&**backend, 2, move |j| {
+        zkspeed_field::measure_modmuls(|| commit_with_stats_on(&*inner, &job_srs, &job_polys[j]))
+    });
+    let mut wiring_iter = wiring_commitments.into_iter();
+    let ((phi_commitment, phi_stats), phi_muls) = wiring_iter.next().expect("two jobs");
+    let ((pi_commitment, pi_stats), pi_muls) = wiring_iter.next().expect("two jobs");
+    zkspeed_field::add_modmul_count(phi_muls);
+    zkspeed_field::add_modmul_count(pi_muls);
     report.wiring_msm.merge(&phi_stats);
     report.wiring_msm.merge(&pi_stats);
     transcript.append_message(b"phi-commitment", &phi_commitment.to_transcript_bytes());
@@ -260,7 +378,7 @@ pub fn prove_unchecked(pk: &ProvingKey, witness: &Witness) -> (Proof, ProverRepo
     f_perm.add_term(-Fr::one(), vec![p1_idx, p2_idx]);
     f_perm.add_term(alpha, vec![phi_idx, d_idx[0], d_idx[1], d_idx[2]]);
     f_perm.add_term(-alpha, vec![n_idx[0], n_idx[1], n_idx[2]]);
-    let perm_out = prove_zerocheck(&f_perm, &mut transcript);
+    let perm_out = prove_zerocheck_on(&f_perm, &mut transcript, &**backend);
     let perm_point = perm_out.sumcheck.point.clone();
     report.step_seconds[2] = t2.elapsed().as_secs_f64();
 
@@ -284,15 +402,30 @@ pub fn prove_unchecked(pk: &ProvingKey, witness: &Witness) -> (Proof, ProverRepo
             PolyLabel::Pi => &pi,
         }
     };
+    // All 21 queried evaluations are independent; fan them out one job per
+    // (group, label) pair and regroup in query order.
+    let queries: Vec<(MultilinearPoly, Vec<Fr>)> = groups
+        .iter()
+        .flat_map(|g| {
+            g.labels
+                .iter()
+                .map(|label| (resolve(*label).clone(), g.point.clone()))
+        })
+        .collect();
+    let evaluated = pool::map_indices_on(&**backend, queries.len(), move |i| {
+        let (poly, point) = &queries[i];
+        zkspeed_field::measure_modmuls(|| poly.evaluate(point))
+    });
+    let mut flat_values = Vec::with_capacity(evaluated.len());
+    for (value, muls) in evaluated {
+        zkspeed_field::add_modmul_count(muls);
+        flat_values.push(value);
+    }
+    let mut flat_iter = flat_values.into_iter();
     let evaluations = BatchEvaluations {
         values: groups
             .iter()
-            .map(|g| {
-                g.labels
-                    .iter()
-                    .map(|label| resolve(*label).evaluate(&g.point))
-                    .collect()
-            })
+            .map(|g| (&mut flat_iter).take(g.labels.len()).collect())
             .collect(),
     };
     transcript.append_scalars(b"batch-evaluations", &evaluations.flatten());
@@ -300,13 +433,30 @@ pub fn prove_unchecked(pk: &ProvingKey, witness: &Witness) -> (Proof, ProverRepo
 
     // ----- Step 5: Polynomial Opening --------------------------------------
     let t4 = Instant::now();
-    // Per-group linear combinations (MLE Combine) of the queried MLEs.
+    // Per-group linear combinations (MLE Combine) of the queried MLEs. The
+    // transcript challenges must be drawn serially in group order, but the
+    // combinations themselves fan out one job per group.
+    let combine_inputs: Vec<(Vec<Fr>, Vec<MultilinearPoly>)> = groups
+        .iter()
+        .map(|group| {
+            let e = transcript.challenge_scalar(b"rlc-challenge");
+            let coeffs = powers(e, group.labels.len());
+            let polys: Vec<MultilinearPoly> =
+                group.labels.iter().map(|l| resolve(*l).clone()).collect();
+            (coeffs, polys)
+        })
+        .collect();
+    let combined = pool::map_indices_on(&**backend, combine_inputs.len(), move |i| {
+        let (coeffs, polys) = &combine_inputs[i];
+        zkspeed_field::measure_modmuls(|| {
+            let refs: Vec<&MultilinearPoly> = polys.iter().collect();
+            MultilinearPoly::linear_combination(coeffs, &refs)
+        })
+    });
     let mut combined_polys = Vec::with_capacity(groups.len());
-    for group in &groups {
-        let e = transcript.challenge_scalar(b"rlc-challenge");
-        let coeffs = powers(e, group.labels.len());
-        let polys: Vec<&MultilinearPoly> = group.labels.iter().map(|l| resolve(*l)).collect();
-        combined_polys.push(MultilinearPoly::linear_combination(&coeffs, &polys));
+    for (poly, muls) in combined {
+        zkspeed_field::add_modmul_count(muls);
+        combined_polys.push(poly);
     }
     // OpenCheck: Σ_i cⁱ · yᵢ(x) · kᵢ(x) summed over the hypercube equals the
     // combined claimed evaluations.
@@ -318,21 +468,30 @@ pub fn prove_unchecked(pk: &ProvingKey, witness: &Witness) -> (Proof, ProverRepo
         .zip(combined_polys.iter().zip(c_powers.iter()))
     {
         let y_idx = f_open.add_mle(y.clone());
-        let k_idx = f_open.add_mle(MultilinearPoly::eq_mle(&group.point));
+        let k_idx = f_open.add_mle(MultilinearPoly::eq_mle_on(&group.point, &**backend));
         f_open.add_term(*cp, vec![y_idx, k_idx]);
     }
-    let open_out = sumcheck_prove(&f_open, &mut transcript);
+    let open_out = sumcheck_prove_on(&f_open, &mut transcript, &**backend);
     let rho = open_out.point.clone();
 
-    // Claimed evaluations of the combined polynomials at ρ.
-    let combined_evaluations: Vec<Fr> = combined_polys.iter().map(|y| y.evaluate(&rho)).collect();
+    // Claimed evaluations of the combined polynomials at ρ: one job each.
+    let eval_polys = combined_polys.clone();
+    let eval_rho = rho.clone();
+    let evaluated = pool::map_indices_on(&**backend, combined_polys.len(), move |i| {
+        zkspeed_field::measure_modmuls(|| eval_polys[i].evaluate(&eval_rho))
+    });
+    let mut combined_evaluations = Vec::with_capacity(combined_polys.len());
+    for (value, muls) in evaluated {
+        zkspeed_field::add_modmul_count(muls);
+        combined_evaluations.push(value);
+    }
     transcript.append_scalars(b"combined-evaluations", &combined_evaluations);
 
     // Final combination g′ and its halving-MSM opening.
     let d = transcript.challenge_scalars(b"gprime-challenge", groups.len());
     let gprime =
         MultilinearPoly::linear_combination(&d, &combined_polys.iter().collect::<Vec<_>>());
-    let (gprime_value, gprime_opening, open_stats) = open(&pk.srs, &gprime, &rho);
+    let (gprime_value, gprime_opening, open_stats) = open_on(&**backend, &pk.srs, &gprime, &rho);
     report.opening_msm.merge(&open_stats);
     debug_assert_eq!(
         gprime_value,
@@ -374,7 +533,7 @@ pub(crate) fn powers(base: Fr, count: usize) -> Vec<Fr> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::keys::preprocess;
+    use crate::keys::try_preprocess;
     use crate::mock::{mock_circuit, SparsityProfile};
     use zkspeed_pcs::Srs;
     use zkspeed_rt::rngs::StdRng;
@@ -382,6 +541,10 @@ mod tests {
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed_0010)
+    }
+
+    fn backend() -> Arc<dyn Backend> {
+        pool::ambient()
     }
 
     #[test]
@@ -405,8 +568,9 @@ mod tests {
         let mu = 4;
         let srs = Srs::setup(mu, &mut r);
         let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut r);
-        let (pk, _vk) = preprocess(circuit, &srs);
-        let (proof, report) = prove_with_report(&pk, &witness).expect("valid witness");
+        let (pk, _vk) = try_preprocess(circuit, &srs).expect("circuit fits");
+        let (proof, report) =
+            prove_with_report_on(&pk, &witness, &backend()).expect("valid witness");
         assert_eq!(proof.gate_zerocheck.num_rounds(), mu);
         assert_eq!(proof.perm_zerocheck.num_rounds(), mu);
         assert_eq!(proof.opencheck.num_rounds(), mu);
@@ -431,15 +595,44 @@ mod tests {
         let mu = 3;
         let srs = Srs::setup(mu, &mut r);
         let (circuit, mut witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut r);
-        let (pk, _vk) = preprocess(circuit, &srs);
+        let (pk, _vk) = try_preprocess(circuit, &srs).expect("circuit fits");
         witness.columns[2].evaluations_mut()[1] += Fr::one();
         assert!(matches!(
-            prove(&pk, &witness),
+            prove_on(&pk, &witness, &backend()),
             Err(ProveError::UnsatisfiedWitness(_))
         ));
-        // prove_unchecked still produces a (bogus) proof object.
-        let (proof, _) = prove_unchecked(&pk, &witness);
+        // prove_unchecked_on still produces a (bogus) proof object.
+        let (proof, _) = prove_unchecked_on(&pk, &witness, &backend());
         assert_eq!(proof.gate_zerocheck.num_rounds(), mu);
+    }
+
+    #[test]
+    fn batch_proving_matches_individual_proofs() {
+        let mut r = rng();
+        let mu = 4;
+        let srs = Srs::setup(mu, &mut r);
+        let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut r);
+        let (pk, _vk) = try_preprocess(circuit, &srs).expect("circuit fits");
+        let witnesses = vec![witness.clone(), witness.clone(), witness];
+        let batch = prove_batch_on(&pk, &witnesses, &backend()).expect("valid witnesses");
+        assert_eq!(batch.len(), 3);
+        let single = prove_on(&pk, &witnesses[0], &backend()).expect("valid witness");
+        for proof in &batch {
+            assert_eq!(*proof, single, "batch proofs must match individual runs");
+        }
+        // An invalid witness anywhere in the batch fails the whole call.
+        let mut bad = witnesses.clone();
+        bad[1].columns[2].evaluations_mut()[0] += Fr::one();
+        assert!(matches!(
+            prove_batch_on(&pk, &bad, &backend()),
+            Err(ProveError::UnsatisfiedWitness(_))
+        ));
+        // The deprecated shims still work.
+        #[allow(deprecated)]
+        {
+            let via_shim = prove(&pk, &witnesses[0]).expect("valid witness");
+            assert_eq!(via_shim, single);
+        }
     }
 
     #[test]

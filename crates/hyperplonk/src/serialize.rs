@@ -1,0 +1,275 @@
+//! Canonical versioned byte encodings for [`Proof`] and [`VerifyingKey`].
+//!
+//! Proof bytes are what a proving service actually ships: they can be
+//! hashed, persisted, diffed across versions and replayed into a verifier
+//! on another machine. Every artifact starts with the shared
+//! `magic + version + kind` header of [`zkspeed_rt::codec`]; decoding
+//! validates the header, every group point (canonical coordinates,
+//! on-curve) and every field element (canonical, below the modulus), and
+//! rejects trailing bytes — so `Proof::from_bytes(proof.to_bytes())`
+//! round-trips exactly and corrupt inputs fail with a structured
+//! [`DecodeError`].
+//!
+//! The encodings are little-endian with `u32` length prefixes:
+//!
+//! * **Proof** (kind 1): witness commitments, gate ZeroCheck rounds, `φ`/`π`
+//!   commitments, wiring ZeroCheck rounds, batch evaluations, OpenCheck
+//!   rounds, combined evaluations, `g′` opening — exactly the field order of
+//!   [`Proof`];
+//! * **VerifyingKey** (kind 2): `num_vars`, the embedded SRS blob
+//!   (length-prefixed, self-describing), selector and sigma commitments.
+
+use zkspeed_field::Fr;
+use zkspeed_pcs::{Commitment, OpeningProof, Srs};
+use zkspeed_rt::codec::{self, DecodeError, Reader};
+use zkspeed_sumcheck::SumcheckProof;
+
+use crate::keys::VerifyingKey;
+use crate::proof::{BatchEvaluations, Proof};
+
+/// Artifact kind tag of an encoded [`Proof`].
+pub const KIND_PROOF: u8 = 1;
+
+/// Artifact kind tag of an encoded [`VerifyingKey`].
+pub const KIND_VERIFYING_KEY: u8 = 2;
+
+fn write_fr(out: &mut Vec<u8>, value: &Fr) {
+    out.extend_from_slice(&value.to_bytes_le());
+}
+
+fn read_fr(reader: &mut Reader<'_>) -> Result<Fr, DecodeError> {
+    Fr::from_bytes_le(reader.take(32)?).ok_or(DecodeError::InvalidValue {
+        what: "non-canonical Fr element",
+    })
+}
+
+fn write_fr_list(out: &mut Vec<u8>, values: &[Fr]) {
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for v in values {
+        write_fr(out, v);
+    }
+}
+
+fn read_fr_list(reader: &mut Reader<'_>, what: &'static str) -> Result<Vec<Fr>, DecodeError> {
+    let count = reader.count(32, what)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(read_fr(reader)?);
+    }
+    Ok(out)
+}
+
+impl Proof {
+    /// Serializes the proof into its canonical versioned byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_in_bytes() + 64);
+        codec::write_header(&mut out, KIND_PROOF);
+        for com in &self.witness_commitments {
+            com.write_canonical(&mut out);
+        }
+        self.gate_zerocheck.write_canonical(&mut out);
+        self.phi_commitment.write_canonical(&mut out);
+        self.pi_commitment.write_canonical(&mut out);
+        self.perm_zerocheck.write_canonical(&mut out);
+        out.extend_from_slice(&(self.evaluations.values.len() as u32).to_le_bytes());
+        for group in &self.evaluations.values {
+            write_fr_list(&mut out, group);
+        }
+        self.opencheck.write_canonical(&mut out);
+        write_fr_list(&mut out, &self.combined_evaluations);
+        self.gprime_opening.write_canonical(&mut out);
+        out
+    }
+
+    /// Decodes a byte string produced by [`Proof::to_bytes`].
+    ///
+    /// The decode is structural: shapes, headers, point validity and field
+    /// canonicity are enforced here, while the cryptographic validity of the
+    /// proof is established by the verifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] describing the first malformed field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut reader = Reader::new(bytes);
+        reader.header(KIND_PROOF)?;
+        let witness_commitments = [
+            Commitment::read_canonical(&mut reader)?,
+            Commitment::read_canonical(&mut reader)?,
+            Commitment::read_canonical(&mut reader)?,
+        ];
+        let gate_zerocheck = SumcheckProof::read_canonical(&mut reader)?;
+        let phi_commitment = Commitment::read_canonical(&mut reader)?;
+        let pi_commitment = Commitment::read_canonical(&mut reader)?;
+        let perm_zerocheck = SumcheckProof::read_canonical(&mut reader)?;
+        let num_groups = reader.count(4, "batch-evaluation groups")?;
+        let mut values = Vec::with_capacity(num_groups);
+        for _ in 0..num_groups {
+            values.push(read_fr_list(&mut reader, "batch-evaluation group")?);
+        }
+        let opencheck = SumcheckProof::read_canonical(&mut reader)?;
+        let combined_evaluations = read_fr_list(&mut reader, "combined evaluations")?;
+        let gprime_opening = OpeningProof::read_canonical(&mut reader)?;
+        reader.finish()?;
+        Ok(Self {
+            witness_commitments,
+            gate_zerocheck,
+            phi_commitment,
+            pi_commitment,
+            perm_zerocheck,
+            evaluations: BatchEvaluations { values },
+            opencheck,
+            combined_evaluations,
+            gprime_opening,
+        })
+    }
+}
+
+impl VerifyingKey {
+    /// Serializes the verifying key (including its SRS) into the canonical
+    /// versioned byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let srs_blob = self.srs.to_bytes();
+        let mut out = Vec::with_capacity(srs_blob.len() + 8 * 97 + 32);
+        codec::write_header(&mut out, KIND_VERIFYING_KEY);
+        out.extend_from_slice(&(self.num_vars as u32).to_le_bytes());
+        out.extend_from_slice(&(srs_blob.len() as u32).to_le_bytes());
+        out.extend_from_slice(&srs_blob);
+        for com in &self.selector_commitments {
+            com.write_canonical(&mut out);
+        }
+        for com in &self.sigma_commitments {
+            com.write_canonical(&mut out);
+        }
+        out
+    }
+
+    /// Decodes a byte string produced by [`VerifyingKey::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] describing the first malformed field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut reader = Reader::new(bytes);
+        reader.header(KIND_VERIFYING_KEY)?;
+        let num_vars = reader.u32()? as usize;
+        let srs_len = reader.count(1, "embedded SRS blob")?;
+        let srs = Srs::from_bytes(reader.take(srs_len)?)?;
+        if num_vars > srs.num_vars() {
+            return Err(DecodeError::InvalidLength {
+                what: "verifying-key num_vars",
+                expected: srs.num_vars(),
+                found: num_vars,
+            });
+        }
+        let mut selectors = Vec::with_capacity(5);
+        for _ in 0..5 {
+            selectors.push(Commitment::read_canonical(&mut reader)?);
+        }
+        let mut sigmas = Vec::with_capacity(3);
+        for _ in 0..3 {
+            sigmas.push(Commitment::read_canonical(&mut reader)?);
+        }
+        reader.finish()?;
+        Ok(Self {
+            num_vars,
+            srs,
+            selector_commitments: [
+                selectors[0],
+                selectors[1],
+                selectors[2],
+                selectors[3],
+                selectors[4],
+            ],
+            sigma_commitments: [sigmas[0], sigmas[1], sigmas[2]],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::try_preprocess;
+    use crate::mock::{mock_circuit, SparsityProfile};
+    use crate::prover::prove_on;
+    use crate::verifier::verify;
+    use zkspeed_rt::pool;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::SeedableRng;
+
+    fn proof_and_vk() -> (Proof, VerifyingKey) {
+        let mut r = StdRng::seed_from_u64(0x5eed_0015);
+        let srs = Srs::setup(4, &mut r);
+        let (circuit, witness) = mock_circuit(4, SparsityProfile::paper_default(), &mut r);
+        let (pk, vk) = try_preprocess(circuit, &srs).expect("circuit fits");
+        let proof = prove_on(&pk, &witness, &pool::ambient()).expect("valid witness");
+        (proof, vk)
+    }
+
+    #[test]
+    fn proof_bytes_roundtrip_exactly() {
+        let (proof, vk) = proof_and_vk();
+        let bytes = proof.to_bytes();
+        let back = Proof::from_bytes(&bytes).expect("valid encoding");
+        assert_eq!(back, proof);
+        // The decoded proof still verifies.
+        verify(&vk, &back).expect("decoded proof verifies");
+        // Determinism: encoding is canonical.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn verifying_key_bytes_roundtrip() {
+        let (proof, vk) = proof_and_vk();
+        let bytes = vk.to_bytes();
+        let back = VerifyingKey::from_bytes(&bytes).expect("valid encoding");
+        assert_eq!(back.num_vars, vk.num_vars);
+        assert_eq!(back.selector_commitments, vk.selector_commitments);
+        assert_eq!(back.sigma_commitments, vk.sigma_commitments);
+        verify(&back, &proof).expect("proof verifies against decoded key");
+    }
+
+    #[test]
+    fn corrupt_proof_headers_are_rejected() {
+        let (proof, _) = proof_and_vk();
+        let bytes = proof.to_bytes();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Proof::from_bytes(&bad_magic),
+            Err(DecodeError::BadMagic { .. })
+        ));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0x7f;
+        assert!(matches!(
+            Proof::from_bytes(&bad_version),
+            Err(DecodeError::UnsupportedVersion { found: 0x7f })
+        ));
+
+        // A verifying-key blob is not a proof.
+        let (_, vk) = proof_and_vk();
+        assert!(matches!(
+            Proof::from_bytes(&vk.to_bytes()),
+            Err(DecodeError::WrongKind {
+                expected: KIND_PROOF,
+                found: KIND_VERIFYING_KEY
+            })
+        ));
+
+        // Truncation and trailing garbage are rejected.
+        assert!(Proof::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            Proof::from_bytes(&long),
+            Err(DecodeError::TrailingBytes { count: 1 })
+        ));
+
+        // Corrupting a point's coordinate bytes breaks curve membership.
+        let mut bad_point = bytes.clone();
+        bad_point[8] ^= 1;
+        assert!(Proof::from_bytes(&bad_point).is_err());
+    }
+}

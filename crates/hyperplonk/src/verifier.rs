@@ -285,10 +285,15 @@ pub fn verify(vk: &VerifyingKey, proof: &Proof) -> Result<(), VerifyError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::keys::preprocess;
+    use crate::keys::try_preprocess;
     use crate::mock::{mock_circuit, SparsityProfile};
-    use crate::prover::{prove, prove_unchecked};
+    use crate::prover::{prove_on, prove_unchecked_on};
     use zkspeed_pcs::Srs;
+    use zkspeed_rt::pool;
+
+    fn backend() -> std::sync::Arc<dyn zkspeed_rt::pool::Backend> {
+        pool::ambient()
+    }
     use zkspeed_rt::rngs::StdRng;
     use zkspeed_rt::SeedableRng;
 
@@ -302,8 +307,8 @@ mod tests {
         for mu in [1usize, 2, 4, 6] {
             let srs = Srs::setup(mu, &mut r);
             let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut r);
-            let (pk, vk) = preprocess(circuit, &srs);
-            let proof = prove(&pk, &witness).expect("valid witness");
+            let (pk, vk) = try_preprocess(circuit, &srs).unwrap();
+            let proof = prove_on(&pk, &witness, &backend()).expect("valid witness");
             assert_eq!(verify(&vk, &proof), Ok(()), "mu = {mu}");
         }
     }
@@ -314,10 +319,10 @@ mod tests {
         let mu = 4;
         let srs = Srs::setup(mu, &mut r);
         let (circuit, mut witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut r);
-        let (pk, vk) = preprocess(circuit, &srs);
+        let (pk, vk) = try_preprocess(circuit, &srs).unwrap();
         // Break one gate output.
         witness.columns[2].evaluations_mut()[3] += Fr::one();
-        let (proof, _) = prove_unchecked(&pk, &witness);
+        let (proof, _) = prove_unchecked_on(&pk, &witness, &backend());
         assert!(verify(&vk, &proof).is_err());
     }
 
@@ -327,8 +332,8 @@ mod tests {
         let mu = 3;
         let srs = Srs::setup(mu, &mut r);
         let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut r);
-        let (pk, vk) = preprocess(circuit, &srs);
-        let proof = prove(&pk, &witness).expect("valid witness");
+        let (pk, vk) = try_preprocess(circuit, &srs).unwrap();
+        let proof = prove_on(&pk, &witness, &backend()).expect("valid witness");
 
         // Tamper with a claimed evaluation.
         let mut p1 = proof.clone();
@@ -364,9 +369,9 @@ mod tests {
         let srs = Srs::setup(mu, &mut r);
         let (circuit_a, witness_a) = mock_circuit(mu, SparsityProfile::paper_default(), &mut r);
         let (circuit_b, _) = mock_circuit(mu, SparsityProfile::paper_default(), &mut r);
-        let (pk_a, _vk_a) = preprocess(circuit_a, &srs);
-        let (_pk_b, vk_b) = preprocess(circuit_b, &srs);
-        let proof = prove(&pk_a, &witness_a).expect("valid witness");
+        let (pk_a, _vk_a) = try_preprocess(circuit_a, &srs).unwrap();
+        let (_pk_b, vk_b) = try_preprocess(circuit_b, &srs).unwrap();
+        let proof = prove_on(&pk_a, &witness_a, &backend()).expect("valid witness");
         assert!(verify(&vk_b, &proof).is_err());
     }
 

@@ -4,9 +4,11 @@
 //! Lagrange basis — exactly the operation the zkSpeed MSM unit accelerates
 //! in the Witness Commit and Wiring Identity steps.
 
-use zkspeed_curve::{msm, sparse_msm, G1Projective, MsmStats, SparseMsmStats};
+use zkspeed_curve::{G1Projective, MsmStats, SparseMsmStats};
 use zkspeed_field::Fr;
 use zkspeed_poly::MultilinearPoly;
+use zkspeed_rt::codec::{DecodeError, Reader};
+use zkspeed_rt::pool::{Ambient, Backend};
 
 use crate::srs::Srs;
 
@@ -29,6 +31,24 @@ impl Commitment {
         bytes.extend_from_slice(&affine.y.to_bytes_le());
         bytes.push(u8::from(affine.infinity));
         bytes
+    }
+
+    /// Appends the canonical 97-byte encoding (affine coordinates plus an
+    /// infinity flag, see [`zkspeed_curve::G1Affine::write_canonical`]).
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        self.0.to_affine().write_canonical(out);
+    }
+
+    /// Reads a canonical encoding, rejecting off-curve or non-canonical
+    /// points.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the bytes are not a valid point.
+    pub fn read_canonical(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self(
+            zkspeed_curve::G1Affine::read_canonical(reader)?.to_projective(),
+        ))
     }
 
     /// Homomorphic linear combination of commitments:
@@ -57,8 +77,17 @@ impl Commitment {
 ///
 /// Panics if the polynomial is larger than the SRS supports.
 pub fn commit(srs: &Srs, poly: &MultilinearPoly) -> Commitment {
-    let basis = basis_for(srs, poly);
-    Commitment(msm(basis, poly.evaluations()))
+    commit_on(&Ambient, srs, poly)
+}
+
+/// [`commit`] on an explicit execution backend. The MSM windows fan out
+/// over the backend's workers, sharing the SRS basis without copying it.
+///
+/// # Panics
+///
+/// Panics if the polynomial is larger than the SRS supports.
+pub fn commit_on(backend: &dyn Backend, srs: &Srs, poly: &MultilinearPoly) -> Commitment {
+    commit_with_stats_on(backend, srs, poly).0
 }
 
 /// Commits with a dense MSM and returns the operation counts for the
@@ -68,8 +97,22 @@ pub fn commit(srs: &Srs, poly: &MultilinearPoly) -> Commitment {
 ///
 /// Panics if the polynomial is larger than the SRS supports.
 pub fn commit_with_stats(srs: &Srs, poly: &MultilinearPoly) -> (Commitment, MsmStats) {
-    let basis = basis_for(srs, poly);
-    let (point, stats) = zkspeed_curve::msm_with_config(
+    commit_with_stats_on(&Ambient, srs, poly)
+}
+
+/// [`commit_with_stats`] on an explicit execution backend.
+///
+/// # Panics
+///
+/// Panics if the polynomial is larger than the SRS supports.
+pub fn commit_with_stats_on(
+    backend: &dyn Backend,
+    srs: &Srs,
+    poly: &MultilinearPoly,
+) -> (Commitment, MsmStats) {
+    let basis = shared_basis_for(srs, poly);
+    let (point, stats) = zkspeed_curve::msm_with_config_shared(
+        backend,
         basis,
         poly.evaluations(),
         zkspeed_curve::MsmConfig::default(),
@@ -85,12 +128,29 @@ pub fn commit_with_stats(srs: &Srs, poly: &MultilinearPoly) -> (Commitment, MsmS
 ///
 /// Panics if the polynomial is larger than the SRS supports.
 pub fn commit_sparse(srs: &Srs, poly: &MultilinearPoly) -> (Commitment, SparseMsmStats) {
-    let basis = basis_for(srs, poly);
-    let (point, stats) = sparse_msm(basis, poly.evaluations());
+    commit_sparse_on(&Ambient, srs, poly)
+}
+
+/// [`commit_sparse`] on an explicit execution backend.
+///
+/// # Panics
+///
+/// Panics if the polynomial is larger than the SRS supports.
+pub fn commit_sparse_on(
+    backend: &dyn Backend,
+    srs: &Srs,
+    poly: &MultilinearPoly,
+) -> (Commitment, SparseMsmStats) {
+    let basis = shared_basis_for(srs, poly);
+    let (point, stats) =
+        zkspeed_curve::sparse_msm_on(backend, basis.as_slice(), poly.evaluations());
     (Commitment(point), stats)
 }
 
-fn basis_for<'a>(srs: &'a Srs, poly: &MultilinearPoly) -> &'a [zkspeed_curve::G1Affine] {
+fn shared_basis_for<'a>(
+    srs: &'a Srs,
+    poly: &MultilinearPoly,
+) -> &'a std::sync::Arc<Vec<zkspeed_curve::G1Affine>> {
     assert!(
         poly.num_vars() <= srs.num_vars(),
         "polynomial has {} variables but the SRS supports at most {}",
@@ -98,7 +158,7 @@ fn basis_for<'a>(srs: &'a Srs, poly: &MultilinearPoly) -> &'a [zkspeed_curve::G1
         srs.num_vars()
     );
     let level = srs.num_vars() - poly.num_vars();
-    srs.lagrange_basis(level)
+    srs.shared_lagrange_basis(level)
 }
 
 #[cfg(test)]

@@ -39,6 +39,9 @@ mod commit;
 mod open;
 mod srs;
 
-pub use commit::{commit, commit_sparse, commit_with_stats, Commitment};
-pub use open::{open, verify_opening, OpeningProof};
-pub use srs::Srs;
+pub use commit::{
+    commit, commit_on, commit_sparse, commit_sparse_on, commit_with_stats, commit_with_stats_on,
+    Commitment,
+};
+pub use open::{open, open_on, verify_opening, OpeningProof};
+pub use srs::{SetupError, Srs, KIND_SRS, MAX_NUM_VARS};

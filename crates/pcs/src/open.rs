@@ -14,8 +14,10 @@
 use zkspeed_curve::{G1Projective, MsmStats};
 use zkspeed_field::Fr;
 use zkspeed_poly::MultilinearPoly;
+use zkspeed_rt::codec::{DecodeError, Reader};
+use zkspeed_rt::pool::{self, Ambient, Backend};
 
-use crate::commit::{commit_with_stats, Commitment};
+use crate::commit::{commit_with_stats_on, Commitment};
 use crate::srs::Srs;
 
 /// An opening proof: one quotient commitment per variable.
@@ -30,6 +32,29 @@ impl OpeningProof {
     pub fn size_in_points(&self) -> usize {
         self.quotients.len()
     }
+
+    /// Appends the canonical encoding: a `u32` quotient count followed by
+    /// the canonical commitment encodings.
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.quotients.len() as u32).to_le_bytes());
+        for q in &self.quotients {
+            q.write_canonical(out);
+        }
+    }
+
+    /// Reads a canonical encoding produced by [`Self::write_canonical`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if a count or point is malformed.
+    pub fn read_canonical(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let count = reader.count(97, "opening-proof quotients")?;
+        let mut quotients = Vec::with_capacity(count);
+        for _ in 0..count {
+            quotients.push(Commitment::read_canonical(reader)?);
+        }
+        Ok(Self { quotients })
+    }
 }
 
 /// Opens `poly` at `point`, returning the evaluation, the proof, and the MSM
@@ -40,6 +65,25 @@ impl OpeningProof {
 /// Panics if the point length does not match the polynomial or the SRS is too
 /// small.
 pub fn open(srs: &Srs, poly: &MultilinearPoly, point: &[Fr]) -> (Fr, OpeningProof, MsmStats) {
+    open_on(&Ambient, srs, poly, point)
+}
+
+/// [`open`] on an explicit execution backend: the quotient construction,
+/// halving MSMs and MLE Updates of every round fan out over the backend's
+/// workers, bit-identical to the serial run.
+///
+/// # Panics
+///
+/// Panics if the point length does not match the polynomial or the SRS is too
+/// small.
+pub fn open_on(
+    backend: &dyn Backend,
+    srs: &Srs,
+    poly: &MultilinearPoly,
+    point: &[Fr],
+) -> (Fr, OpeningProof, MsmStats) {
+    /// Below this many quotient entries the construction stays serial.
+    const MIN_CHUNK: usize = 1 << 12;
     assert_eq!(
         point.len(),
         poly.num_vars(),
@@ -50,15 +94,30 @@ pub fn open(srs: &Srs, poly: &MultilinearPoly, point: &[Fr]) -> (Fr, OpeningProo
     let mut cur = poly.clone();
     for z_k in point.iter() {
         let half = cur.len() / 2;
-        let mut q_evals = Vec::with_capacity(half);
-        for i in 0..half {
-            q_evals.push(cur[2 * i + 1] - cur[2 * i]);
-        }
+        let q_evals = if half < MIN_CHUNK || backend.threads() == 1 {
+            let mut q_evals = Vec::with_capacity(half);
+            for i in 0..half {
+                q_evals.push(cur[2 * i + 1] - cur[2 * i]);
+            }
+            q_evals
+        } else {
+            let evals = cur.shared_evaluations();
+            let chunks = pool::map_ranges(backend, half, MIN_CHUNK, move |range| {
+                range
+                    .map(|i| evals[2 * i + 1] - evals[2 * i])
+                    .collect::<Vec<Fr>>()
+            });
+            let mut q_evals = Vec::with_capacity(half);
+            for chunk in chunks {
+                q_evals.extend(chunk);
+            }
+            q_evals
+        };
         let q = MultilinearPoly::new(q_evals);
-        let (com, s) = commit_with_stats(srs, &q);
+        let (com, s) = commit_with_stats_on(backend, srs, &q);
         stats.merge(&s);
         quotients.push(com);
-        cur = cur.fix_first_variable(*z_k);
+        cur = cur.fix_first_variable_on(*z_k, backend);
     }
     (cur[0], OpeningProof { quotients }, stats)
 }

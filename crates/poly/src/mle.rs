@@ -23,8 +23,10 @@
 
 use core::fmt;
 use core::ops::Index;
+use std::sync::Arc;
 
 use zkspeed_field::Fr;
+use zkspeed_rt::pool::{self, Backend};
 use zkspeed_rt::Rng;
 
 /// A multilinear polynomial in `μ` variables represented by its `2^μ`
@@ -44,10 +46,15 @@ use zkspeed_rt::Rng;
 /// // At a Boolean point the extension agrees with the table.
 /// assert_eq!(f.evaluate(&[Fr::from_u64(1), Fr::from_u64(0)]), Fr::from_u64(2));
 /// ```
+/// The evaluation table is stored behind an [`Arc`], so cloning a polynomial
+/// is O(1) — the prover freely shares selector and witness tables between
+/// virtual polynomials, keys and worker jobs without copying `2^μ` field
+/// elements. Mutation goes through [`MultilinearPoly::evaluations_mut`],
+/// which copies on write only when the table is actually shared.
 #[derive(Clone, PartialEq, Eq)]
 pub struct MultilinearPoly {
     num_vars: usize,
-    evals: Vec<Fr>,
+    evals: Arc<Vec<Fr>>,
 }
 
 impl fmt::Debug for MultilinearPoly {
@@ -74,14 +81,17 @@ impl MultilinearPoly {
             "MLE table length must be a power of two"
         );
         let num_vars = evals.len().trailing_zeros() as usize;
-        Self { num_vars, evals }
+        Self {
+            num_vars,
+            evals: Arc::new(evals),
+        }
     }
 
     /// Creates the constant polynomial `c` in `num_vars` variables.
     pub fn constant(c: Fr, num_vars: usize) -> Self {
         Self {
             num_vars,
-            evals: vec![c; 1 << num_vars],
+            evals: Arc::new(vec![c; 1 << num_vars]),
         }
     }
 
@@ -94,7 +104,7 @@ impl MultilinearPoly {
     pub fn from_fn(num_vars: usize, f: impl FnMut(usize) -> Fr) -> Self {
         Self {
             num_vars,
-            evals: (0..1usize << num_vars).map(f).collect(),
+            evals: Arc::new((0..1usize << num_vars).map(f).collect()),
         }
     }
 
@@ -120,17 +130,25 @@ impl MultilinearPoly {
 
     /// The raw evaluation table.
     pub fn evaluations(&self) -> &[Fr] {
-        &self.evals
+        self.evals.as_slice()
+    }
+
+    /// The evaluation table as a shareable handle; worker jobs clone this
+    /// instead of copying the table.
+    pub fn shared_evaluations(&self) -> Arc<Vec<Fr>> {
+        Arc::clone(&self.evals)
     }
 
     /// Mutable access to the evaluation table (used by the circuit builder).
+    /// Copies the table first if it is currently shared.
     pub fn evaluations_mut(&mut self) -> &mut [Fr] {
-        &mut self.evals
+        Arc::make_mut(&mut self.evals).as_mut_slice()
     }
 
-    /// Consumes the polynomial, returning the evaluation table.
+    /// Consumes the polynomial, returning the evaluation table (copying only
+    /// if the table is still shared elsewhere).
     pub fn into_evaluations(self) -> Vec<Fr> {
-        self.evals
+        Arc::try_unwrap(self.evals).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Builds the `eq(X, point)` table (the paper's **Build MLE**), where
@@ -156,7 +174,61 @@ impl MultilinearPoly {
         }
         Self {
             num_vars: mu,
-            evals,
+            evals: Arc::new(evals),
+        }
+    }
+
+    /// [`Self::eq_mle`] on an explicit execution backend: each doubling
+    /// level fans its index space out over the backend's workers once the
+    /// table is large enough to be worth it. Chunk results are concatenated
+    /// in order, so the table is bit-identical to the serial construction.
+    pub fn eq_mle_on(point: &[Fr], backend: &dyn Backend) -> Self {
+        /// Below this many output pairs a level stays on the calling thread.
+        const MIN_CHUNK: usize = 1 << 12;
+        let mu = point.len();
+        let mut evals = Vec::with_capacity(1 << mu);
+        evals.push(Fr::one());
+        for r in point.iter() {
+            let half = evals.len();
+            if half < MIN_CHUNK || backend.threads() == 1 {
+                let mut next = vec![Fr::zero(); half * 2];
+                for i in 0..half {
+                    let hi = evals[i] * *r;
+                    next[i] = evals[i] - hi;
+                    next[i + half] = hi;
+                }
+                evals = next;
+            } else {
+                let cur = Arc::new(std::mem::take(&mut evals));
+                let r = *r;
+                let parts = pool::map_ranges(backend, half, MIN_CHUNK, move |range| {
+                    zkspeed_field::measure_modmuls(|| {
+                        let mut lo = Vec::with_capacity(range.len());
+                        let mut hi = Vec::with_capacity(range.len());
+                        for i in range {
+                            let h = cur[i] * r;
+                            lo.push(cur[i] - h);
+                            hi.push(h);
+                        }
+                        (lo, hi)
+                    })
+                });
+                let mut next = Vec::with_capacity(half * 2);
+                let mut highs = Vec::with_capacity(half);
+                for ((lo, hi), muls) in parts {
+                    zkspeed_field::add_modmul_count(muls);
+                    next.extend(lo);
+                    highs.push(hi);
+                }
+                for hi in highs {
+                    next.extend(hi);
+                }
+                evals = next;
+            }
+        }
+        Self {
+            num_vars: mu,
+            evals: Arc::new(evals),
         }
     }
 
@@ -188,7 +260,46 @@ impl MultilinearPoly {
         }
         Self {
             num_vars: self.num_vars - 1,
-            evals: next,
+            evals: Arc::new(next),
+        }
+    }
+
+    /// [`Self::fix_first_variable`] on an explicit execution backend: large
+    /// tables fan their index space out over the backend's workers, with
+    /// chunk results concatenated in order (bit-identical to the serial
+    /// halving at any thread count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial has no variables left.
+    pub fn fix_first_variable_on(&self, r: Fr, backend: &dyn Backend) -> Self {
+        /// Below this many output entries the halving stays serial.
+        const MIN_CHUNK: usize = 1 << 12;
+        assert!(self.num_vars > 0, "cannot fix a variable of a constant");
+        let half = self.evals.len() / 2;
+        if half < MIN_CHUNK || backend.threads() == 1 {
+            return self.fix_first_variable(r);
+        }
+        let evals = self.shared_evaluations();
+        let parts = pool::map_ranges(backend, half, MIN_CHUNK, move |range| {
+            zkspeed_field::measure_modmuls(|| {
+                range
+                    .map(|i| {
+                        let lo = evals[2 * i];
+                        let hi = evals[2 * i + 1];
+                        (hi - lo) * r + lo
+                    })
+                    .collect::<Vec<Fr>>()
+            })
+        });
+        let mut next = Vec::with_capacity(half);
+        for (chunk, muls) in parts {
+            zkspeed_field::add_modmul_count(muls);
+            next.extend(chunk);
+        }
+        Self {
+            num_vars: self.num_vars - 1,
+            evals: Arc::new(next),
         }
     }
 
@@ -231,12 +342,13 @@ impl MultilinearPoly {
         assert_eq!(self.num_vars, other.num_vars, "add: variable mismatch");
         Self {
             num_vars: self.num_vars,
-            evals: self
-                .evals
-                .iter()
-                .zip(other.evals.iter())
-                .map(|(a, b)| *a + *b)
-                .collect(),
+            evals: Arc::new(
+                self.evals
+                    .iter()
+                    .zip(other.evals.iter())
+                    .map(|(a, b)| *a + *b)
+                    .collect(),
+            ),
         }
     }
 
@@ -244,7 +356,7 @@ impl MultilinearPoly {
     pub fn scale(&self, c: Fr) -> Self {
         Self {
             num_vars: self.num_vars,
-            evals: self.evals.iter().map(|a| *a * c).collect(),
+            evals: Arc::new(self.evals.iter().map(|a| *a * c).collect()),
         }
     }
 
@@ -261,12 +373,13 @@ impl MultilinearPoly {
         assert_eq!(self.num_vars, other.num_vars, "hadamard: variable mismatch");
         Self {
             num_vars: self.num_vars,
-            evals: self
-                .evals
-                .iter()
-                .zip(other.evals.iter())
-                .map(|(a, b)| *a * *b)
-                .collect(),
+            evals: Arc::new(
+                self.evals
+                    .iter()
+                    .zip(other.evals.iter())
+                    .map(|(a, b)| *a * *b)
+                    .collect(),
+            ),
         }
     }
 
@@ -294,7 +407,10 @@ impl MultilinearPoly {
                 *e += *c * *v;
             }
         }
-        Self { num_vars, evals }
+        Self {
+            num_vars,
+            evals: Arc::new(evals),
+        }
     }
 }
 
@@ -445,6 +561,27 @@ mod tests {
         for i in 0..8 {
             assert_eq!(h[i], f[i] * g[i]);
         }
+    }
+
+    #[test]
+    fn backend_kernels_match_serial_bitwise() {
+        use zkspeed_rt::pool::{Serial, ThreadPool};
+        let mut r = rng();
+        // 2^13 entries: large enough to cross the parallel threshold.
+        let f = MultilinearPoly::random(13, &mut r);
+        let point: Vec<Fr> = (0..13).map(|_| Fr::random(&mut r)).collect();
+        let c = Fr::random(&mut r);
+        let pool = ThreadPool::new(4);
+        assert_eq!(f.fix_first_variable_on(c, &Serial), f.fix_first_variable(c));
+        assert_eq!(f.fix_first_variable_on(c, &pool), f.fix_first_variable(c));
+        assert_eq!(
+            MultilinearPoly::eq_mle_on(&point, &Serial),
+            MultilinearPoly::eq_mle(&point)
+        );
+        assert_eq!(
+            MultilinearPoly::eq_mle_on(&point, &pool),
+            MultilinearPoly::eq_mle(&point)
+        );
     }
 
     mod properties {

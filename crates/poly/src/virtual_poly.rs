@@ -208,6 +208,41 @@ impl VirtualPolynomial {
         }
     }
 
+    /// [`Self::fix_first_variable`] on an explicit execution backend: the
+    /// per-MLE halvings are independent, so each registered MLE updates in
+    /// its own job (the SumCheck **MLE Update** step fans out across the
+    /// gate/wiring polynomials). Results keep registration order, so the
+    /// output is bit-identical to the serial update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no variables remain.
+    pub fn fix_first_variable_on(&self, r: Fr, backend: &dyn zkspeed_rt::pool::Backend) -> Self {
+        /// Below this table size the per-MLE fan-out is not worth the
+        /// scheduling overhead.
+        const MIN_LEN: usize = 1 << 12;
+        assert!(self.num_vars > 0, "fix_first_variable: no variables left");
+        if backend.threads() == 1 || self.mles.len() < 2 || (1usize << self.num_vars) < MIN_LEN {
+            return self.fix_first_variable(r);
+        }
+        let mles = self.mles.clone();
+        let updated = zkspeed_rt::pool::map_indices_on(backend, mles.len(), move |i| {
+            zkspeed_field::measure_modmuls(|| Arc::new(mles[i].fix_first_variable(r)))
+        });
+        let mles = updated
+            .into_iter()
+            .map(|(mle, muls)| {
+                zkspeed_field::add_modmul_count(muls);
+                mle
+            })
+            .collect();
+        Self {
+            num_vars: self.num_vars - 1,
+            mles,
+            terms: self.terms.clone(),
+        }
+    }
+
     /// Total number of MLE table entries referenced (input size in field
     /// elements), used by the profiling layer.
     pub fn table_entries(&self) -> usize {
@@ -309,6 +344,25 @@ mod tests {
             expect += vp.evaluate(&point);
         }
         assert_eq!(fixed.sum_over_hypercube(), expect);
+    }
+
+    #[test]
+    fn backend_update_matches_serial() {
+        use zkspeed_rt::pool::ThreadPool;
+        let mut r = rng();
+        let mut vp = VirtualPolynomial::new(12);
+        let f = vp.add_mle(MultilinearPoly::random(12, &mut r));
+        let g = vp.add_mle(MultilinearPoly::random(12, &mut r));
+        vp.add_term(u(3), vec![f, g]);
+        vp.add_term(u(5), vec![g]);
+        let c = Fr::random(&mut r);
+        let serial = vp.fix_first_variable(c);
+        let pool = ThreadPool::new(4);
+        let parallel = vp.fix_first_variable_on(c, &pool);
+        assert_eq!(parallel.num_vars(), serial.num_vars());
+        for (a, b) in parallel.mles().iter().zip(serial.mles().iter()) {
+            assert_eq!(**a, **b);
+        }
     }
 
     #[test]

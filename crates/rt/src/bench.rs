@@ -8,6 +8,12 @@
 //! * `ZKSPEED_BENCH_SAMPLES` — timed samples per benchmark (default 10);
 //! * `ZKSPEED_BENCH_WARMUP` — untimed warmup iterations (default 2).
 //!
+//! On [`Harness::finish`] the JSON report is printed to stdout **and**
+//! persisted to `target/bench-history/<suite>.json` (override the directory
+//! with `ZKSPEED_BENCH_HISTORY`, or set it to `off` to disable). Two history
+//! files can be diffed with `scripts/bench_compare.sh` to spot hot-path
+//! regressions between commits.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -80,6 +86,7 @@ pub struct Harness {
     warmup: usize,
     samples: usize,
     records: Vec<BenchRecord>,
+    history: bool,
 }
 
 fn env_count(name: &str, default: usize) -> usize {
@@ -98,6 +105,7 @@ impl Harness {
             warmup: env_count("ZKSPEED_BENCH_WARMUP", 2),
             samples: env_count("ZKSPEED_BENCH_SAMPLES", 10),
             records: Vec::new(),
+            history: true,
         }
     }
 
@@ -110,6 +118,12 @@ impl Harness {
     /// Overrides the number of warmup iterations.
     pub fn with_warmup(mut self, warmup: usize) -> Self {
         self.warmup = warmup;
+        self
+    }
+
+    /// Enables or disables writing the history file on [`Harness::finish`].
+    pub fn with_history(mut self, history: bool) -> Self {
+        self.history = history;
         self
     }
 
@@ -160,16 +174,51 @@ impl Harness {
         self.records.push(record);
     }
 
-    /// Prints the suite's JSON report to stdout and consumes the harness.
+    /// Prints the suite's JSON report to stdout, persists it to the bench
+    /// history directory, and consumes the harness.
     pub fn finish(self) {
         let doc = JsonValue::Object(vec![
-            ("suite".into(), JsonValue::Str(self.suite)),
+            ("suite".into(), JsonValue::Str(self.suite.clone())),
             (
                 "results".into(),
                 JsonValue::Array(self.records.iter().map(BenchRecord::to_json).collect()),
             ),
         ]);
-        println!("{}", doc.pretty());
+        let rendered = doc.pretty();
+        println!("{rendered}");
+        if self.history {
+            if let Some(dir) = history_dir() {
+                let path = dir.join(format!("{}.json", self.suite));
+                let written = std::fs::create_dir_all(&dir)
+                    .and_then(|()| std::fs::write(&path, rendered.as_bytes()));
+                match written {
+                    Ok(()) => println!("bench history: wrote {}", path.display()),
+                    Err(e) => eprintln!("bench history: could not write {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+}
+
+/// Resolves the bench-history directory: `ZKSPEED_BENCH_HISTORY` if set
+/// (`off`, `0` or the empty string disable persistence), otherwise the
+/// workspace's `target/bench-history`.
+fn history_dir() -> Option<std::path::PathBuf> {
+    match std::env::var("ZKSPEED_BENCH_HISTORY") {
+        Ok(v) => {
+            let v = v.trim().to_string();
+            if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") {
+                None
+            } else {
+                Some(v.into())
+            }
+        }
+        // `cargo bench` runs with the package directory as cwd, so a plain
+        // relative "target/" would land inside crates/bench; anchor on this
+        // crate's manifest dir to reach the workspace target instead.
+        Err(_) => Some(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-history"),
+        ),
     }
 }
 
@@ -204,7 +253,10 @@ mod tests {
 
     #[test]
     fn harness_runs_and_counts_samples() {
-        let mut h = Harness::new("test-suite").with_samples(3).with_warmup(1);
+        let mut h = Harness::new("test-suite")
+            .with_samples(3)
+            .with_warmup(1)
+            .with_history(false);
         let mut calls = 0u64;
         h.bench("counter", || {
             calls += 1;
@@ -220,7 +272,10 @@ mod tests {
 
     #[test]
     fn slow_closures_run_once_per_sample() {
-        let mut h = Harness::new("slow").with_samples(2).with_warmup(0);
+        let mut h = Harness::new("slow")
+            .with_samples(2)
+            .with_warmup(0)
+            .with_history(false);
         h.bench("sleepy", || {
             std::thread::sleep(std::time::Duration::from_micros(100));
         });

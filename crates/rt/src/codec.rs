@@ -1,0 +1,345 @@
+//! Canonical byte-encoding substrate: a shared `magic + version + kind`
+//! header, a bounds-checked little-endian [`Reader`], and the structured
+//! [`DecodeError`] surfaced by every `from_bytes` in the workspace.
+//!
+//! Each serializable artifact (proof, verifying key, SRS) starts with the
+//! same 8-byte header:
+//!
+//! | bytes | meaning |
+//! |---|---|
+//! | 0–3 | magic `b"zksp"` |
+//! | 4–5 | format version, little-endian `u16` (currently 1) |
+//! | 6 | artifact kind tag |
+//! | 7 | reserved, must be zero |
+//!
+//! Payload encodings are defined next to the types they serialize (in
+//! `zkspeed-curve`, `zkspeed-sumcheck`, `zkspeed-pcs`, `zkspeed-hyperplonk`);
+//! all of them use little-endian integers and `u32` length prefixes read
+//! through [`Reader::count`], which rejects lengths that could not possibly
+//! fit in the remaining input before allocating.
+
+use core::fmt;
+
+/// The four magic bytes every encoded artifact starts with.
+pub const MAGIC: [u8; 4] = *b"zksp";
+
+/// The current encoding version.
+pub const VERSION: u16 = 1;
+
+/// Why a byte string failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before a field could be read.
+    UnexpectedEnd {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The input does not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The encoded version is newer than this library understands.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u16,
+    },
+    /// The artifact kind tag does not match the type being decoded.
+    WrongKind {
+        /// The kind tag this decoder expects.
+        expected: u8,
+        /// The kind tag found in the header.
+        found: u8,
+    },
+    /// Input remained after the artifact was fully decoded.
+    TrailingBytes {
+        /// Number of unread bytes.
+        count: usize,
+    },
+    /// A length or count field is inconsistent with the artifact shape.
+    InvalidLength {
+        /// What was being decoded.
+        what: &'static str,
+        /// The expected length.
+        expected: usize,
+        /// The length found.
+        found: usize,
+    },
+    /// A field decoded to a non-canonical or out-of-domain value.
+    InvalidValue {
+        /// What was being decoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+                )
+            }
+            DecodeError::BadMagic { found } => {
+                write!(f, "bad magic bytes {found:02x?} (expected \"zksp\")")
+            }
+            DecodeError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported encoding version {found} (this build reads {VERSION})"
+                )
+            }
+            DecodeError::WrongKind { expected, found } => {
+                write!(f, "wrong artifact kind {found} (expected {expected})")
+            }
+            DecodeError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after the artifact")
+            }
+            DecodeError::InvalidLength {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "invalid length for {what}: expected {expected}, found {found}"
+            ),
+            DecodeError::InvalidValue { what } => write!(f, "invalid value for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Writes the canonical artifact header.
+pub fn write_header(out: &mut Vec<u8>, kind: u8) {
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(kind);
+    out.push(0);
+}
+
+/// A bounds-checked little-endian byte reader.
+#[derive(Clone, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte string for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEnd {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut limb = [0u8; 8];
+        limb.copy_from_slice(b);
+        Ok(u64::from_le_bytes(limb))
+    }
+
+    /// Reads a `u32` element count and checks that `count · elem_size` bytes
+    /// could still fit in the input, so corrupt lengths fail fast instead of
+    /// triggering huge allocations.
+    pub fn count(&mut self, elem_size: usize, what: &'static str) -> Result<usize, DecodeError> {
+        let count = self.u32()? as usize;
+        let needed = count.checked_mul(elem_size.max(1));
+        match needed {
+            Some(n) if n <= self.remaining() => Ok(count),
+            _ => Err(DecodeError::InvalidLength {
+                what,
+                expected: self.remaining() / elem_size.max(1),
+                found: count,
+            }),
+        }
+    }
+
+    /// Checks the canonical header and the artifact kind tag.
+    pub fn header(&mut self, expected_kind: u8) -> Result<(), DecodeError> {
+        let magic = self.take(4)?;
+        if magic != MAGIC {
+            let mut found = [0u8; 4];
+            found.copy_from_slice(magic);
+            return Err(DecodeError::BadMagic { found });
+        }
+        let version = self.u16()?;
+        if version != VERSION {
+            return Err(DecodeError::UnsupportedVersion { found: version });
+        }
+        let kind = self.u8()?;
+        if kind != expected_kind {
+            return Err(DecodeError::WrongKind {
+                expected: expected_kind,
+                found: kind,
+            });
+        }
+        let reserved = self.u8()?;
+        if reserved != 0 {
+            return Err(DecodeError::InvalidValue {
+                what: "reserved header byte",
+            });
+        }
+        Ok(())
+    }
+
+    /// Asserts that the whole input has been consumed.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes {
+                count: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let mut out = Vec::new();
+        write_header(&mut out, 7);
+        assert_eq!(out.len(), 8);
+        let mut r = Reader::new(&out);
+        r.header(7).expect("valid header");
+        r.finish().expect("no trailing bytes");
+    }
+
+    #[test]
+    fn header_rejects_corruption() {
+        let mut out = Vec::new();
+        write_header(&mut out, 7);
+
+        let mut bad_magic = out.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            Reader::new(&bad_magic).header(7),
+            Err(DecodeError::BadMagic { .. })
+        ));
+
+        let mut bad_version = out.clone();
+        bad_version[4] = 0xfe;
+        assert!(matches!(
+            Reader::new(&bad_version).header(7),
+            Err(DecodeError::UnsupportedVersion { .. })
+        ));
+
+        assert!(matches!(
+            Reader::new(&out).header(8),
+            Err(DecodeError::WrongKind {
+                expected: 8,
+                found: 7
+            })
+        ));
+
+        let mut bad_reserved = out.clone();
+        bad_reserved[7] = 1;
+        assert!(matches!(
+            Reader::new(&bad_reserved).header(7),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+
+        assert!(matches!(
+            Reader::new(&out[..5]).header(7),
+            Err(DecodeError::UnexpectedEnd { .. })
+        ));
+    }
+
+    #[test]
+    fn integers_roundtrip() {
+        let mut out = Vec::new();
+        out.push(0xab);
+        out.extend_from_slice(&0x1234u16.to_le_bytes());
+        out.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        out.extend_from_slice(&0x0102_0304_0506_0708u64.to_le_bytes());
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn count_rejects_absurd_lengths() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = Reader::new(&out);
+        assert!(matches!(
+            r.count(32, "elements"),
+            Err(DecodeError::InvalidLength { .. })
+        ));
+        // A consistent count passes.
+        let mut out = Vec::new();
+        out.extend_from_slice(&2u32.to_le_bytes());
+        out.extend_from_slice(&[0u8; 8]);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.count(4, "elements").unwrap(), 2);
+    }
+
+    #[test]
+    fn trailing_bytes_are_reported() {
+        let data = [1u8, 2, 3];
+        let mut r = Reader::new(&data);
+        let _ = r.u8().unwrap();
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes { count: 2 }));
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    fn error_display_strings() {
+        assert!(DecodeError::BadMagic { found: [0; 4] }
+            .to_string()
+            .contains("magic"));
+        assert!(DecodeError::UnsupportedVersion { found: 9 }
+            .to_string()
+            .contains("version 9"));
+        assert!(DecodeError::TrailingBytes { count: 3 }
+            .to_string()
+            .contains("3 trailing"));
+        assert!(DecodeError::InvalidValue { what: "point" }
+            .to_string()
+            .contains("point"));
+    }
+}

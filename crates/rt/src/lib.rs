@@ -13,20 +13,27 @@
 //! * [`JsonValue`] / [`ToJson`] — hand-rolled, stable (insertion-ordered)
 //!   JSON emission for the hardware-model report structs, replacing `serde`;
 //! * [`bench::Harness`] — a minimal warmup + median-of-N benchmark harness
-//!   with JSON output, replacing `criterion`;
-//! * [`par`] — scoped-thread chunked parallel-map primitives with a
-//!   `ZKSPEED_THREADS` override and a serial fallback, used by the MSM and
-//!   SumCheck hot paths. Work is always split into deterministic contiguous
-//!   chunks combined in chunk order, so parallel runs are bit-identical to
-//!   serial runs.
+//!   with JSON output and per-suite history files, replacing `criterion`;
+//! * [`pool`] — the pluggable execution [`pool::Backend`] (serial, reusable
+//!   std-only worker pool) behind every parallel hot path, replacing
+//!   per-call scoped-thread spawning;
+//! * [`par`] — ambient-configuration chunked parallel-map primitives with a
+//!   `ZKSPEED_THREADS` override and a serial fallback, layered on [`pool`].
+//!   Work is always split into deterministic contiguous chunks combined in
+//!   chunk order, so parallel runs are bit-identical to serial runs;
+//! * [`codec`] — the canonical byte-encoding substrate (magic + version
+//!   headers, bounds-checked reads, structured [`codec::DecodeError`]) used
+//!   by proof / key / SRS serialization.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod codec;
 mod json;
 mod keccak;
 pub mod par;
+pub mod pool;
 mod rng;
 
 pub use json::{JsonValue, ToJson};

@@ -1,11 +1,12 @@
-//! Scoped-thread chunked parallelism with deterministic combining.
+//! Chunked parallelism with deterministic combining, running on the shared
+//! [`crate::pool`] worker pool.
 //!
-//! The primitives here split an index space into contiguous chunks, run one
-//! `std::thread::scope` worker per chunk, and return the per-chunk results
-//! **in chunk order**. Callers combine chunk results left to right, so a
-//! parallel run is bit-identical to the serial run for any associative
-//! combine (exact modular field addition, elliptic-curve point accumulation,
-//! statistics counters, …).
+//! The primitives here split an index space into contiguous chunks, fan the
+//! chunks out over the reusable pool (no per-call thread spawning), and
+//! return the per-chunk results **in chunk order**. Callers combine chunk
+//! results left to right, so a parallel run is bit-identical to the serial
+//! run for any associative combine (exact modular field addition,
+//! elliptic-curve point accumulation, statistics counters, …).
 //!
 //! Thread count resolution, in priority order:
 //!
@@ -14,12 +15,17 @@
 //! 2. the `ZKSPEED_THREADS` environment variable (`1` forces the serial
 //!    path);
 //! 3. [`std::thread::available_parallelism`].
+//!
+//! Session-oriented callers should prefer an explicit
+//! [`crate::pool::Backend`] and the [`crate::pool::map_ranges`] /
+//! [`crate::pool::map_indices_on`] helpers; the functions here are the
+//! ambient-configuration view of the same machinery.
 
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::OnceLock;
 
-fn env_threads() -> usize {
+pub(crate) fn env_threads() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
         let hardware = || {
@@ -93,48 +99,32 @@ pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
 /// results in chunk order.
 ///
 /// The index space is split into at most [`current_threads`] chunks, but
-/// never into chunks smaller than `min_chunk` (so tiny inputs stay serial
-/// and don't pay thread-spawn overhead). With one chunk the closure runs on
-/// the calling thread — the exact serial path.
-pub fn map_chunks<U: Send>(
-    len: usize,
-    min_chunk: usize,
-    f: impl Fn(Range<usize>) -> U + Sync,
-) -> Vec<U> {
-    if len == 0 {
-        return Vec::new();
-    }
-    let max_parts = if min_chunk <= 1 {
-        len
-    } else {
-        len.div_ceil(min_chunk)
-    };
-    let parts = current_threads().min(max_parts).max(1);
-    if parts == 1 {
-        return vec![f(0..len)];
-    }
-    let ranges = split_ranges(len, parts);
-    // Workers inherit the caller's effective thread count, so a
-    // `with_threads` override keeps governing any nested parallel calls
-    // made from inside the chunks.
+/// never into chunks smaller than `min_chunk` (so tiny inputs stay serial).
+/// With one chunk the closure runs on the calling thread — the exact serial
+/// path. Multi-chunk runs execute on the shared [`crate::pool`] worker pool;
+/// workers inherit the caller's effective thread count, so a
+/// [`with_threads`] override keeps governing nested parallel calls made from
+/// inside the chunks.
+pub fn map_chunks<U, F>(len: usize, min_chunk: usize, f: F) -> Vec<U>
+where
+    U: Send + 'static,
+    F: Fn(Range<usize>) -> U + Send + Sync + 'static,
+{
     let inherited = current_threads();
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| scope.spawn(move || with_threads(inherited, || f(range))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("zkspeed-rt parallel worker panicked"))
-            .collect()
+    crate::pool::map_ranges(&crate::pool::Ambient, len, min_chunk, move |range| {
+        with_threads(inherited, || f(range))
     })
 }
 
 /// Applies `f` to every index in `0..len` and returns the results in index
 /// order, fanning the indices out over [`current_threads`] workers.
-pub fn map_indices<U: Send>(len: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
-    let mut chunks = map_chunks(len, 1, |range| range.map(&f).collect::<Vec<U>>());
+pub fn map_indices<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send + 'static,
+    F: Fn(usize) -> U + Send + Sync + 'static,
+{
+    let f = std::sync::Arc::new(f);
+    let mut chunks = map_chunks(len, 1, move |range| range.map(|i| f(i)).collect::<Vec<U>>());
     if chunks.len() == 1 {
         return chunks.pop().unwrap();
     }

@@ -17,6 +17,8 @@
 
 use zkspeed_field::Fr;
 use zkspeed_poly::VirtualPolynomial;
+use zkspeed_rt::codec::{DecodeError, Reader};
+use zkspeed_rt::pool::{self, Backend};
 use zkspeed_transcript::Transcript;
 
 /// A SumCheck proof: one univariate round polynomial per variable, each given
@@ -38,6 +40,43 @@ impl SumcheckProof {
     pub fn size_in_field_elements(&self) -> usize {
         self.round_evaluations.iter().map(Vec::len).sum()
     }
+
+    /// Appends the canonical encoding: a `u32` round count, then per round a
+    /// `u32` evaluation count followed by 32-byte little-endian canonical
+    /// field elements.
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.round_evaluations.len() as u32).to_le_bytes());
+        for round in &self.round_evaluations {
+            out.extend_from_slice(&(round.len() as u32).to_le_bytes());
+            for e in round {
+                out.extend_from_slice(&e.to_bytes_le());
+            }
+        }
+    }
+
+    /// Reads a canonical encoding produced by [`Self::write_canonical`],
+    /// rejecting non-canonical field elements.
+    pub fn read_canonical(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let rounds = reader.count(4, "sumcheck rounds")?;
+        let mut round_evaluations = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let evals = reader.count(32, "sumcheck round evaluations")?;
+            let mut round = Vec::with_capacity(evals);
+            for _ in 0..evals {
+                round.push(read_fr(reader)?);
+            }
+            round_evaluations.push(round);
+        }
+        Ok(Self { round_evaluations })
+    }
+}
+
+/// Reads one canonical 32-byte little-endian field element.
+pub(crate) fn read_fr(reader: &mut Reader<'_>) -> Result<Fr, DecodeError> {
+    let bytes = reader.take(32)?;
+    Fr::from_bytes_le(bytes).ok_or(DecodeError::InvalidValue {
+        what: "non-canonical Fr element",
+    })
 }
 
 /// Everything the prover produces: the proof, the verifier challenges bound
@@ -65,6 +104,21 @@ pub struct ProverOutput {
 ///
 /// Panics if `poly` has no variables or no terms.
 pub fn prove(poly: &VirtualPolynomial, transcript: &mut Transcript) -> ProverOutput {
+    prove_on(poly, transcript, &pool::Ambient)
+}
+
+/// [`prove`] on an explicit execution backend: both the round-polynomial
+/// extension and the between-round MLE Update fan out over the backend's
+/// workers, producing a proof bit-identical to the serial run.
+///
+/// # Panics
+///
+/// Panics if `poly` has no variables or no terms.
+pub fn prove_on(
+    poly: &VirtualPolynomial,
+    transcript: &mut Transcript,
+    backend: &dyn Backend,
+) -> ProverOutput {
     assert!(
         poly.num_vars() > 0,
         "sumcheck: polynomial must have variables"
@@ -81,11 +135,11 @@ pub fn prove(poly: &VirtualPolynomial, transcript: &mut Transcript) -> ProverOut
     let mut point = Vec::with_capacity(num_rounds);
 
     for _round in 0..num_rounds {
-        let evals = round_polynomial(&current, degree);
+        let evals = round_polynomial_on(&current, degree, backend);
         transcript.append_scalars(b"sumcheck-round", &evals);
         let challenge = transcript.challenge_scalar(b"sumcheck-challenge");
         point.push(challenge);
-        current = current.fix_first_variable(challenge);
+        current = current.fix_first_variable_on(challenge, backend);
         round_evaluations.push(evals);
     }
 
@@ -103,52 +157,42 @@ pub fn prove(poly: &VirtualPolynomial, transcript: &mut Transcript) -> ProverOut
 /// its evaluations at `t = 0, 1, …, degree`.
 ///
 /// This is the functional model of one pass of the SumCheck Round PE.
+/// Parallel fan-out follows the ambient configuration; use
+/// [`round_polynomial_on`] to pin an explicit backend.
 pub fn round_polynomial(poly: &VirtualPolynomial, degree: usize) -> Vec<Fr> {
+    round_polynomial_on(poly, degree, &pool::Ambient)
+}
+
+/// [`round_polynomial`] on an explicit execution backend.
+///
+/// The hypercube instances are split into contiguous chunks that fan out
+/// over the backend's workers; each worker accumulates a local partial sum
+/// and the partials are added in chunk order. Field addition is exact mod
+/// p, so any chunking is bit-identical to the serial sweep. Inputs below an
+/// internal chunk floor never leave the calling thread. Workers measure
+/// their thread-local modmul delta, rewind it, and hand it back so
+/// profiling counters see the same totals at any thread count.
+pub fn round_polynomial_on(
+    poly: &VirtualPolynomial,
+    degree: usize,
+    backend: &dyn Backend,
+) -> Vec<Fr> {
+    const MIN_CHUNK: usize = 256;
     let half = 1usize << (poly.num_vars() - 1);
-    let num_mles = poly.mles().len();
     let num_points = degree + 1;
 
-    // The hypercube instances are split into contiguous chunks that fan out
-    // over `ZKSPEED_THREADS` scoped workers; each worker accumulates a local
-    // partial sum and the partials are added in chunk order. Field addition
-    // is exact mod p, so any chunking is bit-identical to the serial sweep.
-    // Inputs below MIN_CHUNK instances never leave the calling thread.
-    // Workers measure their thread-local modmul delta, rewind it, and hand
-    // it back so profiling counters see the same totals at any thread count.
-    const MIN_CHUNK: usize = 256;
-    let partials = zkspeed_rt::par::map_chunks(half, MIN_CHUNK, |range| {
-        zkspeed_field::measure_modmuls(|| {
-            let mut acc = vec![Fr::zero(); num_points];
-            // Scratch: per-MLE evaluations at t = 0..=degree for one hypercube
-            // instance.
-            let mut mle_evals = vec![vec![Fr::zero(); num_points]; num_mles];
-            for i in range {
-                // Per-MLE extension: evaluations at t = 0, 1 are table reads;
-                // the rest follow by repeatedly adding the slope.
-                for (m, evals) in poly.mles().iter().zip(mle_evals.iter_mut()) {
-                    let lo = m[2 * i];
-                    let hi = m[2 * i + 1];
-                    let diff = hi - lo;
-                    let mut v = lo;
-                    evals[0] = v;
-                    for e in evals.iter_mut().skip(1) {
-                        v += diff;
-                        *e = v;
-                    }
-                }
-                // Per-term products and accumulation.
-                for term in poly.terms() {
-                    for (t, a) in acc.iter_mut().enumerate() {
-                        let mut prod = term.coefficient;
-                        for &mi in &term.mle_indices {
-                            prod *= mle_evals[mi][t];
-                        }
-                        *a += prod;
-                    }
-                }
-            }
-            acc
-        })
+    // Small rounds (the tail of every sumcheck) and serial backends stay on
+    // the calling thread, borrowing the polynomial directly.
+    if half <= MIN_CHUNK || backend.threads() == 1 {
+        return round_partial(poly.mles(), poly.terms(), 0..half, num_points);
+    }
+
+    // Jobs may run on pool workers, so they capture shared handles to the
+    // MLE list (Arc clones) and term list instead of borrowing.
+    let mles = poly.mles().to_vec();
+    let terms = poly.terms().to_vec();
+    let partials = pool::map_ranges(backend, half, MIN_CHUNK, move |range| {
+        zkspeed_field::measure_modmuls(|| round_partial(&mles, &terms, range, num_points))
     });
 
     let mut acc = vec![Fr::zero(); num_points];
@@ -156,6 +200,47 @@ pub fn round_polynomial(poly: &VirtualPolynomial, degree: usize) -> Vec<Fr> {
         zkspeed_field::add_modmul_count(muls);
         for (a, p) in acc.iter_mut().zip(partial) {
             *a += p;
+        }
+    }
+    acc
+}
+
+/// Accumulates the round-polynomial contribution of one contiguous range of
+/// hypercube instances (the per-chunk worker body, also the whole serial
+/// sweep when the range covers everything).
+fn round_partial(
+    mles: &[std::sync::Arc<zkspeed_poly::MultilinearPoly>],
+    terms: &[zkspeed_poly::Term],
+    range: std::ops::Range<usize>,
+    num_points: usize,
+) -> Vec<Fr> {
+    let mut acc = vec![Fr::zero(); num_points];
+    // Scratch: per-MLE evaluations at t = 0..=degree for one hypercube
+    // instance.
+    let mut mle_evals = vec![vec![Fr::zero(); num_points]; mles.len()];
+    for i in range {
+        // Per-MLE extension: evaluations at t = 0, 1 are table reads; the
+        // rest follow by repeatedly adding the slope.
+        for (m, evals) in mles.iter().zip(mle_evals.iter_mut()) {
+            let lo = m[2 * i];
+            let hi = m[2 * i + 1];
+            let diff = hi - lo;
+            let mut v = lo;
+            evals[0] = v;
+            for e in evals.iter_mut().skip(1) {
+                v += diff;
+                *e = v;
+            }
+        }
+        // Per-term products and accumulation.
+        for term in terms {
+            for (t, a) in acc.iter_mut().enumerate() {
+                let mut prod = term.coefficient;
+                for &mi in &term.mle_indices {
+                    prod *= mle_evals[mi][t];
+                }
+                *a += prod;
+            }
         }
     }
     acc

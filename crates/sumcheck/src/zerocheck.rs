@@ -13,7 +13,7 @@ use zkspeed_poly::{MultilinearPoly, VirtualPolynomial};
 use zkspeed_transcript::Transcript;
 
 use crate::error::SumcheckError;
-use crate::prover::{prove, ProverOutput, SumcheckProof};
+use crate::prover::{ProverOutput, SumcheckProof};
 use crate::verifier::{verify, SubClaim};
 
 /// A ZeroCheck proof is a SumCheck proof over the `eq`-masked polynomial.
@@ -62,9 +62,13 @@ pub fn mask_with_eq(poly: &VirtualPolynomial, challenges: &[Fr]) -> VirtualPolyn
         poly.num_vars(),
         "mask_with_eq: challenge count must equal the number of variables"
     );
-    let eq = Arc::new(MultilinearPoly::eq_mle(challenges));
+    mask_with(poly, Arc::new(MultilinearPoly::eq_mle(challenges)))
+}
+
+/// Masks `poly` with a prebuilt `eq` MLE: re-registers the original MLEs
+/// (shared, not cloned), appends `eq`, and extends every term with it.
+fn mask_with(poly: &VirtualPolynomial, eq: Arc<MultilinearPoly>) -> VirtualPolynomial {
     let mut masked = VirtualPolynomial::new(poly.num_vars());
-    // Re-register the original MLEs (shared, not cloned) and append eq.
     for mle in poly.mles() {
         masked.add_shared_mle(mle.clone());
     }
@@ -88,9 +92,27 @@ pub fn prove_zerocheck(
     poly: &VirtualPolynomial,
     transcript: &mut Transcript,
 ) -> ZerocheckProverOutput {
+    prove_zerocheck_on(poly, transcript, &zkspeed_rt::pool::Ambient)
+}
+
+/// [`prove_zerocheck`] on an explicit execution backend: the Build-MLE
+/// `eq(X, r)` construction and the SumCheck rounds all fan out over the
+/// backend's workers, bit-identical to the serial run.
+///
+/// # Panics
+///
+/// Panics if `poly` has no variables or no terms.
+pub fn prove_zerocheck_on(
+    poly: &VirtualPolynomial,
+    transcript: &mut Transcript,
+    backend: &dyn zkspeed_rt::pool::Backend,
+) -> ZerocheckProverOutput {
     let challenges = transcript.challenge_scalars(b"zerocheck-r", poly.num_vars());
-    let masked = mask_with_eq(poly, &challenges);
-    let sumcheck = prove(&masked, transcript);
+    let masked = mask_with(
+        poly,
+        Arc::new(MultilinearPoly::eq_mle_on(&challenges, backend)),
+    );
+    let sumcheck = crate::prover::prove_on(&masked, transcript, backend);
     ZerocheckProverOutput {
         sumcheck,
         build_mle_challenges: challenges,

@@ -5,12 +5,11 @@
 //!
 //! Run with: `cargo run --release --example private_transaction_rollup`
 
+use zkspeed::prelude::*;
 use zkspeed_core::{ChipConfig, CpuModel, Workload};
 use zkspeed_field::Fr;
-use zkspeed_hyperplonk::{preprocess, prove_with_report, verify, CircuitBuilder, ProtocolStep};
-use zkspeed_pcs::Srs;
-use zkspeed_rt::rngs::StdRng;
-use zkspeed_rt::{Rng, SeedableRng};
+use zkspeed_hyperplonk::ProtocolStep;
+use zkspeed_rt::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
@@ -39,11 +38,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         witness.sparsity() * 100.0
     );
 
-    let srs = Srs::setup(circuit.num_vars(), &mut rng);
-    let (pk, vk) = preprocess(circuit, &srs);
-    let (proof, report) = prove_with_report(&pk, &witness)?;
-    verify(&vk, &proof)?;
-    println!("proof verified ({} bytes)", proof.size_in_bytes());
+    let srs = Srs::try_setup(circuit.num_vars(), &mut rng)?;
+    let system = ProofSystem::setup(srs);
+    let (prover, verifier) = system.preprocess(circuit)?;
+    let (proof, report) = prover.prove_with_report(&witness)?;
+    verifier.verify(&proof)?;
+    println!("proof verified ({} bytes)", proof.to_bytes().len());
+
+    // A rollup operator proves many batches against the same keys: the
+    // handle fans independent proofs out across the session's worker pool.
+    let batch = prover.prove_batch(&[witness.clone(), witness.clone(), witness.clone()])?;
+    println!(
+        "batch of {} proofs on the '{}' backend, all bit-identical: {}",
+        batch.len(),
+        prover.backend().name(),
+        batch.iter().all(|p| *p == proof)
+    );
 
     println!("\nmeasured prover step breakdown (this machine):");
     for step in ProtocolStep::ALL {

@@ -4,12 +4,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use zkspeed::prelude::*;
 use zkspeed_core::{ChipConfig, CpuModel, Workload};
 use zkspeed_field::Fr;
-use zkspeed_hyperplonk::{preprocess, prove_with_report, verify, CircuitBuilder};
-use zkspeed_pcs::Srs;
-use zkspeed_rt::rngs::StdRng;
-use zkspeed_rt::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Express a statement as a circuit: "I know x such that x^3 + x + 5 = 35".
@@ -29,15 +26,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.num_gates()
     );
 
-    // 2. Universal setup + per-circuit preprocessing.
+    // 2. One session owns the universal setup and the worker pool; a
+    //    preprocessing pass per circuit yields long-lived handles.
     let mut rng = StdRng::seed_from_u64(42);
-    let srs = Srs::setup(circuit.num_vars(), &mut rng);
-    let (pk, vk) = preprocess(circuit, &srs);
+    let srs = Srs::try_setup(circuit.num_vars(), &mut rng)?;
+    let system = ProofSystem::setup(srs);
+    let (prover, verifier) = system.preprocess(circuit)?;
 
-    // 3. Prove and verify.
-    let (proof, report) = prove_with_report(&pk, &witness)?;
-    verify(&vk, &proof)?;
-    println!("proof verified; size ≈ {} bytes", proof.size_in_bytes());
+    // 3. Prove, ship as canonical bytes, verify.
+    let (proof, report) = prover.prove_with_report(&witness)?;
+    let bytes = proof.to_bytes();
+    verifier.verify(&Proof::from_bytes(&bytes)?)?;
+    println!(
+        "proof verified; {} canonical bytes (backend: {})",
+        bytes.len(),
+        prover.backend().name()
+    );
     println!("prover wall-clock: {:.3} ms", report.total_seconds() * 1e3);
 
     // 4. What would zkSpeed do with a realistic problem size?

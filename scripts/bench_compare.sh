@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Compares two bench-history JSON files (as written by the zkspeed-rt bench
+# harness into target/bench-history/<suite>.json) and flags regressions.
+#
+# Usage: scripts/bench_compare.sh OLD.json NEW.json [THRESHOLD_PCT]
+#
+#   OLD.json        baseline history file (e.g. from the previous commit)
+#   NEW.json        candidate history file
+#   THRESHOLD_PCT   max allowed median_ns increase in percent (default 20)
+#
+# Exits 1 if any benchmark present in both files regressed by more than the
+# threshold. Benchmarks present in only one file are reported but do not
+# fail the comparison.
+set -euo pipefail
+
+if [[ $# -lt 2 || $# -gt 3 ]]; then
+    echo "usage: $0 OLD.json NEW.json [THRESHOLD_PCT]" >&2
+    exit 2
+fi
+
+OLD="$1"
+NEW="$2"
+THRESHOLD="${3:-20}"
+
+for f in "$OLD" "$NEW"; do
+    if [[ ! -r "$f" ]]; then
+        echo "error: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+# Extracts "name median_ns" pairs from the harness's pretty-printed JSON.
+extract() {
+    awk '
+        /"name":/ {
+            line = $0
+            sub(/^.*"name":[[:space:]]*"/, "", line)
+            sub(/".*$/, "", line)
+            name = line
+        }
+        /"median_ns":/ {
+            line = $0
+            sub(/^.*"median_ns":[[:space:]]*/, "", line)
+            sub(/[^0-9].*$/, "", line)
+            if (name != "") {
+                print name, line
+                name = ""
+            }
+        }
+    ' "$1"
+}
+
+OLD_DATA="$(extract "$OLD")"
+NEW_DATA="$(extract "$NEW")"
+
+echo "bench comparison: $OLD -> $NEW (threshold ${THRESHOLD}%)"
+printf '%-32s %14s %14s %9s\n' "benchmark" "old median" "new median" "delta%"
+
+FAILED=0
+while read -r name new_ns; do
+    [[ -z "$name" ]] && continue
+    old_ns="$(echo "$OLD_DATA" | awk -v n="$name" '$1 == n { print $2 }')"
+    if [[ -z "$old_ns" ]]; then
+        printf '%-32s %14s %14s %9s\n' "$name" "-" "$new_ns" "new"
+        continue
+    fi
+    delta="$(awk -v o="$old_ns" -v n="$new_ns" 'BEGIN { printf "%.1f", (n - o) * 100.0 / o }')"
+    flag=""
+    if awk -v d="$delta" -v t="$THRESHOLD" 'BEGIN { exit !(d > t) }'; then
+        flag="  REGRESSION"
+        FAILED=1
+    fi
+    printf '%-32s %14s %14s %8s%%%s\n' "$name" "$old_ns" "$new_ns" "$delta" "$flag"
+done <<< "$NEW_DATA"
+
+# Report benchmarks that disappeared.
+while read -r name _; do
+    [[ -z "$name" ]] && continue
+    if ! echo "$NEW_DATA" | awk -v n="$name" '$1 == n { found = 1 } END { exit !found }'; then
+        printf '%-32s %14s %14s %9s\n' "$name" "present" "-" "removed"
+    fi
+done <<< "$OLD_DATA"
+
+if [[ "$FAILED" -ne 0 ]]; then
+    echo "FAIL: at least one benchmark regressed more than ${THRESHOLD}%" >&2
+    exit 1
+fi
+echo "OK: no benchmark regressed more than ${THRESHOLD}%"

@@ -1,0 +1,99 @@
+//! The workspace-level error type: every fallible step of the session API
+//! (setup validation, preprocessing, proving, verification, decoding) is
+//! surfaced through one [`enum@Error`].
+
+use core::fmt;
+
+use zkspeed_hyperplonk::{PreprocessError, ProveError, VerifyError};
+use zkspeed_pcs::SetupError;
+use zkspeed_rt::codec::DecodeError;
+
+/// Everything that can go wrong across the proving pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// Universal setup rejected its parameters.
+    Setup(SetupError),
+    /// Preprocessing rejected the circuit (e.g. SRS too small).
+    Preprocess(PreprocessError),
+    /// The prover rejected the witness.
+    Prove(ProveError),
+    /// The verifier rejected the proof.
+    Verify(VerifyError),
+    /// A byte string failed to decode into a proof, key or SRS.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Setup(e) => write!(f, "setup failed: {e}"),
+            Error::Preprocess(e) => write!(f, "preprocessing failed: {e}"),
+            Error::Prove(e) => write!(f, "proving failed: {e}"),
+            Error::Verify(e) => write!(f, "verification failed: {e}"),
+            Error::Decode(e) => write!(f, "decoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Setup(e) => Some(e),
+            Error::Preprocess(e) => Some(e),
+            Error::Prove(e) => Some(e),
+            Error::Verify(e) => Some(e),
+            Error::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<SetupError> for Error {
+    fn from(e: SetupError) -> Self {
+        Error::Setup(e)
+    }
+}
+
+impl From<PreprocessError> for Error {
+    fn from(e: PreprocessError) -> Self {
+        Error::Preprocess(e)
+    }
+}
+
+impl From<ProveError> for Error {
+    fn from(e: ProveError) -> Self {
+        Error::Prove(e)
+    }
+}
+
+impl From<VerifyError> for Error {
+    fn from(e: VerifyError) -> Self {
+        Error::Verify(e)
+    }
+}
+
+impl From<DecodeError> for Error {
+    fn from(e: DecodeError) -> Self {
+        Error::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = Error::from(SetupError::TooManyVariables {
+            requested: 99,
+            max: 28,
+        });
+        assert!(e.to_string().contains("setup failed"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = Error::from(DecodeError::TrailingBytes { count: 2 });
+        assert!(e.to_string().contains("decoding failed"));
+
+        let e = Error::from(VerifyError::GrandProductMismatch);
+        assert!(e.to_string().contains("verification failed"));
+    }
+}

@@ -1,11 +1,27 @@
 //! Umbrella crate for the zkSpeed HyperPlonk reproduction.
 //!
 //! This crate owns the workspace-level integration tests (`tests/`) and
-//! examples (`examples/`), and re-exports every layer of the stack under one
-//! roof so downstream users can depend on a single crate:
+//! examples (`examples/`), re-exports every layer of the stack under one
+//! roof, and provides the **session-oriented proving API** — the intended
+//! entry point for downstream users:
+//!
+//! * [`ProofSystem`] — owns the universal SRS and a reusable execution
+//!   [`Backend`](rt::pool::Backend) (serial or worker pool);
+//! * [`ProverHandle`] / [`VerifierHandle`] — long-lived per-circuit handles
+//!   with [`prove`](ProverHandle::prove),
+//!   [`prove_with_report`](ProverHandle::prove_with_report),
+//!   [`prove_batch`](ProverHandle::prove_batch) and
+//!   [`verify`](VerifierHandle::verify);
+//! * [`enum@Error`] — one structured error enum across setup, preprocessing,
+//!   proving, verification and decoding;
+//! * canonical byte encodings with magic + version headers for
+//!   [`Proof`](hyperplonk::Proof),
+//!   [`VerifyingKey`](hyperplonk::VerifyingKey) and [`Srs`](pcs::Srs).
+//!
+//! The re-exported component layers:
 //!
 //! * [`rt`] — dependency-free runtime (SHA3, deterministic PRNG, JSON,
-//!   bench harness, scoped-thread parallelism);
+//!   bench harness, worker-pool backends, byte-codec substrate);
 //! * [`field`] / [`curve`] / [`poly`] — BLS12-381 arithmetic and multilinear
 //!   polynomials;
 //! * [`transcript`] / [`sumcheck`] / [`pcs`] / [`hyperplonk`] — the
@@ -17,21 +33,44 @@
 //! # Quickstart
 //!
 //! ```
-//! use zkspeed::hyperplonk::{mock_circuit, preprocess, prove, verify, SparsityProfile};
-//! use zkspeed::pcs::Srs;
-//! use zkspeed::rt::rngs::StdRng;
-//! use zkspeed::rt::SeedableRng;
+//! use zkspeed::prelude::*;
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
-//! let srs = Srs::setup(4, &mut rng);
+//! let srs = Srs::try_setup(4, &mut rng)?;
+//! let system = ProofSystem::setup(srs);
 //! let (circuit, witness) = mock_circuit(4, SparsityProfile::paper_default(), &mut rng);
-//! let (pk, vk) = preprocess(circuit, &srs);
-//! let proof = prove(&pk, &witness).expect("valid witness");
-//! verify(&vk, &proof).expect("honest proof verifies");
+//! let (prover, verifier) = system.preprocess(circuit)?;
+//!
+//! let proof = prover.prove(&witness)?;
+//! verifier.verify(&proof)?;
+//!
+//! // Proofs are canonical bytes: hash them, persist them, ship them.
+//! let bytes = proof.to_bytes();
+//! assert_eq!(Proof::from_bytes(&bytes)?, proof);
+//! # Ok::<(), zkspeed::Error>(())
+//! ```
+//!
+//! To pin the parallelism instead of inheriting `ZKSPEED_THREADS`:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zkspeed::prelude::*;
+//!
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let srs = Srs::try_setup(3, &mut rng)?;
+//! let system = ProofSystem::setup_with_backend(srs, Arc::new(ThreadPool::new(4)));
+//! # let _ = system;
+//! # Ok::<(), zkspeed::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod error;
+mod session;
+
+pub use error::Error;
+pub use session::{ProofSystem, ProverHandle, VerifierHandle};
 
 pub use zkspeed_bench as bench;
 pub use zkspeed_core as model;
@@ -44,3 +83,16 @@ pub use zkspeed_poly as poly;
 pub use zkspeed_rt as rt;
 pub use zkspeed_sumcheck as sumcheck;
 pub use zkspeed_transcript as transcript;
+
+/// One-line import for the session API and the types most programs touch.
+pub mod prelude {
+    pub use crate::{Error, ProofSystem, ProverHandle, VerifierHandle};
+    pub use zkspeed_hyperplonk::{
+        mock_circuit, Circuit, CircuitBuilder, Proof, ProverReport, SparsityProfile, VerifyingKey,
+        Witness,
+    };
+    pub use zkspeed_pcs::Srs;
+    pub use zkspeed_rt::pool::{Backend, Serial, ThreadPool};
+    pub use zkspeed_rt::rngs::StdRng;
+    pub use zkspeed_rt::SeedableRng;
+}

@@ -1,22 +1,24 @@
 //! Tests of the `zkspeed-rt` runtime substrate as seen by the whole stack:
 //! PRNG determinism (same seed → same stream, cross-thread independence) and
-//! parallel-vs-serial equivalence of the MSM, the SumCheck round polynomial
-//! and end-to-end proof generation.
+//! backend equivalence — the same seed under `Serial`, `ThreadPool(1)` and
+//! `ThreadPool(8)` must produce bit-identical proof encodings and identical
+//! modmul counters, for single proofs and for `prove_batch`.
 //!
-//! The equivalence tests pin the worker count with
+//! The ambient-configuration tests pin the worker count with
 //! `zkspeed_rt::par::with_threads`, so they compare the true serial path
 //! against a genuinely fanned-out run regardless of how `ZKSPEED_THREADS` is
 //! set for the test process (the CI matrix runs them under both
 //! `ZKSPEED_THREADS=1` and `ZKSPEED_THREADS=8`).
 
+use std::sync::Arc;
+
+use zkspeed::prelude::*;
 use zkspeed_curve::{msm_with_config, sparse_msm, G1Affine, G1Projective, MsmConfig};
 use zkspeed_field::Fr;
-use zkspeed_hyperplonk::{mock_circuit, preprocess, prove, verify, SparsityProfile};
-use zkspeed_pcs::Srs;
+use zkspeed_hyperplonk::mock_circuit;
 use zkspeed_poly::{MultilinearPoly, VirtualPolynomial};
 use zkspeed_rt::par::with_threads;
-use zkspeed_rt::rngs::StdRng;
-use zkspeed_rt::{Rng, SeedableRng};
+use zkspeed_rt::Rng;
 use zkspeed_sumcheck::round_polynomial;
 
 // ---------------------------------------------------------------- PRNG ----
@@ -170,19 +172,110 @@ fn round_polynomial_parallel_matches_serial_bitwise() {
 
 // ------------------------------------ parallel-vs-serial: full prover ----
 
+/// Builds one deterministic proving session per backend from the same seed.
+fn session_for(
+    mu: usize,
+    seed: u64,
+    backend: Arc<dyn Backend>,
+) -> (ProverHandle, VerifierHandle, Witness) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let srs = Srs::try_setup(mu, &mut rng).expect("setup fits");
+    let system = ProofSystem::setup_with_backend(srs, backend);
+    let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut rng);
+    let (prover, verifier) = system.preprocess(circuit).expect("circuit fits");
+    (prover, verifier, witness)
+}
+
 #[test]
 fn end_to_end_proof_is_identical_across_thread_counts() {
-    let mut rng = StdRng::seed_from_u64(0xD5EE_D030);
+    // The legacy ambient path: the same free-function pipeline pinned to
+    // one thread and to eight must agree bit for bit.
     let mu = 5;
-    let srs = Srs::setup(mu, &mut rng);
-    let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut rng);
-    let (pk, vk) = preprocess(circuit, &srs);
-
-    let serial = with_threads(1, || prove(&pk, &witness).expect("valid witness"));
-    let parallel = with_threads(8, || prove(&pk, &witness).expect("valid witness"));
+    let (serial, parallel) = {
+        let backend: Arc<dyn Backend> = zkspeed_rt::pool::ambient();
+        let (prover, verifier, witness) = session_for(mu, 0xD5EE_D030, backend);
+        let serial = with_threads(1, || prover.prove(&witness).expect("valid witness"));
+        let parallel = with_threads(8, || prover.prove(&witness).expect("valid witness"));
+        verifier.verify(&parallel).expect("parallel proof verifies");
+        (serial, parallel)
+    };
     // Structural equality covers every byte the proof serializes: the
     // commitments, all sumcheck round evaluations and the opening proofs.
     assert_eq!(parallel, serial, "proof bytes differ between thread counts");
     assert_eq!(parallel.size_in_bytes(), serial.size_in_bytes());
-    verify(&vk, &parallel).expect("parallel proof verifies");
+    assert_eq!(parallel.to_bytes(), serial.to_bytes());
+}
+
+#[test]
+fn backends_produce_identical_encodings_and_modmul_counters() {
+    // Same seed under Serial, ThreadPool(1) and ThreadPool(8): byte-identical
+    // proof encodings AND identical modmul counters (workers hand their
+    // deltas back to the submitting thread in deterministic order).
+    let mu = 6;
+    let seed = 0xD5EE_D031;
+    let backends: Vec<Arc<dyn Backend>> = vec![
+        Arc::new(Serial),
+        Arc::new(ThreadPool::new(1)),
+        Arc::new(ThreadPool::new(8)),
+    ];
+    let mut results: Vec<(Vec<u8>, zkspeed_field::ModmulCount)> = Vec::new();
+    for backend in backends {
+        let name = backend.name();
+        let (prover, verifier, witness) = session_for(mu, seed, backend);
+        let before = zkspeed_field::modmul_count();
+        let proof = prover.prove(&witness).expect("valid witness");
+        let spent = zkspeed_field::modmul_count().since(&before);
+        verifier.verify(&proof).expect("honest proof verifies");
+        assert!(spent.total() > 0, "{name}: proving must record modmuls");
+        results.push((proof.to_bytes(), spent));
+    }
+    let (reference_bytes, reference_count) = &results[0];
+    for (bytes, count) in &results[1..] {
+        assert_eq!(bytes, reference_bytes, "proof encodings drifted");
+        assert_eq!(count, reference_count, "modmul counters drifted");
+    }
+}
+
+#[test]
+fn prove_batch_is_bit_identical_to_serial_at_mu_12() {
+    // Acceptance scenario: a ThreadPool-backed prove_batch of 4 proofs at
+    // μ=12 produces encodings bit-identical to a Serial backend.
+    let mu = 12;
+    let seed = 0xD5EE_D032;
+
+    let (serial_prover, _, witness) = session_for(mu, seed, Arc::new(Serial));
+    let witnesses = vec![
+        witness.clone(),
+        witness.clone(),
+        witness.clone(),
+        witness.clone(),
+    ];
+    let serial_proofs = serial_prover
+        .prove_batch(&witnesses)
+        .expect("valid witnesses");
+
+    let (pool_prover, pool_verifier, pool_witness) =
+        session_for(mu, seed, Arc::new(ThreadPool::new(8)));
+    let pool_witnesses = vec![
+        pool_witness.clone(),
+        pool_witness.clone(),
+        pool_witness.clone(),
+        pool_witness,
+    ];
+    let pool_proofs = pool_prover
+        .prove_batch(&pool_witnesses)
+        .expect("valid witnesses");
+
+    assert_eq!(serial_proofs.len(), 4);
+    assert_eq!(pool_proofs.len(), 4);
+    for (serial, pooled) in serial_proofs.iter().zip(pool_proofs.iter()) {
+        assert_eq!(
+            serial.to_bytes(),
+            pooled.to_bytes(),
+            "batch encodings drifted between backends"
+        );
+    }
+    pool_verifier
+        .verify(&pool_proofs[3])
+        .expect("batched proof verifies");
 }

@@ -1,0 +1,86 @@
+//! MSM engine schedule sweep: window bits × backend threads × schedule at
+//! n = 2^12 points (suite `msm`, history file
+//! `target/bench-history/msm.json`).
+//!
+//! The schedules compared:
+//!
+//! * `classic`      — PR 2 baseline: unsigned windows, window-parallel,
+//!   mixed adds into projective buckets;
+//! * `signed`       — + signed-digit recoding (half the buckets);
+//! * `signed-intra` — + SZKP-style intra-window chunking;
+//! * `optimized`    — + batch-affine bucket accumulation (the default).
+//!
+//! Besides the wall-clock records, the per-schedule `MsmStats::fq_muls()`
+//! counts are printed so the modmul reduction is visible alongside the
+//! timing.
+
+use zkspeed_curve::{msm_with_config_on, G1Affine, G1Projective, MsmConfig, MsmSchedule};
+use zkspeed_field::Fr;
+use zkspeed_rt::bench::{black_box, Harness};
+use zkspeed_rt::pool::backend_with_threads;
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::SeedableRng;
+
+fn setup(n: usize, rng: &mut StdRng) -> (Vec<G1Affine>, Vec<Fr>) {
+    let proj: Vec<G1Projective> = (0..n).map(|_| G1Projective::random(rng)).collect();
+    let points = G1Projective::batch_to_affine(&proj);
+    let scalars = (0..n).map(|_| Fr::random(rng)).collect();
+    (points, scalars)
+}
+
+fn schedules() -> Vec<(&'static str, MsmConfig)> {
+    vec![
+        ("classic", MsmConfig::classic()),
+        ("signed", MsmConfig::classic().with_signed_digits(true)),
+        (
+            "signed-intra",
+            MsmConfig::classic()
+                .with_signed_digits(true)
+                .with_schedule(MsmSchedule::IntraWindow { chunks: 0 }),
+        ),
+        ("optimized", MsmConfig::optimized()),
+    ]
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let n = 1usize << 12;
+    let (points, scalars) = setup(n, &mut rng);
+
+    // Operation counts are timing-independent; print them once per
+    // (window, schedule) so the fq_muls reduction is recorded next to the
+    // wall-clock numbers.
+    for w in [8usize, 10] {
+        for (name, config) in schedules() {
+            let (_, stats) =
+                zkspeed_curve::msm_with_config(&points, &scalars, config.with_window_bits(w));
+            println!(
+                "msm stats n=2^12 w={w} {name}: fq_muls={} adds={} (bucket={} affine={} agg={} \
+                 partial-combine={} combine={}) inversions={} recoded={}",
+                stats.fq_muls(),
+                stats.total_adds(),
+                stats.bucket_adds,
+                stats.affine_adds,
+                stats.aggregation_adds,
+                stats.partial_combine_adds,
+                stats.combine_adds,
+                stats.batch_inversions,
+                stats.recoded_scalars,
+            );
+        }
+    }
+
+    let mut h = Harness::new("msm");
+    for w in [8usize, 10] {
+        for threads in [1usize, 4] {
+            let backend = backend_with_threads(threads);
+            for (name, config) in schedules() {
+                let config = config.with_window_bits(w);
+                h.bench(format!("msm/4096/w{w}/t{threads}/{name}"), || {
+                    black_box(msm_with_config_on(&*backend, &points, &scalars, config))
+                });
+            }
+        }
+    }
+    h.finish();
+}

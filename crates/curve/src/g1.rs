@@ -24,6 +24,19 @@ use zkspeed_rt::Rng;
 /// (Renes–Costello–Batina Algorithm 7 for a = 0: 12 mul + 2 mul-by-3b).
 pub const PADD_FQ_MULS: usize = 14;
 
+/// Number of Fq multiplications in one mixed projective + affine point
+/// addition (Renes–Costello–Batina Algorithm 8 for a = 0: 11 mul +
+/// 2 mul-by-3b). One multiplication cheaper than [`PADD_FQ_MULS`] because
+/// `Z₂ = 1` folds away the `Z₁·Z₂` product.
+pub const PADD_MIXED_FQ_MULS: usize = 13;
+
+/// Number of Fq multiplications attributed to one batch-affine addition:
+/// three amortized Montgomery batch-inversion multiplications plus
+/// `λ = Δy·(Δx)⁻¹`, `λ²` and `λ·(x₁ − x₃)`. The shared BEEA inversion each
+/// batch round pays on top is shift/subtract-based (no multiplier use) and
+/// is tracked separately in `MsmStats::batch_inversions`.
+pub const BATCH_AFFINE_ADD_FQ_MULS: usize = 6;
+
 /// Number of Fq multiplications in one projective doubling
 /// (Renes–Costello–Batina Algorithm 9 for a = 0: 6 mul + 2 mul-by-3b).
 pub const PDBL_FQ_MULS: usize = 8;
@@ -339,11 +352,56 @@ impl G1Projective {
         }
     }
 
-    /// Mixed addition with an affine point. Falls back to [`Self::add`] after
-    /// lifting; the distinction matters only for the hardware cost model,
-    /// which treats both as one PADD.
+    /// Mixed addition with an affine point (Renes–Costello–Batina 2016,
+    /// Algorithm 8 with `a = 0`): complete for every projective `self`, and
+    /// one Fq multiplication cheaper than lifting to [`Self::add`] because
+    /// `Z₂ = 1`. The affine identity is handled by an explicit guard (it has
+    /// no `Z₂ = 1` representation).
+    pub fn add_mixed(&self, rhs: &G1Affine) -> Self {
+        if rhs.infinity {
+            return *self;
+        }
+        let b3 = b3();
+        let (x1, y1, z1) = (self.x, self.y, self.z);
+        let (x2, y2) = (rhs.x, rhs.y);
+
+        let mut t0 = x1 * x2;
+        let mut t1 = y1 * y2;
+        let mut t3 = x2 + y2;
+        let mut t4 = x1 + y1;
+        t3 *= t4;
+        t4 = t0 + t1;
+        t3 -= t4;
+        t4 = y2 * z1;
+        t4 += y1;
+        let mut y3 = x2 * z1;
+        y3 += x1;
+        let mut x3 = t0 + t0;
+        t0 = x3 + t0;
+        let mut t2 = b3 * z1;
+        let mut z3 = t1 + t2;
+        t1 -= t2;
+        y3 = b3 * y3;
+        x3 = t4 * y3;
+        t2 = t3 * t1;
+        x3 = t2 - x3;
+        y3 *= t0;
+        t1 *= z3;
+        y3 = t1 + y3;
+        t0 *= t3;
+        z3 *= t4;
+        z3 += t0;
+
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed addition with an affine point; alias of [`Self::add_mixed`].
     pub fn add_affine(&self, rhs: &G1Affine) -> Self {
-        self.add(&rhs.to_projective())
+        self.add_mixed(rhs)
     }
 
     /// Point doubling (Renes–Costello–Batina 2016, Algorithm 9 with `a = 0`).
@@ -535,6 +593,29 @@ mod tests {
         assert_eq!(g4, g + g + g + g);
         assert!(g.double().is_on_curve());
         assert_eq!(G1Projective::identity().double(), G1Projective::identity());
+    }
+
+    #[test]
+    fn mixed_addition_matches_full_addition() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let p = G1Projective::random(&mut r);
+            let q = G1Projective::random(&mut r);
+            let q_affine = q.to_affine();
+            assert_eq!(p.add_mixed(&q_affine), p + q);
+            assert_eq!(p.add_affine(&q_affine), p + q);
+            // Doubling input (P + P) stays complete.
+            assert_eq!(p.add_mixed(&p.to_affine()), p.double());
+            // Inverse input (P + (−P)) yields the identity.
+            assert!(p.add_mixed(&p.neg().to_affine()).is_identity());
+        }
+        // Identity on either side.
+        let g = G1Projective::generator();
+        assert_eq!(g.add_mixed(&G1Affine::identity()), g);
+        assert_eq!(
+            G1Projective::identity().add_mixed(&G1Affine::generator()),
+            g
+        );
     }
 
     #[test]

@@ -7,13 +7,16 @@
 //! highlighted design). This crate provides the functional counterpart of
 //! that MSM unit:
 //!
-//! * [`G1Affine`] / [`G1Projective`] — the group, with complete addition
-//!   formulas (the PADD datapath);
+//! * [`G1Affine`] / [`G1Projective`] — the group, with complete full and
+//!   mixed addition formulas (the PADD datapath);
 //! * [`msm`] / [`msm_with_config`] — Pippenger's algorithm with configurable
-//!   window size and either the SZKP serial or the zkSpeed grouped bucket
-//!   aggregation schedule (Fig. 5 of the paper);
+//!   window size, signed-digit recoding, SZKP-style intra-window chunking,
+//!   batch-affine bucket accumulation, and either the SZKP serial or the
+//!   zkSpeed grouped bucket aggregation schedule (Fig. 5 of the paper) —
+//!   see [`MsmConfig`] and [`MsmSchedule`];
 //! * [`sparse_msm`] — the Sparse MSM used by the Witness Commit step;
-//! * [`MsmStats`] — operation counters consumed by the hardware cost model.
+//! * [`MsmStats`] — per-addition-kind operation counters consumed by the
+//!   hardware cost model.
 //!
 //! # Examples
 //!
@@ -38,9 +41,13 @@
 mod g1;
 mod msm;
 
-pub use g1::{G1Affine, G1Projective, G1_ENCODED_BYTES, PADD_FQ_MULS, PDBL_FQ_MULS};
+pub use g1::{
+    G1Affine, G1Projective, BATCH_AFFINE_ADD_FQ_MULS, G1_ENCODED_BYTES, PADD_FQ_MULS,
+    PADD_MIXED_FQ_MULS, PDBL_FQ_MULS,
+};
 pub use msm::{
-    aggregate_buckets, auto_window_bits, msm, msm_with_config, msm_with_config_on,
-    msm_with_config_shared, naive_msm, sparse_msm, sparse_msm_on, tree_sum, Aggregation, MsmConfig,
-    MsmStats, SparseMsmStats,
+    aggregate_buckets, auto_intra_window_chunks, auto_window_bits, msm, msm_with_config,
+    msm_with_config_on, msm_with_config_shared, naive_msm, sparse_msm, sparse_msm_on,
+    sparse_msm_with_config_on, tree_sum, Aggregation, MsmConfig, MsmSchedule, MsmStats,
+    SparseMsmStats, BATCH_AFFINE_DEFAULT_MIN_POINTS,
 };

@@ -6,16 +6,36 @@
 //! module provides:
 //!
 //! * [`naive_msm`] — the double-and-add reference used as a test oracle;
-//! * [`msm`] / [`msm_with_config`] — Pippenger's bucket algorithm with a
-//!   configurable window size and a choice of bucket-aggregation schedule
-//!   (the serial SZKP-style schedule or zkSpeed's grouped schedule, Fig. 5);
+//! * [`msm`] / [`msm_with_config`] — Pippenger's bucket algorithm with three
+//!   composable optimizations selected by [`MsmConfig`]:
+//!   - **signed-digit window recoding** (digits in `[−2^{w−1}, 2^{w−1}]`,
+//!     using the free affine negation `−(x, y) = (x, −y)`), halving the
+//!     bucket count and the aggregation adds per window;
+//!   - **SZKP-style intra-window parallelism** ([`MsmSchedule::IntraWindow`])
+//!     — the point array is split into chunks, each chunk fills a private
+//!     bucket set per window, and partial buckets are tree-combined before
+//!     aggregation, so parallel work scales with `windows × chunks` instead
+//!     of windows alone;
+//!   - **batch-affine bucket accumulation** — buckets accumulate through
+//!     affine additions whose inversions are amortized by
+//!     [`zkspeed_field::batch_invert`], cutting the per-add Fq
+//!     multiplications from 13 (mixed) to ~6;
+//! * a choice of bucket-aggregation schedule (the serial SZKP schedule or
+//!   zkSpeed's grouped schedule, Fig. 5);
 //! * [`sparse_msm`] — the Sparse MSM used for Witness Commits, where scalars
 //!   that are 0 or 1 bypass Pippenger entirely (Section 3.3.1);
 //! * operation counters ([`MsmStats`]) that feed the hardware cost model.
+//!
+//! Every schedule computes the same group element, and proof encodings
+//! normalize points to affine, so proofs are bit-identical across schedules
+//! and backends. Work splitting is derived from the *configuration* (never
+//! from the backend's thread count), so results and operation counters are
+//! also identical at any thread count.
 
+use std::ops::Range;
 use std::sync::Arc;
 
-use zkspeed_field::Fr;
+use zkspeed_field::{batch_invert, Fq, Fr};
 use zkspeed_rt::pool::{self, Backend};
 
 use crate::g1::{G1Affine, G1Projective};
@@ -42,47 +62,189 @@ impl Default for Aggregation {
     }
 }
 
+/// How the bucket-fill work of one MSM is decomposed into units of parallel
+/// work.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MsmSchedule {
+    /// One unit of work per window: each worker owns a whole window's bucket
+    /// set. Parallelism is capped at `⌈255/w⌉` windows — the schedule PR 2
+    /// shipped.
+    WindowParallel,
+    /// SZKP-style scaling: the point array is additionally split into
+    /// `chunks` contiguous slices. Each `(window, chunk)` pair fills a
+    /// private bucket set, and the per-chunk partial buckets are
+    /// tree-combined before aggregation, so parallelism scales with
+    /// `windows × chunks`.
+    ///
+    /// `chunks == 0` selects an automatic count from the problem size
+    /// (never from the backend's thread count, keeping results and
+    /// counters thread-count invariant).
+    IntraWindow {
+        /// Number of point chunks per window (0 = auto).
+        chunks: usize,
+    },
+}
+
+impl Default for MsmSchedule {
+    fn default() -> Self {
+        MsmSchedule::IntraWindow { chunks: 0 }
+    }
+}
+
 /// Configuration for a Pippenger MSM run.
-#[derive(Copy, Clone, Debug, Default)]
+///
+/// [`MsmConfig::default`] is [`MsmConfig::optimized`] — signed digits,
+/// intra-window chunking and batch-affine accumulation all on.
+/// [`MsmConfig::classic`] reproduces the PR 2 schedule (unsigned windows,
+/// window-level parallelism only, mixed additions into projective buckets).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct MsmConfig {
-    /// Window (bucket index) size in bits.
+    /// Window (bucket index) size in bits (0 = auto from the problem size).
     pub window_bits: usize,
     /// Bucket aggregation schedule.
     pub aggregation: Aggregation,
+    /// How bucket filling is decomposed into parallel work units.
+    pub schedule: MsmSchedule,
+    /// Recode scalars into signed digits in `[−2^{w−1}, 2^{w−1}]`, halving
+    /// the bucket count (negative digits add the negated point — free in
+    /// affine coordinates).
+    pub signed_digits: bool,
+    /// Minimum points in a `(window, chunk)` segment for the batch-affine
+    /// accumulation path; smaller segments use mixed additions into
+    /// projective buckets. `usize::MAX` disables batch-affine entirely.
+    pub batch_affine_min_points: usize,
+}
+
+/// Default [`MsmConfig::batch_affine_min_points`]: below this many points a
+/// segment's batch-inversion rounds cost more than they amortize.
+pub const BATCH_AFFINE_DEFAULT_MIN_POINTS: usize = 32;
+
+impl MsmConfig {
+    /// The PR 2 schedule: unsigned windows, window-level parallelism only,
+    /// mixed additions into projective buckets. Kept as the baseline the
+    /// bench suite compares against and as the apples-to-apples counterpart
+    /// of the hardware model's Pippenger unit.
+    pub fn classic() -> Self {
+        Self {
+            window_bits: 0,
+            aggregation: Aggregation::default(),
+            schedule: MsmSchedule::WindowParallel,
+            signed_digits: false,
+            batch_affine_min_points: usize::MAX,
+        }
+    }
+
+    /// All three optimizations on: signed digits, auto intra-window
+    /// chunking, batch-affine bucket accumulation.
+    pub fn optimized() -> Self {
+        Self {
+            window_bits: 0,
+            aggregation: Aggregation::default(),
+            schedule: MsmSchedule::IntraWindow { chunks: 0 },
+            signed_digits: true,
+            batch_affine_min_points: BATCH_AFFINE_DEFAULT_MIN_POINTS,
+        }
+    }
+
+    /// Returns the config with an explicit window size.
+    pub fn with_window_bits(mut self, window_bits: usize) -> Self {
+        self.window_bits = window_bits;
+        self
+    }
+
+    /// Returns the config with signed-digit recoding switched on or off.
+    pub fn with_signed_digits(mut self, signed: bool) -> Self {
+        self.signed_digits = signed;
+        self
+    }
+
+    /// Returns the config with the given work-decomposition schedule.
+    pub fn with_schedule(mut self, schedule: MsmSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Returns the config with the given batch-affine threshold
+    /// (`usize::MAX` disables batch-affine accumulation).
+    pub fn with_batch_affine_min_points(mut self, min_points: usize) -> Self {
+        self.batch_affine_min_points = min_points;
+        self
+    }
+}
+
+impl Default for MsmConfig {
+    fn default() -> Self {
+        Self::optimized()
+    }
 }
 
 /// Operation counts of an MSM execution, used by the zkSpeed hardware model
 /// to translate functional work into PADD-unit cycles and modmuls.
+///
+/// Additions are counted by kind so the cost model can charge each at its
+/// true Fq-multiplication price: mixed additions
+/// ([`crate::g1::PADD_MIXED_FQ_MULS`]) while filling buckets, batch-affine
+/// additions ([`crate::g1::BATCH_AFFINE_ADD_FQ_MULS`]), and full projective
+/// additions ([`crate::g1::PADD_FQ_MULS`]) everywhere two projective points
+/// meet (aggregation, partial-bucket combines, window combines).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct MsmStats {
-    /// Point additions performed while filling buckets.
+    /// Mixed (projective + affine) additions performed while filling
+    /// projective buckets.
     pub bucket_adds: u64,
-    /// Point additions performed during bucket aggregation.
+    /// Batch-affine additions performed while filling buckets on the
+    /// amortized-inversion path.
+    pub affine_adds: u64,
+    /// Shared batch-inversion rounds amortized over the affine additions
+    /// (each is one BEEA inversion — shift/subtract-based, no multiplier
+    /// use — plus the per-element muls already folded into
+    /// [`crate::g1::BATCH_AFFINE_ADD_FQ_MULS`]).
+    pub batch_inversions: u64,
+    /// Full projective additions performed during bucket aggregation.
     pub aggregation_adds: u64,
-    /// Point additions performed while combining windows / tree-summing.
+    /// Full projective additions tree-combining per-chunk partial buckets
+    /// (intra-window schedule only).
+    pub partial_combine_adds: u64,
+    /// Full projective additions performed while combining windows /
+    /// tree-summing.
     pub combine_adds: u64,
     /// Point doublings performed while combining windows.
     pub doublings: u64,
+    /// Scalars recoded into signed window digits.
+    pub recoded_scalars: u64,
 }
 
 impl MsmStats {
-    /// Total point additions (excluding doublings).
+    /// Total point additions of any kind (excluding doublings).
     pub fn total_adds(&self) -> u64 {
-        self.bucket_adds + self.aggregation_adds + self.combine_adds
+        self.bucket_adds
+            + self.affine_adds
+            + self.aggregation_adds
+            + self.partial_combine_adds
+            + self.combine_adds
     }
 
-    /// Total Fq modular multiplications implied by the counted operations.
+    /// Total Fq modular multiplications implied by the counted operations,
+    /// charging each addition kind at its own price. BEEA inversions and
+    /// scalar recoding use no Fq multipliers and contribute nothing here.
     pub fn fq_muls(&self) -> u64 {
-        self.total_adds() * crate::g1::PADD_FQ_MULS as u64
+        self.bucket_adds * crate::g1::PADD_MIXED_FQ_MULS as u64
+            + self.affine_adds * crate::g1::BATCH_AFFINE_ADD_FQ_MULS as u64
+            + (self.aggregation_adds + self.partial_combine_adds + self.combine_adds)
+                * crate::g1::PADD_FQ_MULS as u64
             + self.doublings * crate::g1::PDBL_FQ_MULS as u64
     }
 
     /// Accumulates another stats record into this one.
     pub fn merge(&mut self, other: &MsmStats) {
         self.bucket_adds += other.bucket_adds;
+        self.affine_adds += other.affine_adds;
+        self.batch_inversions += other.batch_inversions;
         self.aggregation_adds += other.aggregation_adds;
+        self.partial_combine_adds += other.partial_combine_adds;
         self.combine_adds += other.combine_adds;
         self.doublings += other.doublings;
+        self.recoded_scalars += other.recoded_scalars;
     }
 }
 
@@ -120,6 +282,14 @@ pub fn auto_window_bits(n: usize) -> usize {
         let log = usize::BITS as usize - n.leading_zeros() as usize; // ~ceil(log2)
         (log.saturating_sub(3)).clamp(7, 10).min(16)
     }
+}
+
+/// Selects the intra-window chunk count from the problem size (never from
+/// the thread count, so results and counters are backend-invariant). Chunks
+/// of ≥ 2048 points keep per-segment overhead negligible while exposing
+/// `windows × chunks` units of parallel work.
+pub fn auto_intra_window_chunks(n: usize) -> usize {
+    (n / 2048).clamp(1, 16)
 }
 
 /// Computes `Σ sᵢ·Pᵢ` with Pippenger's algorithm using default configuration.
@@ -221,28 +391,374 @@ impl PointSource<'_> {
     }
 }
 
-/// One window's bucket accumulation and aggregation — the unit of parallel
-/// work. Returns the window sum plus the bucket/aggregation addition counts.
-fn window_contribution(
-    points: &[G1Affine],
-    scalar_limbs: &[[u64; 4]],
-    window: usize,
+// ------------------------------------------------------------- recoding ----
+
+/// Per-scalar carry bits of the signed-digit recoding, one bit per window
+/// (≤ 256 windows even at `w = 1`). Window `i`'s digit is
+/// `c = bits[i·w .. i·w+w] + carry(i)`, mapped to `c − 2^w` (and a carry
+/// into window `i+1`) whenever `c > 2^{w−1}`, so digits lie in
+/// `[−2^{w−1}, 2^{w−1}]` and the bucket count halves. One extra top window
+/// absorbs the final carry (scalars are < 2^255 but their signed form can
+/// need 256 bits).
+type CarryMask = [u64; 4];
+
+fn recode_carries(limbs: &[u64; 4], w: usize, num_windows: usize) -> CarryMask {
+    debug_assert!(num_windows <= 256);
+    let half = 1u64 << (w - 1);
+    let mut carry = 0u64;
+    let mut mask = [0u64; 4];
+    for i in 0..num_windows {
+        if carry == 1 {
+            mask[i / 64] |= 1 << (i % 64);
+        }
+        let c = extract_window(limbs, i * w, w) as u64 + carry;
+        carry = u64::from(c > half);
+    }
+    debug_assert_eq!(carry, 0, "signed-digit carry escaped the top window");
+    mask
+}
+
+/// The signed digit of `window` for a recoded scalar, in
+/// `[−2^{w−1}, 2^{w−1}]`.
+fn signed_window_digit(limbs: &[u64; 4], carries: &CarryMask, window: usize, w: usize) -> i64 {
+    let carry = (carries[window / 64] >> (window % 64)) & 1;
+    let c = extract_window(limbs, window * w, w) as i64 + carry as i64;
+    if c > (1i64 << (w - 1)) {
+        c - (1i64 << w)
+    } else {
+        c
+    }
+}
+
+// ---------------------------------------------------------- bucket fill ----
+
+/// Immutable inputs of one MSM run, shared by every fill/reduce job.
+struct MsmInstance {
+    points: Arc<Vec<G1Affine>>,
+    scalar_limbs: Arc<Vec<[u64; 4]>>,
+    /// Signed-digit carry masks; `None` runs unsigned windows.
+    carries: Option<Arc<Vec<CarryMask>>>,
     w: usize,
     num_buckets: usize,
-    aggregation: Aggregation,
-) -> (G1Projective, u64, u64) {
-    let mut buckets = vec![G1Projective::identity(); num_buckets];
-    let mut bucket_adds = 0u64;
-    for (limbs, point) in scalar_limbs.iter().zip(points.iter()) {
-        let idx = extract_window(limbs, window * w, w);
-        if idx != 0 {
-            buckets[idx - 1] = buckets[idx - 1].add_affine(point);
-            bucket_adds += 1;
+    config: MsmConfig,
+    /// Contiguous point ranges, one per intra-window chunk.
+    chunk_ranges: Vec<Range<usize>>,
+}
+
+/// One `(window, chunk)` segment's private bucket set plus its counters.
+struct FilledSegment {
+    buckets: Vec<G1Projective>,
+    nonempty: bool,
+    bucket_adds: u64,
+    affine_adds: u64,
+    batch_inversions: u64,
+}
+
+/// One window's final sum plus its counters.
+struct WindowSum {
+    sum: G1Projective,
+    bucket_adds: u64,
+    affine_adds: u64,
+    batch_inversions: u64,
+    partial_combine_adds: u64,
+    aggregation_adds: u64,
+}
+
+impl MsmInstance {
+    /// The (bucket index, sign-adjusted point) of term `i` in `window`, or
+    /// `None` for zero digits and identity points.
+    fn bucket_entry(&self, i: usize, window: usize) -> Option<(usize, G1Affine)> {
+        let point = self.points[i];
+        if point.infinity {
+            return None;
+        }
+        let limbs = &self.scalar_limbs[i];
+        match &self.carries {
+            Some(carries) => {
+                let d = signed_window_digit(limbs, &carries[i], window, self.w);
+                match d.cmp(&0) {
+                    core::cmp::Ordering::Equal => None,
+                    core::cmp::Ordering::Greater => Some((d as usize - 1, point)),
+                    core::cmp::Ordering::Less => Some(((-d) as usize - 1, point.neg())),
+                }
+            }
+            None => {
+                let idx = extract_window(limbs, window * self.w, self.w);
+                (idx != 0).then(|| (idx - 1, point))
+            }
         }
     }
-    let (window_sum, agg_adds) = aggregate_buckets(&buckets, aggregation);
-    (window_sum, bucket_adds, agg_adds)
+
+    /// Fills one `(window, chunk)` segment's private bucket set.
+    fn fill_segment(&self, window: usize, chunk: usize) -> FilledSegment {
+        let range = self.chunk_ranges[chunk].clone();
+        let batch_affine = range.len() >= self.config.batch_affine_min_points;
+        if batch_affine {
+            let mut entries: Vec<(u32, G1Affine)> = Vec::with_capacity(range.len());
+            for i in range {
+                if let Some((bucket, point)) = self.bucket_entry(i, window) {
+                    entries.push((bucket as u32, point));
+                }
+            }
+            let nonempty = !entries.is_empty();
+            let (buckets, affine_adds, batch_inversions) =
+                batch_affine_bucket_sums(self.num_buckets, entries);
+            FilledSegment {
+                buckets,
+                nonempty,
+                bucket_adds: 0,
+                affine_adds,
+                batch_inversions,
+            }
+        } else {
+            let mut buckets = vec![G1Projective::identity(); self.num_buckets];
+            let mut bucket_adds = 0u64;
+            let mut nonempty = false;
+            for i in range {
+                if let Some((bucket, point)) = self.bucket_entry(i, window) {
+                    nonempty = true;
+                    let slot = &mut buckets[bucket];
+                    if slot.is_identity() {
+                        // First touch costs nothing: the bucket simply
+                        // becomes the point.
+                        *slot = point.to_projective();
+                    } else {
+                        *slot = slot.add_mixed(&point);
+                        bucket_adds += 1;
+                    }
+                }
+            }
+            FilledSegment {
+                buckets,
+                nonempty,
+                bucket_adds,
+                affine_adds: 0,
+                batch_inversions: 0,
+            }
+        }
+    }
+
+    /// Tree-combines one window's per-chunk partial buckets and aggregates
+    /// them into the window sum.
+    fn reduce_window(&self, segments: &[FilledSegment]) -> WindowSum {
+        let mut out = WindowSum {
+            sum: G1Projective::identity(),
+            bucket_adds: 0,
+            affine_adds: 0,
+            batch_inversions: 0,
+            partial_combine_adds: 0,
+            aggregation_adds: 0,
+        };
+        let mut nonempty = false;
+        for seg in segments {
+            out.bucket_adds += seg.bucket_adds;
+            out.affine_adds += seg.affine_adds;
+            out.batch_inversions += seg.batch_inversions;
+            nonempty |= seg.nonempty;
+        }
+        if !nonempty {
+            // Every digit of this window was zero: skip the aggregation
+            // chain entirely (the always-zero top window of the signed
+            // recoding takes this path on typical inputs).
+            return out;
+        }
+        let (sum, agg_adds) = if segments.len() == 1 {
+            // Single segment (the fused path): aggregate its buckets in
+            // place, no combine and no copy.
+            aggregate_buckets(&segments[0].buckets, self.config.aggregation)
+        } else {
+            let (buckets, combine_adds) = tree_combine_buckets(segments);
+            out.partial_combine_adds = combine_adds;
+            aggregate_buckets(&buckets, self.config.aggregation)
+        };
+        out.sum = sum;
+        out.aggregation_adds = agg_adds;
+        out
+    }
 }
+
+/// Tree-combines per-chunk partial bucket sets bucket-wise, skipping
+/// identity operands; returns the combined buckets and the additions used.
+fn tree_combine_buckets(segments: &[FilledSegment]) -> (Vec<G1Projective>, u64) {
+    debug_assert!(segments.len() > 1);
+    let mut adds = 0u64;
+    let combine = |a: &[G1Projective], b: &[G1Projective], adds: &mut u64| -> Vec<G1Projective> {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| {
+                if x.is_identity() {
+                    *y
+                } else if y.is_identity() {
+                    *x
+                } else {
+                    *adds += 1;
+                    *x + *y
+                }
+            })
+            .collect()
+    };
+    // First level reads the borrowed segments; later levels fold owned vecs.
+    let mut layer: Vec<Vec<G1Projective>> = segments
+        .chunks(2)
+        .map(|pair| {
+            if pair.len() == 2 {
+                combine(&pair[0].buckets, &pair[1].buckets, &mut adds)
+            } else {
+                pair[0].buckets.clone()
+            }
+        })
+        .collect();
+    while layer.len() > 1 {
+        layer = layer
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    combine(&pair[0], &pair[1], &mut adds)
+                } else {
+                    pair[0].clone()
+                }
+            })
+            .collect();
+    }
+    (layer.pop().expect("nonempty layer"), adds)
+}
+
+/// Reduces a multiset of `(bucket, affine point)` entries to one affine
+/// point per bucket using batched affine additions: each round pairs up the
+/// pending entries of every bucket, computes all the pair sums with a single
+/// shared [`batch_invert`], and repeats until every bucket holds at most one
+/// point. Returns the buckets (lifted to projective for aggregation), the
+/// affine additions performed, and the batch-inversion rounds used.
+fn batch_affine_bucket_sums(
+    num_buckets: usize,
+    entries: Vec<(u32, G1Affine)>,
+) -> (Vec<G1Projective>, u64, u64) {
+    /// A pair scheduled for one batched affine addition.
+    struct AddJob {
+        /// Index into the next round's entry list where the result lands.
+        slot: usize,
+        a: G1Affine,
+        b: G1Affine,
+        /// True for the doubling form (`a == b`): λ = 3x²/2y instead of
+        /// Δy/Δx.
+        double: bool,
+    }
+
+    // Stable counting sort by bucket so each bucket's entries are
+    // contiguous (and in input order, keeping rounds deterministic).
+    let mut counts = vec![0u32; num_buckets + 1];
+    for (bucket, _) in &entries {
+        counts[*bucket as usize + 1] += 1;
+    }
+    for b in 0..num_buckets {
+        counts[b + 1] += counts[b];
+    }
+    let mut cursor = counts.clone();
+    let mut sorted = vec![(0u32, G1Affine::identity()); entries.len()];
+    for entry in entries {
+        let pos = &mut cursor[entry.0 as usize];
+        sorted[*pos as usize] = entry;
+        *pos += 1;
+    }
+
+    let mut affine_adds = 0u64;
+    let mut inversions = 0u64;
+    loop {
+        let mut next: Vec<(u32, G1Affine)> = Vec::with_capacity(sorted.len().div_ceil(2));
+        let mut jobs: Vec<AddJob> = Vec::new();
+        let mut any_pair = false;
+        let mut i = 0;
+        while i < sorted.len() {
+            let bucket = sorted[i].0;
+            let mut run_end = i + 1;
+            while run_end < sorted.len() && sorted[run_end].0 == bucket {
+                run_end += 1;
+            }
+            while i + 1 < run_end {
+                let (a, b) = (sorted[i].1, sorted[i + 1].1);
+                i += 2;
+                any_pair = true;
+                if a.infinity {
+                    next.push((bucket, b));
+                } else if b.infinity {
+                    next.push((bucket, a));
+                } else if a.x == b.x {
+                    if a.y == b.y {
+                        jobs.push(AddJob {
+                            slot: next.len(),
+                            a,
+                            b,
+                            double: true,
+                        });
+                        next.push((bucket, G1Affine::identity()));
+                    } else {
+                        // a = −b: the pair cancels to the identity.
+                        next.push((bucket, G1Affine::identity()));
+                    }
+                } else {
+                    jobs.push(AddJob {
+                        slot: next.len(),
+                        a,
+                        b,
+                        double: false,
+                    });
+                    next.push((bucket, G1Affine::identity()));
+                }
+            }
+            if i < run_end {
+                next.push(sorted[i]);
+                i += 1;
+            }
+        }
+        if !jobs.is_empty() {
+            inversions += 1;
+            // One shared inversion amortized over every pair of the round.
+            // Denominators are never zero: Δx ≠ 0 by classification and
+            // 2y ≠ 0 because the prime-order subgroup has no 2-torsion.
+            let mut denoms: Vec<Fq> = jobs
+                .iter()
+                .map(|j| {
+                    if j.double {
+                        j.a.y + j.a.y
+                    } else {
+                        j.b.x - j.a.x
+                    }
+                })
+                .collect();
+            batch_invert(&mut denoms);
+            for (job, inv) in jobs.iter().zip(denoms.iter()) {
+                let lambda = if job.double {
+                    let x2 = job.a.x.square();
+                    (x2 + x2 + x2) * *inv
+                } else {
+                    (job.b.y - job.a.y) * *inv
+                };
+                let x3 = lambda.square() - job.a.x - job.b.x;
+                let y3 = lambda * (job.a.x - x3) - job.a.y;
+                next[job.slot].1 = G1Affine {
+                    x: x3,
+                    y: y3,
+                    infinity: false,
+                };
+                affine_adds += 1;
+            }
+        }
+        sorted = next;
+        if !any_pair {
+            break;
+        }
+    }
+
+    let mut buckets = vec![G1Projective::identity(); num_buckets];
+    for (bucket, point) in sorted {
+        if !point.infinity {
+            buckets[bucket as usize] = point.to_projective();
+        }
+    }
+    (buckets, affine_adds, inversions)
+}
+
+// ---------------------------------------------------------------- engine ----
 
 fn msm_impl(
     backend: &dyn Backend,
@@ -252,12 +768,13 @@ fn msm_impl(
 ) -> (G1Projective, MsmStats) {
     let point_slice = points.as_slice();
     assert_eq!(point_slice.len(), scalars.len(), "length mismatch");
+    let n = point_slice.len();
     let mut stats = MsmStats::default();
-    if point_slice.is_empty() {
+    if n == 0 {
         return (G1Projective::identity(), stats);
     }
     let w = if config.window_bits == 0 {
-        auto_window_bits(point_slice.len())
+        auto_window_bits(n)
     } else {
         config.window_bits
     };
@@ -265,76 +782,143 @@ fn msm_impl(
 
     let scalar_limbs: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical_limbs()).collect();
     let num_bits = Fr::NUM_BITS as usize;
-    let num_windows = num_bits.div_ceil(w);
-    let num_buckets = (1usize << w) - 1;
-
-    // Each window's bucket accumulation and aggregation is independent of
-    // every other window, so the windows fan out over the backend's workers
-    // (the serial combine below consumes them in window order, so results
-    // and operation counts are bit-identical to a serial run; with one
-    // thread this is exactly the serial schedule). Workers measure their
-    // thread-local modmul delta, rewind it, and hand it back so the
-    // profiling counters see the same totals at any thread count. MSMs
-    // below PAR_MIN_POINTS (the tail of the halving-MSM sequence, tiny
-    // commits) stay on the calling thread: fan-out overhead would dwarf the
-    // microseconds of useful work per window.
-    const PAR_MIN_POINTS: usize = 256;
-    let parallel = point_slice.len() >= PAR_MIN_POINTS && backend.threads() > 1 && num_windows > 1;
-    let window_sums: Vec<(G1Projective, u64, u64, zkspeed_field::ModmulCount)> = if parallel {
-        let shared_points = points.to_shared();
-        let shared_limbs = Arc::new(scalar_limbs);
-        let aggregation = config.aggregation;
-        pool::map_indices_on(backend, num_windows, move |window| {
-            let (out, muls) = zkspeed_field::measure_modmuls(|| {
-                window_contribution(
-                    &shared_points,
-                    &shared_limbs,
-                    window,
-                    w,
-                    num_buckets,
-                    aggregation,
-                )
-            });
-            (out.0, out.1, out.2, muls)
-        })
+    // Signed recoding halves the buckets but needs one extra window for the
+    // final carry (typically all-zero and skipped by the empty-window check).
+    let (num_windows, num_buckets) = if config.signed_digits {
+        (num_bits.div_ceil(w) + 1, 1usize << (w - 1))
     } else {
-        (0..num_windows)
-            .map(|window| {
-                let (out, muls) = zkspeed_field::measure_modmuls(|| {
-                    window_contribution(
-                        point_slice,
-                        &scalar_limbs,
-                        window,
-                        w,
-                        num_buckets,
-                        config.aggregation,
-                    )
-                });
-                (out.0, out.1, out.2, muls)
-            })
+        (num_bits.div_ceil(w), (1usize << w) - 1)
+    };
+    let carries: Option<Vec<CarryMask>> = config.signed_digits.then(|| {
+        stats.recoded_scalars = n as u64;
+        scalar_limbs
+            .iter()
+            .map(|limbs| recode_carries(limbs, w, num_windows))
             .collect()
+    });
+    let chunks = match config.schedule {
+        MsmSchedule::WindowParallel => 1,
+        MsmSchedule::IntraWindow { chunks: 0 } => auto_intra_window_chunks(n),
+        MsmSchedule::IntraWindow { chunks } => chunks.min(n),
+    };
+    let chunk_ranges = zkspeed_rt::par::split_ranges(n, chunks);
+    let num_chunks = chunk_ranges.len();
+
+    let instance = MsmInstance {
+        points: points.to_shared(),
+        scalar_limbs: Arc::new(scalar_limbs),
+        carries: carries.map(Arc::new),
+        w,
+        num_buckets,
+        config,
+        chunk_ranges,
     };
 
+    // Every (window, chunk) segment is independent, so segments fan out over
+    // the backend's workers; the per-window reduction and the serial window
+    // combine below consume them in deterministic order, so results and
+    // operation counts are bit-identical to a serial run at any thread
+    // count. Workers measure their thread-local modmul delta, rewind it, and
+    // hand it back so the profiling counters see the same totals everywhere.
+    // MSMs below PAR_MIN_POINTS (the tail of the halving-MSM sequence, tiny
+    // commits) stay on the calling thread: fan-out overhead would dwarf the
+    // microseconds of useful work per segment.
+    const PAR_MIN_POINTS: usize = 256;
+    let parallel = n >= PAR_MIN_POINTS && backend.threads() > 1 && num_windows * num_chunks > 1;
+
+    let window_sums: Vec<(WindowSum, zkspeed_field::ModmulCount)> = if num_chunks == 1 {
+        // Fused path: one job per window fills and aggregates directly.
+        let run = move |instance: &MsmInstance, window: usize| {
+            zkspeed_field::measure_modmuls(|| {
+                let segment = instance.fill_segment(window, 0);
+                instance.reduce_window(&[segment])
+            })
+        };
+        if parallel {
+            let instance = Arc::new(instance);
+            pool::map_indices_on(backend, num_windows, move |window| run(&instance, window))
+        } else {
+            (0..num_windows)
+                .map(|window| run(&instance, window))
+                .collect()
+        }
+    } else {
+        // Two-phase path: fill (windows × chunks jobs), then reduce
+        // (one job per window).
+        let instance = Arc::new(instance);
+        let fill_instance = Arc::clone(&instance);
+        let fill = move |job: usize| {
+            zkspeed_field::measure_modmuls(|| {
+                fill_instance.fill_segment(job / num_chunks, job % num_chunks)
+            })
+        };
+        let segments: Vec<(FilledSegment, zkspeed_field::ModmulCount)> = if parallel {
+            pool::map_indices_on(backend, num_windows * num_chunks, fill)
+        } else {
+            (0..num_windows * num_chunks).map(fill).collect()
+        };
+        // Fill-phase modmuls are re-added in job order before the reduce
+        // phase measures its own deltas.
+        let mut window_segments: Vec<Vec<FilledSegment>> = Vec::with_capacity(num_windows);
+        let mut current: Vec<FilledSegment> = Vec::with_capacity(num_chunks);
+        for (segment, muls) in segments {
+            zkspeed_field::add_modmul_count(muls);
+            current.push(segment);
+            if current.len() == num_chunks {
+                window_segments.push(std::mem::replace(
+                    &mut current,
+                    Vec::with_capacity(num_chunks),
+                ));
+            }
+        }
+        let window_segments = Arc::new(window_segments);
+        let reduce_instance = Arc::clone(&instance);
+        let reduce = move |window: usize| {
+            zkspeed_field::measure_modmuls(|| {
+                reduce_instance.reduce_window(&window_segments[window])
+            })
+        };
+        if parallel {
+            pool::map_indices_on(backend, num_windows, reduce)
+        } else {
+            (0..num_windows).map(reduce).collect()
+        }
+    };
+
+    // Serial top-down window combine: w doublings between windows (skipped
+    // while the accumulator is still the identity, so the signed recoding's
+    // empty top window costs nothing), one addition per non-empty window.
     let mut acc = G1Projective::identity();
-    for (window, &(window_sum, bucket_adds, agg_adds, muls)) in window_sums.iter().enumerate().rev()
-    {
-        if window != num_windows - 1 {
+    for (window_sum, muls) in window_sums.iter().rev() {
+        if !acc.is_identity() {
             for _ in 0..w {
                 acc = acc.double();
                 stats.doublings += 1;
             }
         }
-        stats.bucket_adds += bucket_adds;
-        stats.aggregation_adds += agg_adds;
-        zkspeed_field::add_modmul_count(muls);
-        acc += window_sum;
-        stats.combine_adds += 1;
+        zkspeed_field::add_modmul_count(*muls);
+        stats.bucket_adds += window_sum.bucket_adds;
+        stats.affine_adds += window_sum.affine_adds;
+        stats.batch_inversions += window_sum.batch_inversions;
+        stats.partial_combine_adds += window_sum.partial_combine_adds;
+        stats.aggregation_adds += window_sum.aggregation_adds;
+        if !window_sum.sum.is_identity() {
+            if acc.is_identity() {
+                acc = window_sum.sum;
+            } else {
+                acc += window_sum.sum;
+                stats.combine_adds += 1;
+            }
+        }
     }
     (acc, stats)
 }
 
+// ----------------------------------------------------------- aggregation ----
+
 /// Aggregates bucket sums into `Σ (i+1)·buckets[i]`, returning the total and
-/// the number of point additions used.
+/// the number of point additions used. Additions whose operand is the
+/// identity are skipped (and not counted).
 pub fn aggregate_buckets(buckets: &[G1Projective], schedule: Aggregation) -> (G1Projective, u64) {
     match schedule {
         Aggregation::Serial => aggregate_serial(buckets),
@@ -349,9 +933,14 @@ fn aggregate_serial(buckets: &[G1Projective]) -> (G1Projective, u64) {
     let mut total = G1Projective::identity();
     let mut adds = 0u64;
     for b in buckets.iter().rev() {
-        running += *b;
-        total += running;
-        adds += 2;
+        if !b.is_identity() {
+            running += *b;
+            adds += 1;
+        }
+        if !running.is_identity() {
+            total += running;
+            adds += 1;
+        }
     }
     (total, adds)
 }
@@ -376,9 +965,14 @@ fn aggregate_grouped(buckets: &[G1Projective], group_size: usize) -> (G1Projecti
         let mut weighted = G1Projective::identity();
         // Highest j first so the running sum accumulates the right weights.
         for b in chunk.iter().rev() {
-            running += *b;
-            weighted += running;
-            adds += 2;
+            if !b.is_identity() {
+                running += *b;
+                adds += 1;
+            }
+            if !running.is_identity() {
+                weighted += running;
+                adds += 1;
+            }
         }
         inner_weighted.push(weighted);
         group_totals.push(running);
@@ -388,30 +982,43 @@ fn aggregate_grouped(buckets: &[G1Projective], group_size: usize) -> (G1Projecti
     let mut running = G1Projective::identity();
     let mut cross = G1Projective::identity();
     for t in group_totals.iter().skip(1).rev() {
-        running += *t;
-        cross += running;
-        adds += 2;
+        if !t.is_identity() {
+            running += *t;
+            adds += 1;
+        }
+        if !running.is_identity() {
+            cross += running;
+            adds += 1;
+        }
     }
     // Multiply the cross-group sum by s via double-and-add (s is tiny).
     let mut s_times_cross = G1Projective::identity();
-    let mut bit = usize::BITS - s.leading_zeros();
-    while bit > 0 {
-        bit -= 1;
-        s_times_cross = s_times_cross.double();
-        if (s >> bit) & 1 == 1 {
-            s_times_cross += cross;
-            adds += 1;
+    if !cross.is_identity() {
+        let mut bit = usize::BITS - s.leading_zeros();
+        while bit > 0 {
+            bit -= 1;
+            s_times_cross = s_times_cross.double();
+            if (s >> bit) & 1 == 1 {
+                s_times_cross += cross;
+                adds += 1;
+            }
         }
     }
     let mut total = G1Projective::identity();
     for wsum in inner_weighted.iter() {
-        total += *wsum;
+        if !wsum.is_identity() {
+            total += *wsum;
+            adds += 1;
+        }
+    }
+    if !s_times_cross.is_identity() {
+        total += s_times_cross;
         adds += 1;
     }
-    total += s_times_cross;
-    adds += 1;
     (total, adds)
 }
+
+// ------------------------------------------------------------ sparse MSM ----
 
 /// Computes a Sparse MSM as in the Witness Commit step: points whose scalar
 /// is exactly 0 are skipped, points whose scalar is exactly 1 are summed with
@@ -433,6 +1040,21 @@ pub fn sparse_msm_on(
     backend: &dyn Backend,
     points: &[G1Affine],
     scalars: &[Fr],
+) -> (G1Projective, SparseMsmStats) {
+    sparse_msm_with_config_on(backend, points, scalars, MsmConfig::default())
+}
+
+/// [`sparse_msm`] on an explicit execution backend, running the dense
+/// remainder through an explicit [`MsmConfig`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sparse_msm_with_config_on(
+    backend: &dyn Backend,
+    points: &[G1Affine],
+    scalars: &[Fr],
+    config: MsmConfig,
 ) -> (G1Projective, SparseMsmStats) {
     assert_eq!(points.len(), scalars.len(), "length mismatch");
     let one = Fr::one();
@@ -462,7 +1084,7 @@ pub fn sparse_msm_on(
         backend,
         PointSource::Shared(&Arc::new(dense_points)),
         &dense_scalars,
-        MsmConfig::default(),
+        config,
     );
     stats.ops.merge(&dense_stats);
     let total = ones_sum + dense_sum;
@@ -511,6 +1133,7 @@ fn extract_window(limbs: &[u64; 4], offset: usize, width: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zkspeed_rt::pool::{Serial, ThreadPool};
     use zkspeed_rt::rngs::StdRng;
     use zkspeed_rt::{Rng, SeedableRng};
 
@@ -523,8 +1146,37 @@ mod tests {
         G1Projective::batch_to_affine(&proj)
     }
 
+    /// Every meaningfully distinct engine configuration (schedule ×
+    /// signedness × accumulation path), used by the equivalence tests.
+    fn all_configs() -> Vec<(&'static str, MsmConfig)> {
+        vec![
+            ("classic", MsmConfig::classic()),
+            ("signed", MsmConfig::classic().with_signed_digits(true)),
+            (
+                "intra-window",
+                MsmConfig::classic().with_schedule(MsmSchedule::IntraWindow { chunks: 3 }),
+            ),
+            (
+                "batch-affine",
+                MsmConfig::classic().with_batch_affine_min_points(0),
+            ),
+            ("optimized", MsmConfig::optimized()),
+            (
+                "optimized-forced",
+                MsmConfig::optimized()
+                    .with_schedule(MsmSchedule::IntraWindow { chunks: 4 })
+                    .with_batch_affine_min_points(0),
+            ),
+        ]
+    }
+
     #[test]
     fn empty_msm_is_identity() {
+        for (name, config) in all_configs() {
+            let (r, stats) = msm_with_config(&[], &[], config);
+            assert_eq!(r, G1Projective::identity(), "{name}");
+            assert_eq!(stats, MsmStats::default(), "{name}");
+        }
         assert_eq!(msm(&[], &[]), G1Projective::identity());
         let (r, s) = sparse_msm(&[], &[]);
         assert_eq!(r, G1Projective::identity());
@@ -539,6 +1191,10 @@ mod tests {
             let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut r)).collect();
             let expect = naive_msm(&points, &scalars);
             assert_eq!(msm(&points, &scalars), expect, "n = {n}");
+            for (name, config) in all_configs() {
+                let (res, _) = msm_with_config(&points, &scalars, config);
+                assert_eq!(res, expect, "n = {n}, config = {name}");
+            }
         }
     }
 
@@ -556,14 +1212,60 @@ mod tests {
                 Aggregation::Grouped { group_size: 3 },
                 Aggregation::Grouped { group_size: 1 },
             ] {
-                let cfg = MsmConfig {
-                    window_bits: w,
-                    aggregation: agg,
-                };
-                let (res, stats) = msm_with_config(&points, &scalars, cfg);
-                assert_eq!(res, expect, "w = {w}, agg = {agg:?}");
-                assert!(stats.total_adds() > 0);
-                assert!(stats.fq_muls() > 0);
+                for (name, base) in all_configs() {
+                    let mut cfg = base.with_window_bits(w);
+                    cfg.aggregation = agg;
+                    let (res, stats) = msm_with_config(&points, &scalars, cfg);
+                    assert_eq!(res, expect, "w = {w}, agg = {agg:?}, config = {name}");
+                    assert!(stats.total_adds() > 0);
+                    assert!(stats.fq_muls() > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_digits_match_naive_across_every_window_size() {
+        // window_bits ∈ {1..16} exercises the recoding boundaries: w = 1
+        // (256 windows, digits {0, 1}), the auto range 7–10, and w = 16
+        // (the extended top window absorbing the final carry).
+        let mut r = rng();
+        let n = 5;
+        let points = random_points(n, &mut r);
+        // Include the carry-heavy extremes alongside random scalars.
+        let scalars = vec![
+            Fr::zero(),
+            Fr::one(),
+            -Fr::one(),       // r − 1: every signed window carries
+            -Fr::from_u64(2), // r − 2
+            Fr::random(&mut r),
+        ];
+        let expect = naive_msm(&points, &scalars);
+        for w in 1..=16usize {
+            for config in [
+                MsmConfig::classic()
+                    .with_signed_digits(true)
+                    .with_window_bits(w),
+                MsmConfig::optimized()
+                    .with_batch_affine_min_points(0)
+                    .with_window_bits(w),
+            ] {
+                let (res, stats) = msm_with_config(&points, &scalars, config);
+                assert_eq!(res, expect, "w = {w}, config = {config:?}");
+                assert_eq!(stats.recoded_scalars, n as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_and_extreme_scalars() {
+        let mut r = rng();
+        let point = random_points(1, &mut r);
+        for scalar in [Fr::zero(), Fr::one(), -Fr::one(), Fr::random(&mut r)] {
+            let expect = naive_msm(&point, &[scalar]);
+            for (name, config) in all_configs() {
+                let (res, _) = msm_with_config(&point, &[scalar], config);
+                assert_eq!(res, expect, "scalar = {scalar}, config = {name}");
             }
         }
     }
@@ -572,9 +1274,14 @@ mod tests {
     fn special_scalars() {
         let mut r = rng();
         let points = random_points(5, &mut r);
-        // All zeros.
+        // All zeros: no window is ever touched, no ops are counted.
         let zeros = vec![Fr::zero(); 5];
-        assert_eq!(msm(&points, &zeros), G1Projective::identity());
+        for (name, config) in all_configs() {
+            let (res, stats) = msm_with_config(&points, &zeros, config);
+            assert_eq!(res, G1Projective::identity(), "{name}");
+            assert_eq!(stats.total_adds(), 0, "{name}");
+            assert_eq!(stats.doublings, 0, "{name}");
+        }
         // All ones: MSM equals the plain sum.
         let ones = vec![Fr::one(); 5];
         let sum: G1Projective = points.iter().map(|p| p.to_projective()).sum();
@@ -582,6 +1289,95 @@ mod tests {
         // Scalar with every window populated (r - 1).
         let big = vec![-Fr::one(); 5];
         assert_eq!(msm(&points, &big), naive_msm(&points, &big));
+    }
+
+    #[test]
+    fn identity_points_are_skipped() {
+        let mut r = rng();
+        let mut points = random_points(6, &mut r);
+        points[1] = G1Affine::identity();
+        points[4] = G1Affine::identity();
+        let scalars: Vec<Fr> = (0..6).map(|_| Fr::random(&mut r)).collect();
+        let expect = naive_msm(&points, &scalars);
+        for (name, config) in all_configs() {
+            let (res, _) = msm_with_config(&points, &scalars, config);
+            assert_eq!(res, expect, "config = {name}");
+        }
+    }
+
+    #[test]
+    fn batch_affine_handles_equal_and_inverse_points() {
+        // Equal scalars land every point in the same bucket per window, so
+        // the batch-affine rounds must take the doubling (P + P) and the
+        // cancellation (P + (−P)) branches.
+        let g = G1Projective::generator();
+        let g2 = g.double();
+        let points = vec![
+            g.to_affine(),
+            g.to_affine(),       // doubling pair
+            g.neg().to_affine(), // cancels one g
+            g2.to_affine(),
+            G1Affine::identity(), // identity input passes through
+            g2.neg().to_affine(), // cancels g2
+        ];
+        let mut r = rng();
+        for scalar in [Fr::from_u64(5), Fr::random(&mut r), -Fr::one()] {
+            let scalars = vec![scalar; points.len()];
+            let expect = naive_msm(&points, &scalars);
+            for signed in [false, true] {
+                let config = MsmConfig::classic()
+                    .with_signed_digits(signed)
+                    .with_batch_affine_min_points(0);
+                let (res, stats) = msm_with_config(&points, &scalars, config);
+                assert_eq!(res, expect, "scalar = {scalar}, signed = {signed}");
+                assert!(stats.affine_adds > 0 || stats.total_adds() == 0);
+                assert_eq!(stats.bucket_adds, 0, "all fills must be batch-affine");
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_are_backend_invariant() {
+        // 512 points exceed PAR_MIN_POINTS, so the pool genuinely fans out;
+        // results AND counters must match the serial run for every config.
+        let mut r = rng();
+        let n = 512;
+        let points = random_points(n, &mut r);
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut r)).collect();
+        let expect = naive_msm(&points, &scalars);
+        let pool = ThreadPool::new(8);
+        for (name, config) in all_configs() {
+            let serial = msm_with_config_on(&Serial, &points, &scalars, config);
+            let pooled = msm_with_config_on(&pool, &points, &scalars, config);
+            assert_eq!(serial.0, expect, "{name}: serial result");
+            assert_eq!(pooled.0, serial.0, "{name}: pooled result drifted");
+            assert_eq!(pooled.1, serial.1, "{name}: pooled stats drifted");
+        }
+    }
+
+    #[test]
+    fn optimized_engine_reduces_fq_muls() {
+        let mut r = rng();
+        let n = 1 << 10;
+        let points = random_points(n, &mut r);
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut r)).collect();
+        let (classic_res, classic) =
+            msm_with_config(&points, &scalars, MsmConfig::classic().with_window_bits(8));
+        let (optimized_res, optimized) = msm_with_config(
+            &points,
+            &scalars,
+            MsmConfig::optimized().with_window_bits(8),
+        );
+        assert_eq!(classic_res, optimized_res);
+        assert!(
+            optimized.fq_muls() * 10 < classic.fq_muls() * 8,
+            "expected ≥20% fewer Fq muls: classic {} vs optimized {}",
+            classic.fq_muls(),
+            optimized.fq_muls()
+        );
+        assert!(optimized.affine_adds > 0);
+        assert!(optimized.batch_inversions > 0);
+        assert_eq!(optimized.recoded_scalars, n as u64);
     }
 
     #[test]
@@ -608,6 +1404,10 @@ mod tests {
         assert_eq!(stats.zeros + stats.ones + stats.dense, n);
         assert!(stats.ones > 0);
         assert!(stats.zeros > 0);
+        // An explicit config on the dense remainder agrees.
+        let (classic, _) =
+            sparse_msm_with_config_on(&Serial, &points, &scalars, MsmConfig::classic());
+        assert_eq!(classic, expect);
     }
 
     #[test]
@@ -620,6 +1420,15 @@ mod tests {
             assert_eq!(grouped, serial, "group_size = {gs}");
         }
         assert_eq!(serial_adds, 2 * 31);
+        // Identity buckets are skipped and not counted.
+        let mut sparse = buckets.clone();
+        sparse[3] = G1Projective::identity();
+        sparse[17] = G1Projective::identity();
+        let (sparse_serial, sparse_adds) = aggregate_buckets(&sparse, Aggregation::Serial);
+        assert_eq!(sparse_adds, 2 * 31 - 2);
+        let (sparse_grouped, _) =
+            aggregate_buckets(&sparse, Aggregation::Grouped { group_size: 4 });
+        assert_eq!(sparse_grouped, sparse_serial);
     }
 
     #[test]
@@ -658,11 +1467,45 @@ mod tests {
     }
 
     #[test]
+    fn signed_recoding_reconstructs_the_scalar() {
+        // Σ dᵢ·2^{wi} recovered over the integers must equal the canonical
+        // scalar, and every digit must lie in [−2^{w−1}, 2^{w−1}].
+        let mut r = rng();
+        let mut scalars = vec![Fr::zero(), Fr::one(), -Fr::one(), -Fr::from_u64(2)];
+        scalars.extend((0..4).map(|_| Fr::random(&mut r)));
+        for w in [1usize, 3, 8, 13, 16] {
+            let num_windows = (Fr::NUM_BITS as usize).div_ceil(w) + 1;
+            let half = 1i64 << (w - 1);
+            for s in &scalars {
+                let limbs = s.to_canonical_limbs();
+                let carries = recode_carries(&limbs, w, num_windows);
+                // Reconstruct as an Fr Horner sum: Σ dᵢ·2^{wi}.
+                let two_pow_w = Fr::from_u64(1u64 << w);
+                let mut acc = Fr::zero();
+                for i in (0..num_windows).rev() {
+                    let d = signed_window_digit(&limbs, &carries, i, w);
+                    assert!((-half..=half).contains(&d), "w = {w}, digit {d}");
+                    acc *= two_pow_w;
+                    if d >= 0 {
+                        acc += Fr::from_u64(d as u64);
+                    } else {
+                        acc -= Fr::from_u64((-d) as u64);
+                    }
+                }
+                assert_eq!(acc, *s, "w = {w}, scalar {s}");
+            }
+        }
+    }
+
+    #[test]
     fn auto_window_is_in_explored_range() {
         assert!(auto_window_bits(16) <= 10);
         for n in [1usize << 10, 1 << 16, 1 << 20] {
             let w = auto_window_bits(n);
             assert!((7..=10).contains(&w), "n = {n}, w = {w}");
         }
+        assert_eq!(auto_intra_window_chunks(1), 1);
+        assert_eq!(auto_intra_window_chunks(1 << 12), 2);
+        assert_eq!(auto_intra_window_chunks(1 << 20), 16);
     }
 }

@@ -228,14 +228,10 @@ mod tests {
             .map(|_| G1Projective::random(&mut rng).to_affine())
             .collect();
         let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
-        let (_, stats) = msm_with_config(
-            &points,
-            &scalars,
-            MsmConfig {
-                window_bits: 8,
-                aggregation: zkspeed_curve::Aggregation::Grouped { group_size: 16 },
-            },
-        );
+        // The classic schedule (unsigned windows, mixed additions) is the
+        // functional counterpart of the modeled Pippenger unit.
+        let (_, stats) =
+            msm_with_config(&points, &scalars, MsmConfig::classic().with_window_bits(8));
         let cfg = MsmUnitConfig {
             window_bits: 8,
             ..MsmUnitConfig::default()

@@ -101,24 +101,6 @@ pub fn bind_circuit_to_transcript(
     }
 }
 
-/// Preprocesses a circuit against an SRS, producing the key pair.
-///
-/// # Panics
-///
-/// Panics if the SRS is too small for the circuit. Prefer
-/// [`try_preprocess`], which returns a [`PreprocessError`] instead; this
-/// shim remains for one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `zkspeed::ProofSystem::preprocess` or `try_preprocess` instead"
-)]
-pub fn preprocess(circuit: Circuit, srs: &Srs) -> (ProvingKey, VerifyingKey) {
-    match try_preprocess(circuit, srs) {
-        Ok(keys) => keys,
-        Err(e) => panic!("{e}"),
-    }
-}
-
 /// Validating preprocessing: turns an undersized SRS into a
 /// [`PreprocessError`] instead of panicking.
 ///
@@ -234,16 +216,6 @@ mod tests {
         vk_add.bind_to_transcript(&mut ta);
         vk_mul.bind_to_transcript(&mut tm);
         assert_ne!(ta.challenge_scalar(b"c"), tm.challenge_scalar(b"c"));
-    }
-
-    #[test]
-    #[should_panic(expected = "SRS supports up to")]
-    fn undersized_srs_is_rejected_by_the_deprecated_shim() {
-        let mut r = rng();
-        let srs = Srs::setup(2, &mut r);
-        let (circuit, _) = mock_circuit(3, SparsityProfile::paper_default(), &mut r);
-        #[allow(deprecated)]
-        let _ = preprocess(circuit, &srs);
     }
 
     #[test]

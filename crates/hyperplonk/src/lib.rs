@@ -5,11 +5,12 @@
 //!
 //! * [`CircuitBuilder`] / [`Circuit`] — the Plonk gate encoding of Eq. (1)
 //!   and the wiring permutation;
-//! * [`preprocess`] — universal-setup indexing (commitments to selectors and
-//!   wiring);
-//! * [`prove`] / [`prove_with_report`] — the five protocol steps (Witness
-//!   Commits, Gate Identity, Wiring Identity, Batch Evaluations, Polynomial
-//!   Opening), each exercising the kernels the accelerator builds units for;
+//! * [`try_preprocess`] — universal-setup indexing (commitments to selectors
+//!   and wiring);
+//! * [`prove_on`] / [`prove_with_report_on`] — the five protocol steps
+//!   (Witness Commits, Gate Identity, Wiring Identity, Batch Evaluations,
+//!   Polynomial Opening), each exercising the kernels the accelerator builds
+//!   units for; the `*_msm_on` variants pin the MSM engine configuration;
 //! * [`verify`] — the succinct verifier;
 //! * [`mock_circuit`] / [`NAMED_WORKLOADS`] — the synthetic workloads the
 //!   paper evaluates on (Table 3);
@@ -36,9 +37,10 @@
 //!
 //! Downstream users should prefer the session API of the umbrella `zkspeed`
 //! crate (`ProofSystem::setup` → `preprocess` → `ProverHandle::prove`),
-//! which owns the keys and the execution backend; the free functions
-//! [`preprocess`], [`prove`], [`prove_with_report`] and [`prove_unchecked`]
-//! remain as deprecated shims for one release.
+//! which owns the keys, the execution backend and the MSM configuration.
+//! (The deprecated free-function shims of the pre-session API — `preprocess`,
+//! `prove`, `prove_with_report`, `prove_unchecked` — were removed after
+//! their one release of overlap.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,8 +57,6 @@ mod verifier;
 
 pub use builder::{CircuitBuilder, Variable};
 pub use circuit::{Circuit, GateSelectors, SatisfactionError, WireColumn, Witness};
-#[allow(deprecated)]
-pub use keys::preprocess;
 pub use keys::{
     bind_circuit_to_transcript, try_preprocess, try_preprocess_on, PreprocessError, ProvingKey,
     VerifyingKey,
@@ -64,11 +64,10 @@ pub use keys::{
 pub use mock::{mock_circuit, NamedWorkload, SparsityProfile, NAMED_WORKLOADS};
 pub use profile::{profile_kernels, KernelProfile, BYTES_PER_FIELD_ELEMENT, BYTES_PER_G1_POINT};
 pub use proof::{query_groups, BatchEvaluations, PolyLabel, Proof, QueryGroup};
-#[allow(deprecated)]
-pub use prover::{prove, prove_unchecked, prove_with_report};
 pub use prover::{
-    prove_batch_on, prove_on, prove_unchecked_on, prove_with_report_on, ProtocolStep, ProveError,
-    ProverReport, GATE_SUMCHECK_DEGREE, OPENCHECK_DEGREE, PERM_SUMCHECK_DEGREE,
+    prove_batch_msm_on, prove_batch_on, prove_on, prove_unchecked_msm_on, prove_unchecked_on,
+    prove_with_report_msm_on, prove_with_report_on, ProtocolStep, ProveError, ProverReport,
+    GATE_SUMCHECK_DEGREE, OPENCHECK_DEGREE, PERM_SUMCHECK_DEGREE,
 };
 pub use serialize::{KIND_PROOF, KIND_VERIFYING_KEY};
 pub use verifier::{verify, VerifyError};

@@ -10,16 +10,18 @@
 //! | 4. Batch Evaluations | MLE Evaluate |
 //! | 5. Polynomial Opening | MLE Combine, Build MLE, SumCheck (OpenCheck), halving MSMs |
 //!
-//! [`prove_with_report`] also returns wall-clock and operation-count
+//! [`prove_with_report_on`] also returns wall-clock and operation-count
 //! measurements per step; these calibrate the CPU baseline model used by the
-//! accelerator's design-space exploration.
+//! accelerator's design-space exploration. The `*_msm_on` variants
+//! additionally pin the MSM engine configuration
+//! ([`zkspeed_curve::MsmConfig`]) used by every commitment and opening.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use zkspeed_curve::{MsmStats, SparseMsmStats};
+use zkspeed_curve::{MsmConfig, MsmStats, SparseMsmStats};
 use zkspeed_field::Fr;
-use zkspeed_pcs::{commit_sparse_on, commit_with_stats_on, open_on};
+use zkspeed_pcs::{commit_sparse_with_config_on, commit_with_config_on, open_with_config_on};
 use zkspeed_poly::{fraction_mle, product_mle, split_even_odd, MultilinearPoly, VirtualPolynomial};
 use zkspeed_rt::pool::{self, Backend, Serial};
 use zkspeed_sumcheck::{prove_on as sumcheck_prove_on, prove_zerocheck_on};
@@ -123,20 +125,6 @@ impl core::fmt::Display for ProveError {
 
 impl std::error::Error for ProveError {}
 
-/// Proves that `witness` satisfies the circuit in `pk`.
-///
-/// # Errors
-///
-/// Returns [`ProveError::UnsatisfiedWitness`] if the witness fails the
-/// circuit's gate or wiring constraints.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `zkspeed::ProverHandle::prove` or `prove_on` instead"
-)]
-pub fn prove(pk: &ProvingKey, witness: &Witness) -> Result<Proof, ProveError> {
-    prove_on(pk, witness, &pool::ambient())
-}
-
 /// Proves that `witness` satisfies the circuit in `pk` on an explicit
 /// execution backend.
 ///
@@ -152,24 +140,7 @@ pub fn prove_on(
     prove_with_report_on(pk, witness, backend).map(|(proof, _)| proof)
 }
 
-/// Like [`prove_on`], additionally returning per-step measurements.
-///
-/// # Errors
-///
-/// Returns [`ProveError::UnsatisfiedWitness`] if the witness fails the
-/// circuit's gate or wiring constraints.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `zkspeed::ProverHandle::prove_with_report` or `prove_with_report_on` instead"
-)]
-pub fn prove_with_report(
-    pk: &ProvingKey,
-    witness: &Witness,
-) -> Result<(Proof, ProverReport), ProveError> {
-    prove_with_report_on(pk, witness, &pool::ambient())
-}
-
-/// [`prove_with_report`] on an explicit execution backend.
+/// [`prove_on`], additionally returning per-step measurements.
 ///
 /// # Errors
 ///
@@ -180,10 +151,29 @@ pub fn prove_with_report_on(
     witness: &Witness,
     backend: &Arc<dyn Backend>,
 ) -> Result<(Proof, ProverReport), ProveError> {
+    prove_with_report_msm_on(pk, witness, backend, MsmConfig::default())
+}
+
+/// [`prove_with_report_on`] with an explicit MSM engine configuration for
+/// every commitment and opening of the proof (witness commits, φ/π commits,
+/// halving opening MSMs). Every configuration produces bit-identical proof
+/// encodings; only the operation schedule (and therefore the report's
+/// counters) differs.
+///
+/// # Errors
+///
+/// Returns [`ProveError::UnsatisfiedWitness`] if the witness fails the
+/// circuit's gate or wiring constraints.
+pub fn prove_with_report_msm_on(
+    pk: &ProvingKey,
+    witness: &Witness,
+    backend: &Arc<dyn Backend>,
+    msm: MsmConfig,
+) -> Result<(Proof, ProverReport), ProveError> {
     pk.circuit
         .check_witness(witness)
         .map_err(ProveError::UnsatisfiedWitness)?;
-    Ok(prove_unchecked_on(pk, witness, backend))
+    Ok(prove_unchecked_msm_on(pk, witness, backend, msm))
 }
 
 /// Proves every witness in `witnesses` against the same proving key,
@@ -202,6 +192,21 @@ pub fn prove_batch_on(
     witnesses: &[Witness],
     backend: &Arc<dyn Backend>,
 ) -> Result<Vec<Proof>, ProveError> {
+    prove_batch_msm_on(pk, witnesses, backend, MsmConfig::default())
+}
+
+/// [`prove_batch_on`] with an explicit MSM engine configuration.
+///
+/// # Errors
+///
+/// Returns [`ProveError::UnsatisfiedWitness`] for the first invalid witness
+/// (no proving work is started in that case).
+pub fn prove_batch_msm_on(
+    pk: &ProvingKey,
+    witnesses: &[Witness],
+    backend: &Arc<dyn Backend>,
+    msm: MsmConfig,
+) -> Result<Vec<Proof>, ProveError> {
     for witness in witnesses {
         pk.circuit
             .check_witness(witness)
@@ -210,7 +215,7 @@ pub fn prove_batch_on(
     if witnesses.len() <= 1 || backend.threads() == 1 {
         return Ok(witnesses
             .iter()
-            .map(|w| prove_unchecked_on(pk, w, backend).0)
+            .map(|w| prove_unchecked_msm_on(pk, w, backend, msm).0)
             .collect());
     }
     // One job per proof; each job still hands its inner MSM / SumCheck work
@@ -221,7 +226,9 @@ pub fn prove_batch_on(
     let job_witnesses = witnesses.to_vec();
     let inner = Arc::clone(backend);
     let proofs = pool::map_indices_on(&**backend, witnesses.len(), move |i| {
-        zkspeed_field::measure_modmuls(|| prove_unchecked_on(&job_pk, &job_witnesses[i], &inner).0)
+        zkspeed_field::measure_modmuls(|| {
+            prove_unchecked_msm_on(&job_pk, &job_witnesses[i], &inner, msm).0
+        })
     });
     Ok(proofs
         .into_iter()
@@ -236,19 +243,20 @@ pub fn prove_batch_on(
 ///
 /// Used by soundness tests (an unsatisfied witness yields a proof the
 /// verifier rejects) and by callers that have already validated the witness.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `zkspeed::ProverHandle::prove_unchecked` or `prove_unchecked_on` instead"
-)]
-pub fn prove_unchecked(pk: &ProvingKey, witness: &Witness) -> (Proof, ProverReport) {
-    prove_unchecked_on(pk, witness, &pool::ambient())
-}
-
-/// [`prove_unchecked`] on an explicit execution backend.
 pub fn prove_unchecked_on(
     pk: &ProvingKey,
     witness: &Witness,
     backend: &Arc<dyn Backend>,
+) -> (Proof, ProverReport) {
+    prove_unchecked_msm_on(pk, witness, backend, MsmConfig::default())
+}
+
+/// [`prove_unchecked_on`] with an explicit MSM engine configuration.
+pub fn prove_unchecked_msm_on(
+    pk: &ProvingKey,
+    witness: &Witness,
+    backend: &Arc<dyn Backend>,
+    msm: MsmConfig,
 ) -> (Proof, ProverReport) {
     let mu = pk.circuit.num_vars();
     let mut report = ProverReport {
@@ -273,7 +281,9 @@ pub fn prove_unchecked_on(
     let job_srs = pk.srs.clone();
     let job_columns = witness.columns.clone();
     let column_commitments = pool::map_indices_on(&**backend, 3, move |j| {
-        zkspeed_field::measure_modmuls(|| commit_sparse_on(&Serial, &job_srs, &job_columns[j]))
+        zkspeed_field::measure_modmuls(|| {
+            commit_sparse_with_config_on(&Serial, &job_srs, &job_columns[j], msm)
+        })
     });
     let mut witness_commitments = Vec::with_capacity(3);
     for ((com, stats), muls) in column_commitments {
@@ -346,7 +356,9 @@ pub fn prove_unchecked_on(
     let job_polys = [phi.clone(), pi.clone()];
     let inner = Arc::clone(backend);
     let wiring_commitments = pool::map_indices_on(&**backend, 2, move |j| {
-        zkspeed_field::measure_modmuls(|| commit_with_stats_on(&*inner, &job_srs, &job_polys[j]))
+        zkspeed_field::measure_modmuls(|| {
+            commit_with_config_on(&*inner, &job_srs, &job_polys[j], msm)
+        })
     });
     let mut wiring_iter = wiring_commitments.into_iter();
     let ((phi_commitment, phi_stats), phi_muls) = wiring_iter.next().expect("two jobs");
@@ -491,7 +503,8 @@ pub fn prove_unchecked_on(
     let d = transcript.challenge_scalars(b"gprime-challenge", groups.len());
     let gprime =
         MultilinearPoly::linear_combination(&d, &combined_polys.iter().collect::<Vec<_>>());
-    let (gprime_value, gprime_opening, open_stats) = open_on(&**backend, &pk.srs, &gprime, &rho);
+    let (gprime_value, gprime_opening, open_stats) =
+        open_with_config_on(&**backend, &pk.srs, &gprime, &rho, msm);
     report.opening_msm.merge(&open_stats);
     debug_assert_eq!(
         gprime_value,
@@ -627,12 +640,30 @@ mod tests {
             prove_batch_on(&pk, &bad, &backend()),
             Err(ProveError::UnsatisfiedWitness(_))
         ));
-        // The deprecated shims still work.
-        #[allow(deprecated)]
-        {
-            let via_shim = prove(&pk, &witnesses[0]).expect("valid witness");
-            assert_eq!(via_shim, single);
-        }
+    }
+
+    #[test]
+    fn msm_configs_produce_identical_proofs() {
+        let mut r = rng();
+        let mu = 4;
+        let srs = Srs::setup(mu, &mut r);
+        let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut r);
+        let (pk, _vk) = try_preprocess(circuit, &srs).expect("circuit fits");
+        let (reference, _) = prove_with_report_msm_on(
+            &pk,
+            &witness,
+            &backend(),
+            zkspeed_curve::MsmConfig::classic(),
+        )
+        .expect("valid witness");
+        let (optimized, _) = prove_with_report_msm_on(
+            &pk,
+            &witness,
+            &backend(),
+            zkspeed_curve::MsmConfig::optimized(),
+        )
+        .expect("valid witness");
+        assert_eq!(optimized, reference);
     }
 
     #[test]

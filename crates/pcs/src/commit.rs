@@ -110,13 +110,26 @@ pub fn commit_with_stats_on(
     srs: &Srs,
     poly: &MultilinearPoly,
 ) -> (Commitment, MsmStats) {
+    commit_with_config_on(backend, srs, poly, zkspeed_curve::MsmConfig::default())
+}
+
+/// [`commit_with_stats_on`] with an explicit MSM engine configuration
+/// (window size, signed digits, schedule, batch-affine threshold — see
+/// [`zkspeed_curve::MsmConfig`]). Every configuration commits to the same
+/// group element; only the operation schedule differs.
+///
+/// # Panics
+///
+/// Panics if the polynomial is larger than the SRS supports.
+pub fn commit_with_config_on(
+    backend: &dyn Backend,
+    srs: &Srs,
+    poly: &MultilinearPoly,
+    config: zkspeed_curve::MsmConfig,
+) -> (Commitment, MsmStats) {
     let basis = shared_basis_for(srs, poly);
-    let (point, stats) = zkspeed_curve::msm_with_config_shared(
-        backend,
-        basis,
-        poly.evaluations(),
-        zkspeed_curve::MsmConfig::default(),
-    );
+    let (point, stats) =
+        zkspeed_curve::msm_with_config_shared(backend, basis, poly.evaluations(), config);
     (Commitment(point), stats)
 }
 
@@ -141,9 +154,28 @@ pub fn commit_sparse_on(
     srs: &Srs,
     poly: &MultilinearPoly,
 ) -> (Commitment, SparseMsmStats) {
+    commit_sparse_with_config_on(backend, srs, poly, zkspeed_curve::MsmConfig::default())
+}
+
+/// [`commit_sparse_on`] with an explicit MSM engine configuration for the
+/// dense remainder of the sparse split.
+///
+/// # Panics
+///
+/// Panics if the polynomial is larger than the SRS supports.
+pub fn commit_sparse_with_config_on(
+    backend: &dyn Backend,
+    srs: &Srs,
+    poly: &MultilinearPoly,
+    config: zkspeed_curve::MsmConfig,
+) -> (Commitment, SparseMsmStats) {
     let basis = shared_basis_for(srs, poly);
-    let (point, stats) =
-        zkspeed_curve::sparse_msm_on(backend, basis.as_slice(), poly.evaluations());
+    let (point, stats) = zkspeed_curve::sparse_msm_with_config_on(
+        backend,
+        basis.as_slice(),
+        poly.evaluations(),
+        config,
+    );
     (Commitment(point), stats)
 }
 

@@ -40,8 +40,8 @@ mod open;
 mod srs;
 
 pub use commit::{
-    commit, commit_on, commit_sparse, commit_sparse_on, commit_with_stats, commit_with_stats_on,
-    Commitment,
+    commit, commit_on, commit_sparse, commit_sparse_on, commit_sparse_with_config_on,
+    commit_with_config_on, commit_with_stats, commit_with_stats_on, Commitment,
 };
-pub use open::{open, open_on, verify_opening, OpeningProof};
+pub use open::{open, open_on, open_with_config_on, verify_opening, OpeningProof};
 pub use srs::{SetupError, Srs, KIND_SRS, MAX_NUM_VARS};

@@ -17,7 +17,7 @@ use zkspeed_poly::MultilinearPoly;
 use zkspeed_rt::codec::{DecodeError, Reader};
 use zkspeed_rt::pool::{self, Ambient, Backend};
 
-use crate::commit::{commit_with_stats_on, Commitment};
+use crate::commit::Commitment;
 use crate::srs::Srs;
 
 /// An opening proof: one quotient commitment per variable.
@@ -82,6 +82,29 @@ pub fn open_on(
     poly: &MultilinearPoly,
     point: &[Fr],
 ) -> (Fr, OpeningProof, MsmStats) {
+    open_with_config_on(
+        backend,
+        srs,
+        poly,
+        point,
+        zkspeed_curve::MsmConfig::default(),
+    )
+}
+
+/// [`open_on`] with an explicit MSM engine configuration for the halving
+/// quotient commitments (see [`zkspeed_curve::MsmConfig`]).
+///
+/// # Panics
+///
+/// Panics if the point length does not match the polynomial or the SRS is too
+/// small.
+pub fn open_with_config_on(
+    backend: &dyn Backend,
+    srs: &Srs,
+    poly: &MultilinearPoly,
+    point: &[Fr],
+    config: zkspeed_curve::MsmConfig,
+) -> (Fr, OpeningProof, MsmStats) {
     /// Below this many quotient entries the construction stays serial.
     const MIN_CHUNK: usize = 1 << 12;
     assert_eq!(
@@ -114,7 +137,7 @@ pub fn open_on(
             q_evals
         };
         let q = MultilinearPoly::new(q_evals);
-        let (com, s) = commit_with_stats_on(backend, srs, &q);
+        let (com, s) = crate::commit::commit_with_config_on(backend, srs, &q, config);
         stats.merge(&s);
         quotients.push(com);
         cur = cur.fix_first_variable_on(*z_k, backend);

@@ -87,6 +87,7 @@ pub use zkspeed_transcript as transcript;
 /// One-line import for the session API and the types most programs touch.
 pub mod prelude {
     pub use crate::{Error, ProofSystem, ProverHandle, VerifierHandle};
+    pub use zkspeed_curve::{MsmConfig, MsmSchedule};
     pub use zkspeed_hyperplonk::{
         mock_circuit, Circuit, CircuitBuilder, Proof, ProverReport, SparsityProfile, VerifyingKey,
         Witness,

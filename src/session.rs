@@ -30,9 +30,10 @@
 
 use std::sync::Arc;
 
+use zkspeed_curve::MsmConfig;
 use zkspeed_hyperplonk::{
-    prove_batch_on, prove_on, prove_unchecked_on, prove_with_report_on, try_preprocess_on, verify,
-    Circuit, Proof, ProverReport, ProvingKey, VerifyingKey, Witness,
+    prove_batch_msm_on, prove_unchecked_msm_on, prove_with_report_msm_on, try_preprocess_on,
+    verify, Circuit, Proof, ProverReport, ProvingKey, VerifyingKey, Witness,
 };
 use zkspeed_pcs::Srs;
 use zkspeed_rt::pool::{self, Backend};
@@ -40,11 +41,13 @@ use zkspeed_rt::pool::{self, Backend};
 use crate::error::Error;
 
 /// The session entry point: owns the universal SRS plus the execution
-/// backend every derived handle will prove on.
+/// backend and MSM engine configuration every derived handle will prove
+/// with.
 #[derive(Clone, Debug)]
 pub struct ProofSystem {
     srs: Arc<Srs>,
     backend: Arc<dyn Backend>,
+    msm_config: MsmConfig,
 }
 
 impl ProofSystem {
@@ -55,6 +58,7 @@ impl ProofSystem {
         Self {
             srs: Arc::new(srs),
             backend: pool::ambient(),
+            msm_config: MsmConfig::default(),
         }
     }
 
@@ -64,6 +68,7 @@ impl ProofSystem {
         Self {
             srs: Arc::new(srs),
             backend,
+            msm_config: MsmConfig::default(),
         }
     }
 
@@ -71,6 +76,21 @@ impl ProofSystem {
     pub fn with_backend(mut self, backend: Arc<dyn Backend>) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Replaces the MSM engine configuration (window size, signed digits,
+    /// work-decomposition schedule, batch-affine threshold) used by every
+    /// commitment and opening of handles derived from this session. Any
+    /// configuration produces bit-identical proof encodings; only the
+    /// operation schedule differs.
+    pub fn with_msm_config(mut self, msm_config: MsmConfig) -> Self {
+        self.msm_config = msm_config;
+        self
+    }
+
+    /// The MSM engine configuration derived handles will prove with.
+    pub fn msm_config(&self) -> MsmConfig {
+        self.msm_config
     }
 
     /// The universal SRS this session proves against.
@@ -97,19 +117,22 @@ impl ProofSystem {
             ProverHandle {
                 pk: Arc::new(pk),
                 backend: Arc::clone(&self.backend),
+                msm_config: self.msm_config,
             },
             VerifierHandle { vk: Arc::new(vk) },
         ))
     }
 }
 
-/// A long-lived prover for one circuit: owns the proving key and the
-/// execution backend, so each [`ProverHandle::prove`] call is pure compute
-/// with no per-call setup. Cloning the handle shares both.
+/// A long-lived prover for one circuit: owns the proving key, the execution
+/// backend and the MSM engine configuration, so each
+/// [`ProverHandle::prove`] call is pure compute with no per-call setup.
+/// Cloning the handle shares the key and backend.
 #[derive(Clone, Debug)]
 pub struct ProverHandle {
     pk: Arc<ProvingKey>,
     backend: Arc<dyn Backend>,
+    msm_config: MsmConfig,
 }
 
 impl ProverHandle {
@@ -120,7 +143,7 @@ impl ProverHandle {
     /// Returns [`Error::Prove`] if the witness fails the circuit's gate or
     /// wiring constraints.
     pub fn prove(&self, witness: &Witness) -> Result<Proof, Error> {
-        Ok(prove_on(&self.pk, witness, &self.backend)?)
+        Ok(self.prove_with_report(witness)?.0)
     }
 
     /// Like [`ProverHandle::prove`], additionally returning wall-clock and
@@ -130,7 +153,12 @@ impl ProverHandle {
     ///
     /// Returns [`Error::Prove`] if the witness is invalid.
     pub fn prove_with_report(&self, witness: &Witness) -> Result<(Proof, ProverReport), Error> {
-        Ok(prove_with_report_on(&self.pk, witness, &self.backend)?)
+        Ok(prove_with_report_msm_on(
+            &self.pk,
+            witness,
+            &self.backend,
+            self.msm_config,
+        )?)
     }
 
     /// Proves a batch of witnesses, fanning the independent proofs (and the
@@ -143,14 +171,24 @@ impl ProverHandle {
     /// Returns [`Error::Prove`] for the first invalid witness; no proving
     /// work starts in that case.
     pub fn prove_batch(&self, witnesses: &[Witness]) -> Result<Vec<Proof>, Error> {
-        Ok(prove_batch_on(&self.pk, witnesses, &self.backend)?)
+        Ok(prove_batch_msm_on(
+            &self.pk,
+            witnesses,
+            &self.backend,
+            self.msm_config,
+        )?)
     }
 
     /// Runs the prover without checking witness satisfiability first (used
     /// by soundness tests: an unsatisfied witness yields a proof the
     /// verifier rejects).
     pub fn prove_unchecked(&self, witness: &Witness) -> (Proof, ProverReport) {
-        prove_unchecked_on(&self.pk, witness, &self.backend)
+        prove_unchecked_msm_on(&self.pk, witness, &self.backend, self.msm_config)
+    }
+
+    /// The MSM engine configuration this handle proves with.
+    pub fn msm_config(&self) -> MsmConfig {
+        self.msm_config
     }
 
     /// The proving key (circuit tables plus SRS).

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use zkspeed::prelude::*;
-use zkspeed_curve::{msm_with_config, sparse_msm, G1Affine, G1Projective, MsmConfig};
+use zkspeed_curve::{msm_with_config, naive_msm, sparse_msm, G1Affine, G1Projective, MsmConfig};
 use zkspeed_field::Fr;
 use zkspeed_hyperplonk::mock_circuit;
 use zkspeed_poly::{MultilinearPoly, VirtualPolynomial};
@@ -121,6 +121,48 @@ fn sparse_msm_parallel_matches_serial() {
     let parallel = with_threads(8, || sparse_msm(&points, &scalars));
     assert_eq!(parallel.0, serial.0);
     assert_eq!(parallel.1, serial.1);
+}
+
+/// Every meaningfully distinct MSM engine configuration: the PR 2 baseline,
+/// each optimization alone, and all of them together.
+fn msm_schedule_matrix() -> Vec<(&'static str, MsmConfig)> {
+    vec![
+        ("classic", MsmConfig::classic()),
+        ("signed", MsmConfig::classic().with_signed_digits(true)),
+        (
+            "intra-window",
+            MsmConfig::classic().with_schedule(MsmSchedule::IntraWindow { chunks: 4 }),
+        ),
+        (
+            "batch-affine",
+            MsmConfig::classic().with_batch_affine_min_points(0),
+        ),
+        ("optimized", MsmConfig::optimized()),
+    ]
+}
+
+#[test]
+fn msm_schedules_agree_and_are_thread_count_invariant() {
+    // Every schedule must compute the naive result, and within one schedule
+    // the result AND the operation counters must not depend on the thread
+    // count (work is split by configuration, never by backend width).
+    let (points, scalars) = random_msm_instance(512, 0xD5EE_D014);
+    let expect = naive_msm(&points, &scalars);
+    for (name, config) in msm_schedule_matrix() {
+        let serial = with_threads(1, || msm_with_config(&points, &scalars, config));
+        assert_eq!(serial.0, expect, "{name}: wrong result");
+        for threads in [2usize, 8] {
+            let parallel = with_threads(threads, || msm_with_config(&points, &scalars, config));
+            assert_eq!(
+                parallel.0, serial.0,
+                "{name}: {threads}-thread result drifted"
+            );
+            assert_eq!(
+                parallel.1, serial.1,
+                "{name}: {threads}-thread stats drifted"
+            );
+        }
+    }
 }
 
 #[test]
@@ -233,6 +275,39 @@ fn backends_produce_identical_encodings_and_modmul_counters() {
     for (bytes, count) in &results[1..] {
         assert_eq!(bytes, reference_bytes, "proof encodings drifted");
         assert_eq!(count, reference_count, "modmul counters drifted");
+    }
+}
+
+#[test]
+fn proofs_are_bit_identical_across_msm_schedules_and_backends() {
+    // Acceptance scenario of the signed-digit MSM engine: every MSM
+    // schedule, on every backend, must serialize to exactly the same proof
+    // bytes — the schedules differ only in how the same group elements are
+    // computed.
+    let mu = 5;
+    let seed = 0xD5EE_D033;
+    let mut reference: Option<Vec<u8>> = None;
+    for (name, config) in msm_schedule_matrix() {
+        let backends: Vec<Arc<dyn Backend>> = vec![Arc::new(Serial), Arc::new(ThreadPool::new(8))];
+        for backend in backends {
+            let backend_name = backend.name();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let srs = Srs::try_setup(mu, &mut rng).expect("setup fits");
+            let system = ProofSystem::setup_with_backend(srs, backend).with_msm_config(config);
+            assert_eq!(system.msm_config(), config);
+            let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut rng);
+            let (prover, verifier) = system.preprocess(circuit).expect("circuit fits");
+            let proof = prover.prove(&witness).expect("valid witness");
+            verifier.verify(&proof).expect("proof verifies");
+            let bytes = proof.to_bytes();
+            match &reference {
+                None => reference = Some(bytes),
+                Some(expected) => assert_eq!(
+                    &bytes, expected,
+                    "schedule {name} on {backend_name} drifted from the reference encoding"
+                ),
+            }
+        }
     }
 }
 

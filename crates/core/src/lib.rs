@@ -46,4 +46,4 @@ pub use analysis::{
 pub use chip::{AreaBreakdown, ChipConfig, ChipSimulation, KernelSeconds, PowerBreakdown, Unit};
 pub use cpu_model::{CpuKernelSeconds, CpuKernelShares, CpuModel};
 pub use dse::{explore, pareto_frontier, pick_iso_area, DesignPoint, DesignSpace};
-pub use workload::Workload;
+pub use workload::{ColumnSplit, Workload, WorkloadError};

@@ -214,6 +214,24 @@ mod tests {
     }
 
     #[test]
+    fn sparse_msm_handles_measured_extreme_splits() {
+        // The measured workload suite feeds splits far from the paper's
+        // 45/45/10 assumption: bit-only Keccak circuits (~zero dense tail)
+        // and dense balance circuits. The model must stay finite and
+        // monotone across the whole range.
+        let cfg = MsmUnitConfig::default();
+        let n = 1usize << 20;
+        let bits = cfg.sparse_msm_cycles(n / 2, n / 2, 0);
+        let paper = cfg.sparse_msm_cycles(n * 45 / 100, n * 45 / 100, n / 10);
+        let dense = cfg.sparse_msm_cycles(0, 0, n);
+        assert!(bits.is_finite() && bits > 0.0);
+        assert!(bits < paper && paper < dense, "{bits} {paper} {dense}");
+        // Zeros are skipped outright: an all-zero column costs less than an
+        // all-one column.
+        assert!(cfg.sparse_msm_cycles(n, 0, 0) < cfg.sparse_msm_cycles(0, n, 0));
+    }
+
+    #[test]
     fn fq_mul_count_is_consistent_with_functional_stats() {
         // The analytic count should be within 2× of the functional layer's
         // counted operations for the same window size (the functional layer

@@ -252,10 +252,19 @@ impl Sha3UnitConfig {
         SHA3_UNIT_MM2
     }
 
-    /// Cycles to absorb `bytes` of transcript data (136-byte rate, 24-cycle
-    /// permutation).
+    /// Cycles to absorb `bytes` of transcript data (136-byte SHA3-256 rate,
+    /// one permutation per rate block).
     pub fn hash_cycles(&self, bytes: u64) -> f64 {
-        (bytes.div_ceil(136).max(1) * SHA3_PERMUTATION_CYCLES) as f64
+        self.permutation_cycles(bytes.div_ceil(136).max(1))
+    }
+
+    /// Cycles for `permutations` Keccak-f[1600] invocations (24 cycles
+    /// each on the OpenCores core). The functional layer counts real
+    /// permutations (`Sha3_256::permutation_count`, and the in-circuit
+    /// Keccak workloads), so measured counts can drive the unit directly
+    /// instead of going through a byte estimate.
+    pub fn permutation_cycles(&self, permutations: u64) -> f64 {
+        (permutations * SHA3_PERMUTATION_CYCLES) as f64
     }
 }
 
@@ -365,6 +374,11 @@ mod tests {
         assert!(Sha3UnitConfig.area_mm2() < 0.01);
         assert!(Sha3UnitConfig.hash_cycles(1) >= 24.0);
         assert!(Sha3UnitConfig.hash_cycles(1000) > Sha3UnitConfig.hash_cycles(100));
+        // Byte-based and permutation-count-based accounting agree.
+        assert_eq!(
+            Sha3UnitConfig.hash_cycles(136 * 7),
+            Sha3UnitConfig.permutation_cycles(7)
+        );
         assert!(ConstructNdConfig.construct_cycles(1 << 20) >= (1 << 20) as f64);
         assert!(MleCombineConfig.combine_cycles(13, 1 << 20) > 0.0);
     }

@@ -126,6 +126,61 @@ impl CircuitBuilder {
         out
     }
 
+    /// Adds a general Eq. (1) gate computing
+    /// `out = q_l·a + q_r·b + q_m·a·b + q_c` (with `q_O = 1`), the
+    /// primitive the gadget layer builds single-gate XOR, AND-NOT and
+    /// scaled-accumulate operations from.
+    pub fn custom(
+        &mut self,
+        a: Variable,
+        b: Variable,
+        q_l: Fr,
+        q_r: Fr,
+        q_m: Fr,
+        q_c: Fr,
+    ) -> Variable {
+        let va = self.value_of(a);
+        let vb = self.value_of(b);
+        let selectors = GateSelectors {
+            q_l,
+            q_r,
+            q_m,
+            q_o: Fr::one(),
+            q_c,
+        };
+        let value = q_l * va + q_r * vb + q_m * va * vb + q_c;
+        let out = self.push_gate(selectors, va, vb, value);
+        self.copy_output_to(a, out.gate, 0);
+        self.copy_output_to(b, out.gate, 1);
+        out
+    }
+
+    /// Constrains `v` to be a bit with a single gate: `v² − v = 0`
+    /// (selectors `q_M = 1`, `q_R = −1`, both inputs wired to `v`).
+    pub fn assert_boolean(&mut self, v: Variable) {
+        let val = self.value_of(v);
+        let selectors = GateSelectors {
+            q_r: -Fr::one(),
+            q_m: Fr::one(),
+            ..GateSelectors::default()
+        };
+        let gate = self.push_gate(selectors, val, val, Fr::zero()).gate;
+        self.copy_output_to(v, gate, 0);
+        self.copy_output_to(v, gate, 1);
+    }
+
+    /// Constrains `v` to equal the constant `c` (`v − c = 0`).
+    pub fn assert_equal_constant(&mut self, v: Variable, c: Fr) {
+        let val = self.value_of(v);
+        let selectors = GateSelectors {
+            q_l: Fr::one(),
+            q_c: -c,
+            ..GateSelectors::default()
+        };
+        let gate = self.push_gate(selectors, val, Fr::zero(), Fr::zero()).gate;
+        self.copy_output_to(v, gate, 0);
+    }
+
     /// Constrains `a` and `b` to be equal (`a − b = 0`).
     pub fn assert_equal(&mut self, a: Variable, b: Variable) {
         let va = self.value_of(a);
@@ -324,6 +379,49 @@ mod tests {
             err,
             crate::circuit::SatisfactionError::WiringViolation { .. }
         ));
+    }
+
+    #[test]
+    fn custom_gate_computes_general_form() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(u(3));
+        let y = b.input(u(5));
+        // out = 2x + 7y − xy + 11 = 6 + 35 − 15 + 11 = 37.
+        let out = b.custom(x, y, u(2), u(7), -u(1), u(11));
+        assert_eq!(b.value_of(out), u(37));
+        // Single-gate XOR: a + b − 2ab on bits.
+        let one = b.input(u(1));
+        let zero = b.input(u(0));
+        let x1 = b.custom(one, zero, u(1), u(1), -u(2), u(0));
+        let x0 = b.custom(one, one, u(1), u(1), -u(2), u(0));
+        assert_eq!(b.value_of(x1), u(1));
+        assert_eq!(b.value_of(x0), u(0));
+        let (circuit, witness) = b.build();
+        assert!(circuit.check_witness(&witness).is_ok());
+    }
+
+    #[test]
+    fn boolean_and_constant_assertions() {
+        let mut b = CircuitBuilder::new();
+        let bit = b.input(u(1));
+        b.assert_boolean(bit);
+        let v = b.input(u(42));
+        b.assert_equal_constant(v, u(42));
+        let (circuit, witness) = b.build();
+        assert!(circuit.check_witness(&witness).is_ok());
+
+        // A non-bit fails the boolean gate; a wrong constant fails too.
+        let mut b = CircuitBuilder::new();
+        let not_bit = b.input(u(2));
+        b.assert_boolean(not_bit);
+        let (circuit, witness) = b.build();
+        assert!(circuit.check_witness(&witness).is_err());
+
+        let mut b = CircuitBuilder::new();
+        let v = b.input(u(41));
+        b.assert_equal_constant(v, u(42));
+        let (circuit, witness) = b.build();
+        assert!(circuit.check_witness(&witness).is_err());
     }
 
     #[test]

@@ -47,13 +47,16 @@
 
 mod builder;
 mod circuit;
+pub mod gadgets;
 mod keys;
 mod mock;
 mod profile;
 mod proof;
 mod prover;
 mod serialize;
+mod stats;
 mod verifier;
+pub mod workloads;
 
 pub use builder::{CircuitBuilder, Variable};
 pub use circuit::{Circuit, GateSelectors, SatisfactionError, WireColumn, Witness};
@@ -70,4 +73,5 @@ pub use prover::{
     GATE_SUMCHECK_DEGREE, OPENCHECK_DEGREE, PERM_SUMCHECK_DEGREE,
 };
 pub use serialize::{KIND_PROOF, KIND_VERIFYING_KEY};
+pub use stats::{CircuitStats, ColumnStats, GateKindCounts};
 pub use verifier::{verify, VerifyError};

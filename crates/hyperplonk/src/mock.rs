@@ -38,6 +38,115 @@ impl SparsityProfile {
             ones: 0.0,
         }
     }
+
+    /// Every witness value is zero.
+    pub fn all_zero() -> Self {
+        Self {
+            zeros: 1.0,
+            ones: 0.0,
+        }
+    }
+
+    /// Every witness value is one.
+    pub fn all_one() -> Self {
+        Self {
+            zeros: 0.0,
+            ones: 1.0,
+        }
+    }
+
+    /// A zero-heavy split far from the paper default (70/20/10).
+    pub fn skewed() -> Self {
+        Self {
+            zeros: 0.7,
+            ones: 0.2,
+        }
+    }
+
+    /// All named profile variants with their display names, for
+    /// profile-sweep tests and benches.
+    pub fn variants() -> [(&'static str, SparsityProfile); 5] {
+        [
+            ("paper-default", Self::paper_default()),
+            ("dense", Self::dense()),
+            ("all-zero", Self::all_zero()),
+            ("all-one", Self::all_one()),
+            ("skewed", Self::skewed()),
+        ]
+    }
+
+    /// Fraction of dense (non-0/1) values.
+    pub fn dense_fraction(&self) -> f64 {
+        1.0 - self.zeros - self.ones
+    }
+}
+
+/// A witness value category drawn from a [`SparsityProfile`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Category {
+    Zero,
+    One,
+    Dense,
+}
+
+impl Category {
+    fn of(v: &Fr) -> Self {
+        if v.is_zero() {
+            Category::Zero
+        } else if v.is_one() {
+            Category::One
+        } else {
+            Category::Dense
+        }
+    }
+
+    fn materialize<R: Rng + ?Sized>(self, rng: &mut R) -> Fr {
+        match self {
+            Category::Zero => Fr::zero(),
+            Category::One => Fr::one(),
+            // A uniform field element is 0 or 1 with probability ≈ 2^-254;
+            // the tight sparsity tests tolerate far more than that.
+            Category::Dense => Fr::random(rng),
+        }
+    }
+
+    const ALL: [Category; 3] = [Category::Zero, Category::One, Category::Dense];
+}
+
+/// A shuffled deck of `n` value categories whose counts match `profile`
+/// exactly (largest-remainder rounding), so dealt columns hit the profile
+/// to within `1/n`.
+fn category_deck<R: Rng + ?Sized>(
+    profile: SparsityProfile,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Category> {
+    let targets = [
+        n as f64 * profile.zeros,
+        n as f64 * profile.ones,
+        n as f64 * profile.dense_fraction(),
+    ];
+    let mut counts = targets.map(|t| t.floor() as usize);
+    let mut order = [0usize, 1, 2];
+    order.sort_by(|&a, &b| {
+        let ra = targets[a] - targets[a].floor();
+        let rb = targets[b] - targets[b].floor();
+        rb.partial_cmp(&ra).unwrap_or(core::cmp::Ordering::Equal)
+    });
+    let assigned: usize = counts.iter().sum();
+    for &idx in order.iter().take(n.saturating_sub(assigned)) {
+        counts[idx] += 1;
+    }
+    let mut deck = Vec::with_capacity(n);
+    for (cat, &count) in Category::ALL.iter().zip(counts.iter()) {
+        deck.extend((0..count).map(|_| *cat));
+    }
+    // Fisher–Yates shuffle.
+    for i in (1..deck.len()).rev() {
+        let j = rng.gen_range(0..(i + 1) as u64) as usize;
+        deck.swap(i, j);
+    }
+    deck
 }
 
 /// A named real-world workload from Table 3 of the paper.
@@ -90,57 +199,74 @@ pub const NAMED_WORKLOADS: [NamedWorkload; 5] = [
 /// Generates a satisfied mock circuit with `2^num_vars` gates and the
 /// requested witness sparsity.
 ///
-/// Gates are a mix of additions, multiplications and constants whose inputs
-/// are drawn from the sparsity profile; a non-trivial wiring permutation is
-/// built by rotating the slots that hold the (plentiful) values 0 and 1.
+/// The input columns `w₁, w₂` are dealt from shuffled decks with **exact**
+/// per-profile category counts, and each gate's kind (addition,
+/// multiplication or constant) is chosen so the output column `w₃` tracks
+/// the profile too: the gate whose output supplies the currently
+/// neediest category wins, with a constant gate (free choice of output)
+/// as the fallback. Every column therefore matches the profile to within
+/// a couple of gates — the contract the tightened sparsity tests assert.
+/// A non-trivial wiring permutation is built by rotating the slots that
+/// hold the (plentiful) values 0 and 1.
 ///
 /// # Panics
 ///
-/// Panics if `num_vars == 0`.
+/// Panics if `num_vars == 0` or the profile fractions are not in `[0, 1]`
+/// with `zeros + ones ≤ 1`.
 pub fn mock_circuit<R: Rng + ?Sized>(
     num_vars: usize,
     profile: SparsityProfile,
     rng: &mut R,
 ) -> (Circuit, Witness) {
     assert!(num_vars > 0, "mock_circuit: need at least one variable");
+    assert!(
+        profile.zeros >= 0.0 && profile.ones >= 0.0 && profile.zeros + profile.ones <= 1.0 + 1e-12,
+        "mock_circuit: invalid sparsity profile {profile:?}"
+    );
     let n = 1usize << num_vars;
     let mut gates = Vec::with_capacity(n);
     let mut w1 = Vec::with_capacity(n);
     let mut w2 = Vec::with_capacity(n);
     let mut w3 = Vec::with_capacity(n);
 
-    let sample_value = |rng: &mut R| -> Fr {
-        let roll: f64 = rng.gen();
-        if roll < profile.zeros {
-            Fr::zero()
-        } else if roll < profile.zeros + profile.ones {
-            Fr::one()
-        } else {
-            Fr::random(rng)
-        }
-    };
+    let deck1 = category_deck(profile, n, rng);
+    let deck2 = category_deck(profile, n, rng);
+    let targets = [profile.zeros, profile.ones, profile.dense_fraction()];
+    let mut produced = [0usize; 3];
 
-    for _ in 0..n {
-        let a = sample_value(rng);
-        let b = sample_value(rng);
-        let kind: f64 = rng.gen();
-        if kind < 0.45 {
-            gates.push(GateSelectors::addition());
-            w1.push(a);
-            w2.push(b);
-            w3.push(a + b);
-        } else if kind < 0.9 {
-            gates.push(GateSelectors::multiplication());
-            w1.push(a);
-            w2.push(b);
-            w3.push(a * b);
+    for i in 0..n {
+        let a = deck1[i].materialize(rng);
+        let b = deck2[i].materialize(rng);
+        let sum = a + b;
+        let prod = a * b;
+        // The output category the column needs most right now.
+        let deficit = |cat: usize, produced: &[usize; 3]| {
+            targets[cat] * (i + 1) as f64 - produced[cat] as f64
+        };
+        let needed = (0..3)
+            .max_by(|&x, &y| {
+                deficit(x, &produced)
+                    .partial_cmp(&deficit(y, &produced))
+                    .unwrap_or(core::cmp::Ordering::Equal)
+            })
+            .expect("three categories");
+        let add_matches = Category::of(&sum) == Category::ALL[needed];
+        let mul_matches = Category::of(&prod) == Category::ALL[needed];
+        let (selectors, out) = if add_matches && (!mul_matches || rng.gen_bool(0.5)) {
+            (GateSelectors::addition(), sum)
+        } else if mul_matches {
+            (GateSelectors::multiplication(), prod)
         } else {
-            let c = sample_value(rng);
-            gates.push(GateSelectors::constant(c));
-            w1.push(a);
-            w2.push(b);
-            w3.push(c);
-        }
+            // Neither arithmetic gate supplies the needed category: a
+            // constant gate can always produce it exactly.
+            let c = Category::ALL[needed].materialize(rng);
+            (GateSelectors::constant(c), c)
+        };
+        produced[Category::of(&out) as usize] += 1;
+        gates.push(selectors);
+        w1.push(a);
+        w2.push(b);
+        w3.push(out);
     }
 
     // Build a non-trivial wiring permutation by rotating all slots holding
@@ -198,15 +324,60 @@ mod tests {
     }
 
     #[test]
-    fn sparsity_profile_is_respected() {
+    fn every_profile_variant_is_respected_within_tight_tolerance() {
+        // The old generator only guaranteed `sparsity > 0.6` because the
+        // output column drifted from the profile; the deck-based generator
+        // pins every column. 2/n of slack covers deck rounding plus the
+        // greedy output steering's ±1 lag.
         let mut r = rng();
-        let (_, witness) = mock_circuit(9, SparsityProfile::paper_default(), &mut r);
-        // Expect ≈90% sparse; allow generous slack (w3 of addition gates can
-        // densify: 1+1=2, random+random, etc.).
-        let s = witness.sparsity();
-        assert!(s > 0.6, "sparsity {s} unexpectedly low");
+        for mu in [6usize, 9] {
+            let n = 1usize << mu;
+            let tol = 2.0 / n as f64 + 1e-9;
+            for (name, profile) in SparsityProfile::variants() {
+                let (circuit, witness) = mock_circuit(mu, profile, &mut r);
+                assert!(circuit.check_witness(&witness).is_ok(), "{name}");
+                for (j, col) in witness.columns.iter().enumerate() {
+                    let values = col.evaluations();
+                    let zeros = values.iter().filter(|v| v.is_zero()).count() as f64 / n as f64;
+                    let ones = values.iter().filter(|v| v.is_one()).count() as f64 / n as f64;
+                    assert!(
+                        (zeros - profile.zeros).abs() <= tol,
+                        "{name} mu={mu} col {j}: zero fraction {zeros} vs {}",
+                        profile.zeros
+                    );
+                    assert!(
+                        (ones - profile.ones).abs() <= tol,
+                        "{name} mu={mu} col {j}: one fraction {ones} vs {}",
+                        profile.ones
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_degenerate_profiles() {
+        let mut r = rng();
         let (_, dense_witness) = mock_circuit(9, SparsityProfile::dense(), &mut r);
-        assert!(dense_witness.sparsity() < 0.05);
+        assert!(dense_witness.sparsity() < 1e-9);
+        let (_, zero_witness) = mock_circuit(5, SparsityProfile::all_zero(), &mut r);
+        assert!((zero_witness.sparsity() - 1.0).abs() < 1e-9);
+        let (_, one_witness) = mock_circuit(5, SparsityProfile::all_one(), &mut r);
+        assert!((one_witness.sparsity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sparsity profile")]
+    fn over_full_profile_is_rejected() {
+        let mut r = rng();
+        let _ = mock_circuit(
+            4,
+            SparsityProfile {
+                zeros: 0.8,
+                ones: 0.5,
+            },
+            &mut r,
+        );
     }
 
     #[test]

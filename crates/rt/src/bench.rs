@@ -202,8 +202,10 @@ impl Harness {
 
 /// Resolves the bench-history directory: `ZKSPEED_BENCH_HISTORY` if set
 /// (`off`, `0` or the empty string disable persistence), otherwise the
-/// workspace's `target/bench-history`.
-fn history_dir() -> Option<std::path::PathBuf> {
+/// workspace's `target/bench-history`. Public so bench targets can drop
+/// auxiliary reports (e.g. measured `CircuitStats` JSON) next to the
+/// timing histories CI archives.
+pub fn history_dir() -> Option<std::path::PathBuf> {
     match std::env::var("ZKSPEED_BENCH_HISTORY") {
         Ok(v) => {
             let v = v.trim().to_string();

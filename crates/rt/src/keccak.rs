@@ -7,8 +7,10 @@
 //! paper) to this; here we provide the functional counterpart that the
 //! hardware model's SHA3 invocation counts are validated against.
 
-/// Keccak round constants for the ι step (24 rounds).
-const ROUND_CONSTANTS: [u64; 24] = [
+/// Keccak round constants for the ι step (24 rounds). Public so the
+/// in-circuit Keccak gadget (`zkspeed-hyperplonk`) can constrain the same
+/// constants it is cross-checked against.
+pub const KECCAK_ROUND_CONSTANTS: [u64; 24] = [
     0x0000_0000_0000_0001,
     0x0000_0000_0000_8082,
     0x8000_0000_0000_808a,
@@ -49,7 +51,22 @@ const RHO: [[u32; 5]; 5] = [
 ///
 /// The state is a 5×5 array of 64-bit lanes, indexed `state[x + 5 * y]`.
 pub fn keccak_f1600(state: &mut [u64; 25]) {
-    for &rc in ROUND_CONSTANTS.iter() {
+    keccak_f1600_rounds(state, KECCAK_ROUND_CONSTANTS.len());
+}
+
+/// Applies the first `rounds` rounds of Keccak-f[1600] in place.
+///
+/// `rounds == 24` is the full permutation; smaller counts are the
+/// reduced-round variants the in-circuit Keccak gadget uses to keep test
+/// circuits small while staying bit-compatible with this native
+/// implementation.
+///
+/// # Panics
+///
+/// Panics if `rounds > 24`.
+pub fn keccak_f1600_rounds(state: &mut [u64; 25], rounds: usize) {
+    assert!(rounds <= KECCAK_ROUND_CONSTANTS.len(), "at most 24 rounds");
+    for &rc in KECCAK_ROUND_CONSTANTS[..rounds].iter() {
         // θ step.
         let mut c = [0u64; 5];
         for (x, cx) in c.iter_mut().enumerate() {
@@ -233,6 +250,23 @@ mod tests {
         let mut h = Sha3_256::new();
         h.update(&vec![0u8; SHA3_256_RATE * 3]);
         assert_eq!(h.permutation_count(), 3);
+    }
+
+    #[test]
+    fn reduced_round_variant_matches_full_permutation_at_24() {
+        let mut full = [0u64; 25];
+        full[3] = 0xdead_beef;
+        let mut reduced = full;
+        keccak_f1600(&mut full);
+        keccak_f1600_rounds(&mut reduced, 24);
+        assert_eq!(full, reduced);
+        // Zero rounds is the identity; one round is not.
+        let mut zero = [7u64; 25];
+        keccak_f1600_rounds(&mut zero, 0);
+        assert_eq!(zero, [7u64; 25]);
+        let mut one = [7u64; 25];
+        keccak_f1600_rounds(&mut one, 1);
+        assert_ne!(one, [7u64; 25]);
     }
 
     #[test]

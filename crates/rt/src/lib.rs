@@ -37,7 +37,9 @@ pub mod pool;
 mod rng;
 
 pub use json::{JsonValue, ToJson};
-pub use keccak::{keccak_f1600, Sha3_256, SHA3_256_RATE};
+pub use keccak::{
+    keccak_f1600, keccak_f1600_rounds, Sha3_256, KECCAK_ROUND_CONSTANTS, SHA3_256_RATE,
+};
 pub use rng::{FromRng, Rng, SampleUniform, SeedableRng, StdRng};
 
 /// `rand`-style module alias so call sites can keep the familiar

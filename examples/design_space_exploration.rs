@@ -1,16 +1,51 @@
-//! Run a reduced design-space exploration (the Figure 9 flow) and print the
-//! global Pareto frontier plus the design the paper highlights in Table 5.
+//! Run a reduced design-space exploration (the Figure 9 flow) on a
+//! **measured** workload: build one of the real circuit workloads, extract
+//! its witness statistics with `CircuitStats`, project them to the target
+//! problem size and explore the Table 2 design space — instead of assuming
+//! the paper's 45/45/10 split. Prints the global Pareto frontier plus the
+//! design the paper highlights in Table 5.
 //!
-//! Run with: `cargo run --release --example design_space_exploration [mu]`
+//! Run with:
+//! `cargo run --release --example design_space_exploration [mu] [workload]`
+//! where `workload` is `hash-chain`, `merkle`, `state-transition` or
+//! `standard` (the paper's assumed split).
 
+use zkspeed::prelude::*;
 use zkspeed_core::{explore, pareto_frontier, ChipConfig, DesignSpace, Workload};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let num_vars: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
-    let workload = Workload::standard(num_vars);
+    let which = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "hash-chain".into());
+
+    // Fractions are measured on a small compiled instance (building a
+    // circuit and witness is cheap; no proving happens here) and projected
+    // to the target size.
+    let mut rng = StdRng::seed_from_u64(2);
+    let workload = if which == "standard" {
+        println!("using the paper's assumed 45/45/10 split");
+        Workload::standard(num_vars)
+    } else {
+        let spec = WorkloadSpec::test_suite()
+            .into_iter()
+            .find(|s| s.label() == which)
+            .ok_or_else(|| format!("unknown workload '{which}'"))?;
+        let (circuit, witness) = spec.build(&mut rng);
+        let stats = CircuitStats::measure(&circuit, &witness);
+        println!(
+            "measured {} at 2^{}: {:.1}% zero / {:.1}% one / {:.1}% dense",
+            spec.name(),
+            stats.num_vars,
+            stats.zero_fraction() * 100.0,
+            stats.one_fraction() * 100.0,
+            stats.dense_fraction() * 100.0
+        );
+        measured_workload(&stats)?.with_num_vars(num_vars)
+    };
     println!("exploring the reduced Table 2 design space at 2^{num_vars} gates…");
 
     let space = DesignSpace::reduced();
@@ -44,4 +79,5 @@ fn main() {
         table5.area().total_mm2(),
         sim.total_seconds() * 1e3
     );
+    Ok(())
 }

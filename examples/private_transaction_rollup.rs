@@ -1,41 +1,34 @@
-//! A rollup-flavoured workload: prove a batch of private "transactions",
-//! each checking a balance update, then look at how the protocol steps and
-//! kernels behave — the scenario the paper's Table 3 "Rollup of 10 Pvt Tx"
+//! A rollup workload: prove a batch of private balance transfers with the
+//! state-transition circuit of the workload suite (authorization flags,
+//! range-checked amounts/balances, conservation constraints), then compare
+//! the measured witness statistics against the paper's 45/45/10 assumption
+//! on the zkSpeed chip model — the scenario Table 3's "Rollup of 10 Pvt Tx"
 //! workload represents at scale.
 //!
 //! Run with: `cargo run --release --example private_transaction_rollup`
 
 use zkspeed::prelude::*;
 use zkspeed_core::{ChipConfig, CpuModel, Workload};
-use zkspeed_field::Fr;
+use zkspeed_hyperplonk::workloads::state_transition_circuit;
 use zkspeed_hyperplonk::ProtocolStep;
-use zkspeed_rt::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
 
-    // Each "transaction" proves: new_balance = old_balance - amount, and
-    // amount * flag = amount (flag is 1, i.e. the transaction is authorized).
-    let mut builder = CircuitBuilder::new();
-    let num_tx = 16;
-    for _ in 0..num_tx {
-        let old_balance = builder.input(Fr::from_u64(rng.gen_range(1_000..1_000_000)));
-        let amount = builder.input(Fr::from_u64(rng.gen_range(1..1_000)));
-        let flag = builder.constant(Fr::from_u64(1));
-        let authorized = builder.mul(amount, flag);
-        builder.assert_equal(authorized, amount);
-        let neg_amount = builder.mul_constant(amount, -Fr::from_u64(1));
-        let new_balance = builder.add(old_balance, neg_amount);
-        // Bind the declared new balance to the computed one.
-        let declared = builder.input(builder.value_of(new_balance));
-        builder.assert_equal(declared, new_balance);
-    }
-    let (circuit, witness) = builder.build();
+    let spec = StateTransitionSpec {
+        transfers: 16,
+        balance_bits: 32,
+    };
+    let (circuit, witness) = state_transition_circuit(&spec, &mut rng);
+    let stats = CircuitStats::measure(&circuit, &witness);
     println!(
-        "rollup of {num_tx} transactions -> 2^{} = {} gates, witness sparsity {:.0}%",
-        circuit.num_vars(),
-        circuit.num_gates(),
-        witness.sparsity() * 100.0
+        "rollup of {} transfers -> 2^{} = {} gates, witness split {:.0}% zero / {:.0}% one / {:.0}% dense",
+        spec.transfers,
+        stats.num_vars,
+        stats.num_gates,
+        stats.zero_fraction() * 100.0,
+        stats.one_fraction() * 100.0,
+        stats.dense_fraction() * 100.0
     );
 
     let srs = Srs::try_setup(circuit.num_vars(), &mut rng)?;
@@ -64,14 +57,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // The paper-scale equivalent: a 2^23-gate rollup on the zkSpeed chip.
+    // Paper scale: the same measured witness statistics at 2^23 gates, next
+    // to the paper's assumed split.
     let chip = ChipConfig::table5_design().with_max_num_vars(20);
-    let sim = chip.simulate(&Workload::standard(23));
+    let measured = measured_workload(&stats)?.with_num_vars(23);
+    let assumed = Workload::standard(23);
+    let sim_measured = chip.simulate(&measured);
+    let sim_assumed = chip.simulate(&assumed);
     println!(
-        "\nzkSpeed model for the paper's 2^23 rollup: {:.1} ms (CPU baseline: {:.1} s, speedup {:.0}x)",
-        sim.total_seconds() * 1e3,
+        "\nzkSpeed model for a 2^23 rollup:\n  measured split: {:.1} ms   paper 45/45/10: {:.1} ms   (CPU baseline: {:.1} s, speedup {:.0}x)",
+        sim_measured.total_seconds() * 1e3,
+        sim_assumed.total_seconds() * 1e3,
         CpuModel::total_seconds(23),
-        CpuModel::total_seconds(23) / sim.total_seconds()
+        CpuModel::total_seconds(23) / sim_measured.total_seconds()
     );
     Ok(())
 }

@@ -72,6 +72,42 @@ mod session;
 pub use error::Error;
 pub use session::{ProofSystem, ProverHandle, VerifierHandle};
 
+/// Converts measured circuit statistics ([`hyperplonk::CircuitStats`])
+/// into a hardware-model [`Workload`](model::Workload) with per-column
+/// witness splits, so the chip model and design-space exploration run on
+/// real compiled circuits instead of the paper's assumed 45/45/10 split.
+///
+/// The returned workload keeps the measured circuit's `μ`; project it to
+/// paper scale with [`Workload::with_num_vars`](model::Workload::with_num_vars).
+///
+/// # Errors
+///
+/// Returns a [`model::WorkloadError`] if the measured fractions are
+/// malformed (NaN, negative, or summing past 1) — which for
+/// [`hyperplonk::CircuitStats::measure`] output indicates a bug upstream.
+pub fn measured_workload(
+    stats: &hyperplonk::CircuitStats,
+) -> Result<model::Workload, model::WorkloadError> {
+    let columns = [
+        model::ColumnSplit::new(
+            stats.columns[0].zero_fraction(),
+            stats.columns[0].one_fraction(),
+        )?,
+        model::ColumnSplit::new(
+            stats.columns[1].zero_fraction(),
+            stats.columns[1].one_fraction(),
+        )?,
+        model::ColumnSplit::new(
+            stats.columns[2].zero_fraction(),
+            stats.columns[2].one_fraction(),
+        )?,
+    ];
+    Ok(
+        model::Workload::new(stats.num_vars, stats.zero_fraction(), stats.one_fraction())?
+            .with_columns(columns),
+    )
+}
+
 pub use zkspeed_bench as bench;
 pub use zkspeed_core as model;
 pub use zkspeed_curve as curve;
@@ -86,11 +122,14 @@ pub use zkspeed_transcript as transcript;
 
 /// One-line import for the session API and the types most programs touch.
 pub mod prelude {
-    pub use crate::{Error, ProofSystem, ProverHandle, VerifierHandle};
+    pub use crate::{measured_workload, Error, ProofSystem, ProverHandle, VerifierHandle};
     pub use zkspeed_curve::{MsmConfig, MsmSchedule};
+    pub use zkspeed_hyperplonk::workloads::{
+        HashChainSpec, MerkleSpec, StateTransitionSpec, WorkloadSpec,
+    };
     pub use zkspeed_hyperplonk::{
-        mock_circuit, Circuit, CircuitBuilder, Proof, ProverReport, SparsityProfile, VerifyingKey,
-        Witness,
+        mock_circuit, Circuit, CircuitBuilder, CircuitStats, Proof, ProverReport, SparsityProfile,
+        VerifyingKey, Witness,
     };
     pub use zkspeed_pcs::Srs;
     pub use zkspeed_rt::pool::{Backend, Serial, ThreadPool};

@@ -1,0 +1,92 @@
+//! Proving-service throughput benchmarks (suite `service`, history file
+//! `target/bench-history/service.json`).
+//!
+//! Spins up a [`ProvingService`] over one μ = 14 SRS with the three PR 4
+//! workloads registered as sessions, then measures sustained multi-client
+//! throughput: `serve/<jobs>jobs-<clients>clients` submits interleaved
+//! jobs from concurrent client threads (mixed priorities, all sessions)
+//! and waits for every proof. The final [`ServiceMetrics`] snapshot —
+//! queue depth, wave occupancy, per-session p50/p99 latency, proofs/sec,
+//! MSM rollups — is persisted to `target/bench-history/service-metrics.json`
+//! so CI archives the service's operational profile next to its timings.
+//!
+//! [`ServiceMetrics`]: zkspeed_svc::ServiceMetrics
+
+use std::sync::Arc;
+
+use zkspeed_hyperplonk::workloads::WorkloadSpec;
+use zkspeed_hyperplonk::Witness;
+use zkspeed_pcs::Srs;
+use zkspeed_rt::bench::{history_dir, Harness};
+use zkspeed_rt::rngs::StdRng;
+use zkspeed_rt::{SeedableRng, ToJson};
+use zkspeed_svc::{Priority, ProvingService, ServiceConfig};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let srs = Arc::new(Srs::try_setup(14, &mut rng).expect("μ=14 setup fits"));
+
+    let threads = zkspeed_rt::par::current_threads();
+    let config = ServiceConfig::default()
+        .with_shards(if threads >= 4 { 2 } else { 1 })
+        .with_threads_per_shard((threads / 2).max(1))
+        .with_wave_size(4)
+        .with_queue_capacity(64);
+    let service = Arc::new(ProvingService::start(srs, config));
+
+    let mut sessions: Vec<([u8; 32], Witness)> = Vec::new();
+    for spec in WorkloadSpec::test_suite() {
+        let (circuit, witness) = spec.build(&mut rng);
+        let digest = service
+            .register_circuit(circuit)
+            .expect("workload fits μ=14 SRS");
+        sessions.push((digest, witness));
+    }
+
+    let mut h = Harness::new("service");
+    for (jobs, clients) in [(4usize, 2usize), (8, 4)] {
+        h.bench(format!("serve/{jobs}jobs-{clients}clients"), || {
+            let workers: Vec<_> = (0..clients)
+                .map(|client| {
+                    let service = Arc::clone(&service);
+                    let sessions = sessions.clone();
+                    std::thread::spawn(move || {
+                        let per_client = jobs / clients;
+                        let ids: Vec<u64> = (0..per_client)
+                            .map(|i| {
+                                let (digest, witness) = &sessions[(client + i) % sessions.len()];
+                                let priority = Priority::ALL[(client + i) % 3];
+                                service
+                                    .submit(digest, witness.clone(), priority)
+                                    .expect("parking submit succeeds")
+                            })
+                            .collect();
+                        for id in ids {
+                            service.wait(id).expect("job completes");
+                        }
+                    })
+                })
+                .collect();
+            for worker in workers {
+                worker.join().expect("client thread");
+            }
+        });
+    }
+    h.finish();
+
+    // Persist the operational metrics next to the timing history.
+    let metrics = service.metrics();
+    println!(
+        "service metrics: {} proofs, {:.2} proofs/s, mean wave occupancy {:.2}",
+        metrics.completed, metrics.proofs_per_second, metrics.mean_wave_occupancy
+    );
+    if let Some(dir) = history_dir() {
+        let path = dir.join("service-metrics.json");
+        let written = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, metrics.to_json().pretty().as_bytes()));
+        match written {
+            Ok(()) => println!("service metrics: wrote {}", path.display()),
+            Err(e) => eprintln!("service metrics: could not write {}: {e}", path.display()),
+        }
+    }
+}

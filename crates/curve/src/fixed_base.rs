@@ -1,0 +1,182 @@
+//! Precomputed fixed-base window tables for repeated scalar multiplication
+//! of one base point.
+//!
+//! The universal setup multiplies the *same* generator by `2^{μ+1}` distinct
+//! scalars (one per Lagrange-basis point across every level), and a proving
+//! service re-runs setup on its serving path whenever it provisions a new
+//! SRS. Double-and-add pays ~255 doublings plus ~127 additions per scalar;
+//! with a table of every window digit's multiple precomputed once, each
+//! scalar multiplication collapses to `⌈255/w⌉` mixed additions of table
+//! entries — no doublings at all. At the default `w = 8` that is 32 mixed
+//! additions per scalar, an order-of-magnitude fewer Fq multiplications,
+//! amortizing the one-time table build (~2 · 2^w · ⌈255/w⌉ point ops) after
+//! a few hundred scalars.
+
+use zkspeed_field::Fr;
+
+use crate::g1::{G1Affine, G1Projective};
+
+/// Default window width in bits. 8 bits ⇒ 32 windows of 255 affine entries
+/// each (~8k points, ~800 KB) — small enough to build in milliseconds,
+/// wide enough that each scalar multiplication is 32 mixed additions.
+pub const FIXED_BASE_DEFAULT_WINDOW_BITS: usize = 8;
+
+/// A fixed-base window table: for every `w`-bit window of the scalar, the
+/// affine multiples `d · 2^{w·i} · B` for `d = 1 … 2^w − 1`.
+///
+/// Built once per base point with [`FixedBaseTable::new`], then
+/// [`FixedBaseTable::mul`] computes `s · B` with one mixed addition per
+/// window and zero doublings.
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable {
+    window_bits: usize,
+    /// `windows[i][d - 1] = d · 2^{w·i} · B` (digit 0 contributes nothing
+    /// and is not stored).
+    windows: Vec<Vec<G1Affine>>,
+}
+
+impl FixedBaseTable {
+    /// Precomputes the window table for `base` with `window_bits`-wide
+    /// windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_bits` is 0 or greater than 16 (larger tables cost
+    /// more to build than they could ever save).
+    pub fn new(base: &G1Projective, window_bits: usize) -> Self {
+        assert!(
+            (1..=16).contains(&window_bits),
+            "fixed-base window bits must be in 1..=16"
+        );
+        let digits_per_window = (1usize << window_bits) - 1;
+        let num_windows = (Fr::NUM_BITS as usize).div_ceil(window_bits);
+        // Projective pass: window base B_i = 2^{w·i}·B by repeated doubling,
+        // digit entries by cumulative addition; one shared batch inversion
+        // converts everything to affine at the end.
+        let mut all = Vec::with_capacity(num_windows * digits_per_window);
+        let mut window_base = *base;
+        for _ in 0..num_windows {
+            let mut acc = window_base;
+            for _ in 0..digits_per_window {
+                all.push(acc);
+                acc = acc.add(&window_base);
+            }
+            for _ in 0..window_bits {
+                window_base = window_base.double();
+            }
+        }
+        let affine = G1Projective::batch_to_affine(&all);
+        let windows = affine
+            .chunks(digits_per_window)
+            .map(|chunk| chunk.to_vec())
+            .collect();
+        Self {
+            window_bits,
+            windows,
+        }
+    }
+
+    /// Precomputes the table for the group generator at the default window
+    /// width.
+    pub fn for_generator() -> Self {
+        Self::new(&G1Projective::generator(), FIXED_BASE_DEFAULT_WINDOW_BITS)
+    }
+
+    /// The window width in bits.
+    pub fn window_bits(&self) -> usize {
+        self.window_bits
+    }
+
+    /// Total number of precomputed affine points.
+    pub fn size_in_points(&self) -> usize {
+        self.windows.iter().map(Vec::len).sum()
+    }
+
+    /// Computes `scalar · B` as one table lookup + mixed addition per
+    /// nonzero scalar window.
+    pub fn mul(&self, scalar: &Fr) -> G1Projective {
+        let limbs = scalar.to_canonical_limbs();
+        let mut acc = G1Projective::identity();
+        let w = self.window_bits;
+        for (i, window) in self.windows.iter().enumerate() {
+            let digit = window_digit(&limbs, i * w, w);
+            if digit != 0 {
+                acc = acc.add_mixed(&window[digit - 1]);
+            }
+        }
+        acc
+    }
+}
+
+/// Extracts the `width`-bit window starting at bit `lo` from little-endian
+/// 64-bit limbs (bits beyond the scalar length read as zero).
+fn window_digit(limbs: &[u64], lo: usize, width: usize) -> usize {
+    let word = lo / 64;
+    let shift = lo % 64;
+    if word >= limbs.len() {
+        return 0;
+    }
+    let mut bits = limbs[word] >> shift;
+    if shift + width > 64 && word + 1 < limbs.len() {
+        bits |= limbs[word + 1] << (64 - shift);
+    }
+    (bits as usize) & ((1usize << width) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkspeed_rt::rngs::StdRng;
+    use zkspeed_rt::{Rng, SeedableRng};
+
+    #[test]
+    fn table_matches_double_and_add() {
+        let mut rng = StdRng::seed_from_u64(0xf1_5ed);
+        let base = G1Projective::random(&mut rng);
+        for window_bits in [1usize, 3, 8, 13] {
+            let table = FixedBaseTable::new(&base, window_bits);
+            assert_eq!(table.window_bits(), window_bits);
+            for _ in 0..8 {
+                let s = Fr::random(&mut rng);
+                assert_eq!(table.mul(&s), base.mul_scalar(&s), "w = {window_bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_handles_edge_scalars() {
+        let table = FixedBaseTable::for_generator();
+        let g = G1Projective::generator();
+        assert_eq!(table.mul(&Fr::zero()), G1Projective::identity());
+        assert_eq!(table.mul(&Fr::one()), g);
+        let minus_one = -Fr::one();
+        assert_eq!(table.mul(&minus_one), g.mul_scalar(&minus_one));
+        // All-ones-per-window digits.
+        let x = Fr::from_u64(u64::MAX);
+        assert_eq!(table.mul(&x), g.mul_scalar(&x));
+    }
+
+    #[test]
+    fn table_shape() {
+        let table = FixedBaseTable::for_generator();
+        let w = FIXED_BASE_DEFAULT_WINDOW_BITS;
+        let windows = (Fr::NUM_BITS as usize).div_ceil(w);
+        assert_eq!(table.size_in_points(), windows * ((1 << w) - 1));
+        // Every stored point is on the curve (batch conversion preserved
+        // validity).
+        let mut rng = StdRng::seed_from_u64(9);
+        let i = rng.gen_range(0..table.windows.len());
+        for p in &table.windows[i] {
+            assert!(p.to_projective().is_on_curve());
+        }
+    }
+
+    #[test]
+    fn window_digit_straddles_limbs() {
+        let limbs = [u64::MAX, 0b1011, 0, 0];
+        // 8-bit window starting at bit 60: low 4 bits from limb 0 (all
+        // ones), high 4 bits from limb 1 (0b1011).
+        assert_eq!(window_digit(&limbs, 60, 8), 0b1011_1111);
+        assert_eq!(window_digit(&limbs, 256, 8), 0);
+    }
+}

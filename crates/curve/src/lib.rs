@@ -38,9 +38,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fixed_base;
 mod g1;
 mod msm;
 
+pub use fixed_base::{FixedBaseTable, FIXED_BASE_DEFAULT_WINDOW_BITS};
 pub use g1::{
     G1Affine, G1Projective, BATCH_AFFINE_ADD_FQ_MULS, G1_ENCODED_BYTES, PADD_FQ_MULS,
     PADD_MIXED_FQ_MULS, PDBL_FQ_MULS,

@@ -207,6 +207,29 @@ pub fn prove_batch_msm_on(
     backend: &Arc<dyn Backend>,
     msm: MsmConfig,
 ) -> Result<Vec<Proof>, ProveError> {
+    Ok(
+        prove_batch_with_reports_msm_on(pk, witnesses, backend, msm)?
+            .into_iter()
+            .map(|(proof, _)| proof)
+            .collect(),
+    )
+}
+
+/// [`prove_batch_msm_on`], additionally returning each proof's per-step
+/// measurements — the proving service merges the reports' MSM statistics
+/// into its metrics rollups. Proofs are bit-identical to the report-free
+/// variant.
+///
+/// # Errors
+///
+/// Returns [`ProveError::UnsatisfiedWitness`] for the first invalid witness
+/// (no proving work is started in that case).
+pub fn prove_batch_with_reports_msm_on(
+    pk: &ProvingKey,
+    witnesses: &[Witness],
+    backend: &Arc<dyn Backend>,
+    msm: MsmConfig,
+) -> Result<Vec<(Proof, ProverReport)>, ProveError> {
     for witness in witnesses {
         pk.circuit
             .check_witness(witness)
@@ -215,7 +238,7 @@ pub fn prove_batch_msm_on(
     if witnesses.len() <= 1 || backend.threads() == 1 {
         return Ok(witnesses
             .iter()
-            .map(|w| prove_unchecked_msm_on(pk, w, backend, msm).0)
+            .map(|w| prove_unchecked_msm_on(pk, w, backend, msm))
             .collect());
     }
     // One job per proof; each job still hands its inner MSM / SumCheck work
@@ -227,14 +250,14 @@ pub fn prove_batch_msm_on(
     let inner = Arc::clone(backend);
     let proofs = pool::map_indices_on(&**backend, witnesses.len(), move |i| {
         zkspeed_field::measure_modmuls(|| {
-            prove_unchecked_msm_on(&job_pk, &job_witnesses[i], &inner, msm).0
+            prove_unchecked_msm_on(&job_pk, &job_witnesses[i], &inner, msm)
         })
     });
     Ok(proofs
         .into_iter()
-        .map(|(proof, muls)| {
+        .map(|(proved, muls)| {
             zkspeed_field::add_modmul_count(muls);
-            proof
+            proved
         })
         .collect())
 }

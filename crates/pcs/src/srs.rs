@@ -23,7 +23,7 @@
 use core::fmt;
 use std::sync::Arc;
 
-use zkspeed_curve::{G1Affine, G1Projective};
+use zkspeed_curve::{FixedBaseTable, G1Affine, G1Projective};
 use zkspeed_field::Fr;
 use zkspeed_poly::MultilinearPoly;
 use zkspeed_rt::codec::{self, DecodeError, Reader};
@@ -31,7 +31,7 @@ use zkspeed_rt::pool::{self, Backend};
 use zkspeed_rt::Rng;
 
 /// Artifact kind tag of an encoded [`Srs`] (see [`zkspeed_rt::codec`]).
-pub const KIND_SRS: u8 = 3;
+pub const KIND_SRS: u8 = codec::Kind::Srs as u8;
 
 /// The largest `num_vars` a setup will accept: `2^{MAX_NUM_VARS+1}` G1
 /// points must fit in memory, and the paper-scale sizes beyond this are
@@ -193,16 +193,22 @@ impl Srs {
             });
         }
         let g = G1Affine::generator();
-        let g_proj = G1Projective::generator();
+        // One fixed-base window table of the generator serves every basis
+        // point of every level: each of the 2^{μ+1} scalar multiplications
+        // becomes ⌈255/w⌉ table lookups + mixed additions instead of a full
+        // double-and-add ladder (the dominant cost of setup).
+        let (table, table_muls) =
+            zkspeed_field::measure_modmuls(|| Arc::new(FixedBaseTable::for_generator()));
+        zkspeed_field::add_modmul_count(table_muls);
         let mut lagrange_bases = Vec::with_capacity(num_vars + 1);
         for k in 0..=num_vars {
             let suffix = &tau[k..];
             let eq = MultilinearPoly::eq_mle_on(suffix, backend);
             let scalars = eq.shared_evaluations();
+            let table = Arc::clone(&table);
             let chunks = pool::map_ranges(backend, scalars.len(), MIN_CHUNK, move |range| {
                 zkspeed_field::measure_modmuls(|| {
-                    let points: Vec<G1Projective> =
-                        range.map(|i| g_proj.mul_scalar(&scalars[i])).collect();
+                    let points: Vec<G1Projective> = range.map(|i| table.mul(&scalars[i])).collect();
                     G1Projective::batch_to_affine(&points)
                 })
             });

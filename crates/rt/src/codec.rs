@@ -26,6 +26,79 @@ pub const MAGIC: [u8; 4] = *b"zksp";
 /// The current encoding version.
 pub const VERSION: u16 = 1;
 
+/// The registry of artifact kind tags (byte 6 of the canonical header).
+///
+/// Each serializable type picks one tag; the decoder checks it via
+/// [`Reader::header`], so a proof blob can never be misread as a witness.
+/// Payload encodings live next to the types they serialize; this enum is
+/// the single place a new artifact claims its tag.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Kind {
+    /// A HyperPlonk proof (`zkspeed-hyperplonk`).
+    Proof = 1,
+    /// A verifying key (`zkspeed-hyperplonk`).
+    VerifyingKey = 2,
+    /// A universal setup (`zkspeed-pcs`).
+    Srs = 3,
+    /// A compiled circuit: selector tables + wiring permutation
+    /// (`zkspeed-hyperplonk`).
+    Circuit = 4,
+    /// A witness assignment: the three execution-trace columns
+    /// (`zkspeed-hyperplonk`).
+    Witness = 5,
+    /// A proving-service request message (`zkspeed-svc`).
+    Request = 6,
+    /// A proving-service response message (`zkspeed-svc`).
+    Response = 7,
+}
+
+impl Kind {
+    /// Every registered kind, in tag order (used by corruption sweeps that
+    /// must cover the whole registry).
+    pub const ALL: [Kind; 7] = [
+        Kind::Proof,
+        Kind::VerifyingKey,
+        Kind::Srs,
+        Kind::Circuit,
+        Kind::Witness,
+        Kind::Request,
+        Kind::Response,
+    ];
+
+    /// Looks a tag byte up in the registry.
+    pub fn from_u8(tag: u8) -> Option<Kind> {
+        Kind::ALL.into_iter().find(|k| *k as u8 == tag)
+    }
+}
+
+/// Upper bound on one wire-protocol frame. Large enough for a μ = 20
+/// circuit submission (hundreds of MB), small enough that a corrupt length
+/// prefix cannot request an absurd allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// Appends one wire frame: a little-endian `u32` payload length followed by
+/// the payload bytes (which carry their own canonical artifact header).
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_FRAME_LEN`].
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "frame payload exceeds MAX_FRAME_LEN"
+    );
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Builds a single-frame byte string (see [`write_frame`]).
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    write_frame(&mut out, payload);
+    out
+}
+
 /// Why a byte string failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DecodeError {
@@ -221,6 +294,22 @@ impl<'a> Reader<'a> {
         Ok(())
     }
 
+    /// Reads one wire frame (see [`write_frame`]): a `u32` length prefix
+    /// followed by that many payload bytes. The length is bounds-checked
+    /// against both the remaining input and [`MAX_FRAME_LEN`] before any
+    /// allocation or copy can happen.
+    pub fn frame(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME_LEN || len > self.remaining() {
+            return Err(DecodeError::InvalidLength {
+                what: "wire frame",
+                expected: self.remaining().min(MAX_FRAME_LEN),
+                found: len,
+            });
+        }
+        self.take(len)
+    }
+
     /// Asserts that the whole input has been consumed.
     pub fn finish(&self) -> Result<(), DecodeError> {
         if self.remaining() != 0 {
@@ -325,6 +414,57 @@ mod tests {
         let _ = r.u8().unwrap();
         assert_eq!(r.finish(), Err(DecodeError::TrailingBytes { count: 2 }));
         assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    fn kind_registry_is_consistent() {
+        for kind in Kind::ALL {
+            assert_eq!(Kind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(Kind::from_u8(0), None);
+        assert_eq!(Kind::from_u8(0xff), None);
+        // Tags are unique.
+        for (i, a) in Kind::ALL.iter().enumerate() {
+            for b in &Kind::ALL[i + 1..] {
+                assert_ne!(*a as u8, *b as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_bad_lengths() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"hello");
+        write_frame(&mut out, b"");
+        write_frame(&mut out, b"world!");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.frame().unwrap(), b"hello");
+        assert_eq!(r.frame().unwrap(), b"");
+        assert_eq!(r.frame().unwrap(), b"world!");
+        r.finish().unwrap();
+
+        // A length prefix pointing past the end of input fails fast.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&100u32.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 10]);
+        assert!(matches!(
+            Reader::new(&bad).frame(),
+            Err(DecodeError::InvalidLength {
+                what: "wire frame",
+                ..
+            })
+        ));
+
+        // An absurd length fails even before the remaining-bytes check.
+        let mut absurd = Vec::new();
+        absurd.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Reader::new(&absurd).frame().is_err());
+
+        // Truncated length prefix.
+        assert!(matches!(
+            Reader::new(&[1u8, 0]).frame(),
+            Err(DecodeError::UnexpectedEnd { .. })
+        ));
     }
 
     #[test]

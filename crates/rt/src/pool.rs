@@ -23,13 +23,40 @@
 //! (batch proving fans out proofs whose MSMs fan out windows) without
 //! deadlocking: every waiting thread is either running a job or parked with
 //! an empty queue.
+//!
+//! Nested submissions are scheduled depth-first: jobs pushed from *inside*
+//! a pool job go to the **front** of the queue, top-level submissions to
+//! the back. Without this, a running wave's inner fan-out (scheduler wave →
+//! prove → MSM chunks) would queue behind every prove job submitted after
+//! it, so one deep wave could stall arbitrarily long behind a steady stream
+//! of fresh top-level work. Depth-first ordering bounds the wait at "the
+//! jobs already running", and since waiting threads drain the queue
+//! themselves, top-level throughput is unaffected.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+thread_local! {
+    /// Whether the current thread is inside a pool job; nested `execute`
+    /// calls detect this and push their jobs to the queue front so inner
+    /// fan-out cannot starve behind later top-level submissions.
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs one queued job with the thread-local nesting flag set. The queued
+/// wrappers capture panics themselves, so the flag is always restored.
+fn run_job(job: Job) {
+    IN_POOL_JOB.with(|flag| {
+        let prev = flag.replace(true);
+        job();
+        flag.set(prev);
+    });
+}
 
 /// A unit of work submitted to a [`Backend`].
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -166,7 +193,7 @@ fn worker_loop(shared: &PoolShared) {
     loop {
         if let Some(job) = state.queue.pop_front() {
             drop(state);
-            job();
+            run_job(job);
             state = shared.state.lock().expect("pool lock poisoned");
         } else if state.shutdown {
             return;
@@ -201,11 +228,12 @@ impl Backend for ThreadPool {
             done: Condvar::new(),
             panic: Mutex::new(None),
         });
+        let nested = IN_POOL_JOB.with(Cell::get);
         {
             let mut state = self.shared.state.lock().expect("pool lock poisoned");
-            for job in jobs {
+            let wrapped = jobs.into_iter().map(|job| {
                 let group = Arc::clone(&group);
-                state.queue.push_back(Box::new(move || {
+                Box::new(move || {
                     // Capture panics so a crashing job cannot strand the
                     // submitting thread; the panic resumes there instead.
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
@@ -216,14 +244,24 @@ impl Backend for ThreadPool {
                     if *remaining == 0 {
                         group.done.notify_all();
                     }
-                }));
+                }) as Job
+            });
+            if nested {
+                // Depth-first: inner fan-out jumps ahead of queued top-level
+                // work (reversed so the front preserves submission order).
+                let wrapped: Vec<Job> = wrapped.collect();
+                for job in wrapped.into_iter().rev() {
+                    state.queue.push_front(job);
+                }
+            } else {
+                state.queue.extend(wrapped);
             }
             self.shared.work_ready.notify_all();
         }
         // Help drain the queue instead of blocking immediately — this is
         // what makes nested `execute` calls from inside jobs safe.
         while let Some(job) = self.pop_job() {
-            job();
+            run_job(job);
         }
         let mut remaining = group.remaining.lock().expect("pool lock poisoned");
         while *remaining > 0 {
@@ -460,6 +498,51 @@ mod tests {
             .collect();
         pool.execute(jobs);
         assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn nested_jobs_jump_ahead_of_queued_top_level_work() {
+        // Regression test for the depth-first nesting discipline: a job's
+        // inner fan-out must not wait for the dozens of top-level jobs that
+        // were already queued behind it. We submit [nest, 60 fillers] in one
+        // wave; `nest` fans out four inner jobs. With front-of-queue nested
+        // scheduling the inner jobs all run before the queue's filler
+        // backlog drains; with FIFO scheduling they would run dead last.
+        let pool = Arc::new(ThreadPool::new(2));
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let mut jobs: Vec<Job> = Vec::new();
+        {
+            let pool = Arc::clone(&pool);
+            let order = Arc::clone(&order);
+            jobs.push(Box::new(move || {
+                let inner: Vec<Job> = (0..4)
+                    .map(|_| {
+                        let order = Arc::clone(&order);
+                        Box::new(move || order.lock().unwrap().push("nested")) as Job
+                    })
+                    .collect();
+                pool.execute(inner);
+            }));
+        }
+        for _ in 0..60 {
+            let order = Arc::clone(&order);
+            jobs.push(Box::new(move || {
+                order.lock().unwrap().push("filler");
+                // Keep fillers slow enough that the backlog outlives the
+                // nested wave.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }));
+        }
+        pool.execute(jobs);
+        let order = order.lock().unwrap();
+        let last_nested = order.iter().rposition(|s| *s == "nested").unwrap();
+        let last_filler = order.iter().rposition(|s| *s == "filler").unwrap();
+        assert_eq!(order.iter().filter(|s| **s == "nested").count(), 4);
+        assert!(
+            last_nested < last_filler,
+            "nested wave finished at position {last_nested}, after the \
+             filler backlog ({last_filler})"
+        );
     }
 
     #[test]

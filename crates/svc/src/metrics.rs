@@ -1,0 +1,449 @@
+//! Service observability: counters, queue gauges, wave occupancy,
+//! per-session latency percentiles and MSM-statistics rollups, snapshotted
+//! into a [`ServiceMetrics`] document that renders via [`ToJson`].
+//!
+//! The live side ([`MetricsRecorder`]) is cheap on the serving path —
+//! atomics for counters, one short-held mutex for latency samples and MSM
+//! rollups. Percentiles are computed at snapshot time, not on the hot path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use zkspeed_curve::MsmStats;
+use zkspeed_hyperplonk::ProverReport;
+use zkspeed_rt::{JsonValue, ToJson};
+
+/// Per-session latency samples (submit → proof ready), in milliseconds.
+/// Bounded so a long-running service cannot grow without limit; once full,
+/// new samples overwrite the oldest (a sliding window).
+const MAX_LATENCY_SAMPLES: usize = 4096;
+
+#[derive(Default)]
+struct SessionSamples {
+    samples: Vec<f64>,
+    next: usize,
+    total: u64,
+}
+
+impl SessionSamples {
+    fn record(&mut self, ms: f64) {
+        self.total += 1;
+        if self.samples.len() < MAX_LATENCY_SAMPLES {
+            self.samples.push(ms);
+        } else {
+            self.samples[self.next] = ms;
+            self.next = (self.next + 1) % MAX_LATENCY_SAMPLES;
+        }
+    }
+}
+
+/// Rolled-up MSM operation counts across every proof the service produced.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MsmRollup {
+    /// Sparse witness-commit scalars that were zero (skipped).
+    pub witness_zeros: u64,
+    /// Sparse witness-commit scalars that were one (tree-added).
+    pub witness_ones: u64,
+    /// Sparse witness-commit scalars that were dense (Pippenger).
+    pub witness_dense: u64,
+    /// Witness-commit MSM operation counts.
+    pub witness: MsmStats,
+    /// Wiring-identity (φ/π commit) MSM operation counts.
+    pub wiring: MsmStats,
+    /// Polynomial-opening MSM operation counts.
+    pub opening: MsmStats,
+}
+
+impl MsmRollup {
+    fn merge_report(&mut self, report: &ProverReport) {
+        self.witness_zeros += report.witness_msm.zeros as u64;
+        self.witness_ones += report.witness_msm.ones as u64;
+        self.witness_dense += report.witness_msm.dense as u64;
+        self.witness.merge(&report.witness_msm.ops);
+        self.wiring.merge(&report.wiring_msm);
+        self.opening.merge(&report.opening_msm);
+    }
+
+    /// Total Fq multiplications across all rolled-up MSMs.
+    pub fn fq_muls(&self) -> u64 {
+        self.witness.fq_muls() + self.wiring.fq_muls() + self.opening.fq_muls()
+    }
+}
+
+/// The live recorder owned by the service.
+pub(crate) struct MetricsRecorder {
+    started: Instant,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected_queue_full: AtomicU64,
+    pub(crate) rejected_invalid: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    waves: AtomicU64,
+    wave_jobs: AtomicU64,
+    max_wave: AtomicU64,
+    rollup: Mutex<MsmRollup>,
+    latencies: Mutex<HashMap<[u8; 32], SessionSamples>>,
+}
+
+impl MetricsRecorder {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            waves: AtomicU64::new(0),
+            wave_jobs: AtomicU64::new(0),
+            max_wave: AtomicU64::new(0),
+            rollup: Mutex::new(MsmRollup::default()),
+            latencies: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn record_wave(&self, jobs: usize) {
+        self.waves.fetch_add(1, Ordering::Relaxed);
+        self.wave_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
+        self.max_wave.fetch_max(jobs as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completion(
+        &self,
+        session: [u8; 32],
+        latency_ms: f64,
+        report: &ProverReport,
+    ) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.rollup
+            .lock()
+            .expect("metrics lock poisoned")
+            .merge_report(report);
+        self.latencies
+            .lock()
+            .expect("metrics lock poisoned")
+            .entry(session)
+            .or_default()
+            .record(latency_ms);
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        queue_depths: [usize; 3],
+        peak_queue_depth: usize,
+        queue_capacity: usize,
+        sessions_registered: usize,
+    ) -> ServiceMetrics {
+        let waves = self.waves.load(Ordering::Relaxed);
+        let wave_jobs = self.wave_jobs.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed().as_secs_f64();
+        let sessions = {
+            let latencies = self.latencies.lock().expect("metrics lock poisoned");
+            let mut sessions: Vec<SessionMetrics> = latencies
+                .iter()
+                .map(|(digest, samples)| {
+                    let mut sorted = samples.samples.clone();
+                    sorted.sort_by(|a, b| a.total_cmp(b));
+                    SessionMetrics {
+                        digest: *digest,
+                        jobs_completed: samples.total,
+                        p50_ms: percentile(&sorted, 0.50),
+                        p99_ms: percentile(&sorted, 0.99),
+                        max_ms: sorted.last().copied().unwrap_or(0.0),
+                    }
+                })
+                .collect();
+            sessions.sort_by_key(|s| s.digest);
+            sessions
+        };
+        ServiceMetrics {
+            uptime_seconds: uptime,
+            sessions_registered,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depths,
+            peak_queue_depth,
+            queue_capacity,
+            waves,
+            mean_wave_occupancy: if waves == 0 {
+                0.0
+            } else {
+                wave_jobs as f64 / waves as f64
+            },
+            max_wave_occupancy: self.max_wave.load(Ordering::Relaxed) as usize,
+            proofs_per_second: if uptime > 0.0 {
+                completed as f64 / uptime
+            } else {
+                0.0
+            },
+            msm: *self.rollup.lock().expect("metrics lock poisoned"),
+            sessions,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample list.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Latency summary of one session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionMetrics {
+    /// The session's circuit digest.
+    pub digest: [u8; 32],
+    /// Proofs completed for this session (lifetime, not window-bounded).
+    pub jobs_completed: u64,
+    /// Median submit→proof latency over the sliding sample window (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile latency over the window (ms).
+    pub p99_ms: f64,
+    /// Worst latency in the window (ms).
+    pub max_ms: f64,
+}
+
+/// A point-in-time service metrics snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceMetrics {
+    /// Seconds since the service started.
+    pub uptime_seconds: f64,
+    /// Number of registered sessions (circuits).
+    pub sessions_registered: usize,
+    /// Jobs accepted into the queue (lifetime).
+    pub submitted: u64,
+    /// Jobs bounced by backpressure (queue at capacity).
+    pub rejected_queue_full: u64,
+    /// Submissions rejected for structural reasons (unknown circuit, shape
+    /// mismatch, malformed bytes).
+    pub rejected_invalid: u64,
+    /// Proofs produced.
+    pub completed: u64,
+    /// Jobs whose witness failed the circuit at proving time.
+    pub failed: u64,
+    /// Current queue depth per priority class (high, normal, low), summed
+    /// over shards.
+    pub queue_depths: [usize; 3],
+    /// The deepest any single shard queue has ever been (shard peaks are
+    /// reached at different times, so summing them would report a backlog
+    /// the service never actually had).
+    pub peak_queue_depth: usize,
+    /// Total queue capacity across shards.
+    pub queue_capacity: usize,
+    /// `prove_batch` waves executed.
+    pub waves: u64,
+    /// Mean jobs per wave (the batching win over one-job-at-a-time).
+    pub mean_wave_occupancy: f64,
+    /// Largest wave executed.
+    pub max_wave_occupancy: usize,
+    /// Completed proofs divided by uptime.
+    pub proofs_per_second: f64,
+    /// MSM operation rollups across every proof.
+    pub msm: MsmRollup,
+    /// Per-session latency summaries, ordered by digest.
+    pub sessions: Vec<SessionMetrics>,
+}
+
+fn msm_stats_json(stats: &MsmStats) -> JsonValue {
+    JsonValue::Object(vec![
+        ("total_adds".into(), JsonValue::UInt(stats.total_adds())),
+        ("doublings".into(), JsonValue::UInt(stats.doublings)),
+        (
+            "batch_inversions".into(),
+            JsonValue::UInt(stats.batch_inversions),
+        ),
+        ("fq_muls".into(), JsonValue::UInt(stats.fq_muls())),
+    ])
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+impl ToJson for ServiceMetrics {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "uptime_seconds".into(),
+                JsonValue::Float(self.uptime_seconds),
+            ),
+            (
+                "sessions_registered".into(),
+                JsonValue::UInt(self.sessions_registered as u64),
+            ),
+            (
+                "jobs".into(),
+                JsonValue::Object(vec![
+                    ("submitted".into(), JsonValue::UInt(self.submitted)),
+                    (
+                        "rejected_queue_full".into(),
+                        JsonValue::UInt(self.rejected_queue_full),
+                    ),
+                    (
+                        "rejected_invalid".into(),
+                        JsonValue::UInt(self.rejected_invalid),
+                    ),
+                    ("completed".into(), JsonValue::UInt(self.completed)),
+                    ("failed".into(), JsonValue::UInt(self.failed)),
+                ]),
+            ),
+            (
+                "queue".into(),
+                JsonValue::Object(vec![
+                    (
+                        "depth_high".into(),
+                        JsonValue::UInt(self.queue_depths[0] as u64),
+                    ),
+                    (
+                        "depth_normal".into(),
+                        JsonValue::UInt(self.queue_depths[1] as u64),
+                    ),
+                    (
+                        "depth_low".into(),
+                        JsonValue::UInt(self.queue_depths[2] as u64),
+                    ),
+                    (
+                        "peak_depth".into(),
+                        JsonValue::UInt(self.peak_queue_depth as u64),
+                    ),
+                    (
+                        "capacity".into(),
+                        JsonValue::UInt(self.queue_capacity as u64),
+                    ),
+                ]),
+            ),
+            (
+                "waves".into(),
+                JsonValue::Object(vec![
+                    ("count".into(), JsonValue::UInt(self.waves)),
+                    (
+                        "mean_occupancy".into(),
+                        JsonValue::Float(self.mean_wave_occupancy),
+                    ),
+                    (
+                        "max_occupancy".into(),
+                        JsonValue::UInt(self.max_wave_occupancy as u64),
+                    ),
+                ]),
+            ),
+            (
+                "proofs_per_second".into(),
+                JsonValue::Float(self.proofs_per_second),
+            ),
+            (
+                "msm".into(),
+                JsonValue::Object(vec![
+                    (
+                        "witness_scalars".into(),
+                        JsonValue::Object(vec![
+                            ("zeros".into(), JsonValue::UInt(self.msm.witness_zeros)),
+                            ("ones".into(), JsonValue::UInt(self.msm.witness_ones)),
+                            ("dense".into(), JsonValue::UInt(self.msm.witness_dense)),
+                        ]),
+                    ),
+                    ("witness".into(), msm_stats_json(&self.msm.witness)),
+                    ("wiring".into(), msm_stats_json(&self.msm.wiring)),
+                    ("opening".into(), msm_stats_json(&self.msm.opening)),
+                    ("fq_muls_total".into(), JsonValue::UInt(self.msm.fq_muls())),
+                ]),
+            ),
+            (
+                "sessions".into(),
+                JsonValue::Array(
+                    self.sessions
+                        .iter()
+                        .map(|s| {
+                            JsonValue::Object(vec![
+                                ("digest".into(), JsonValue::Str(hex(&s.digest[..8]))),
+                                ("jobs_completed".into(), JsonValue::UInt(s.jobs_completed)),
+                                ("p50_ms".into(), JsonValue::Float(s.p50_ms)),
+                                ("p99_ms".into(), JsonValue::Float(s.p99_ms)),
+                                ("max_ms".into(), JsonValue::Float(s.max_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn recorder_rolls_up_and_snapshots() {
+        let rec = MetricsRecorder::new();
+        rec.submitted.fetch_add(3, Ordering::Relaxed);
+        rec.record_wave(2);
+        rec.record_wave(1);
+        let mut report = ProverReport::default();
+        report.witness_msm.zeros = 10;
+        report.witness_msm.ones = 5;
+        report.wiring_msm.bucket_adds = 7;
+        rec.record_completion([1u8; 32], 12.0, &report);
+        rec.record_completion([1u8; 32], 18.0, &report);
+        rec.record_completion([2u8; 32], 40.0, &report);
+
+        let snap = rec.snapshot([1, 0, 0], 4, 64, 2);
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.waves, 2);
+        assert!((snap.mean_wave_occupancy - 1.5).abs() < 1e-9);
+        assert_eq!(snap.max_wave_occupancy, 2);
+        assert_eq!(snap.msm.witness_zeros, 30);
+        assert_eq!(snap.msm.witness_ones, 15);
+        assert_eq!(snap.msm.wiring.bucket_adds, 21);
+        assert_eq!(snap.sessions.len(), 2);
+        assert_eq!(snap.sessions[0].digest, [1u8; 32]);
+        assert_eq!(snap.sessions[0].jobs_completed, 2);
+        assert_eq!(snap.sessions[0].p50_ms, 12.0);
+        assert_eq!(snap.sessions[0].p99_ms, 18.0);
+
+        // The JSON document renders with the expected top-level keys.
+        let json = snap.to_json().render();
+        for key in [
+            "uptime_seconds",
+            "jobs",
+            "queue",
+            "waves",
+            "proofs_per_second",
+            "msm",
+            "sessions",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let mut samples = SessionSamples::default();
+        for i in 0..(MAX_LATENCY_SAMPLES + 100) {
+            samples.record(i as f64);
+        }
+        assert_eq!(samples.samples.len(), MAX_LATENCY_SAMPLES);
+        assert_eq!(samples.total, (MAX_LATENCY_SAMPLES + 100) as u64);
+        // The oldest samples were overwritten.
+        assert!(samples.samples.contains(&(MAX_LATENCY_SAMPLES as f64)));
+        assert!(!samples.samples.contains(&5.0));
+    }
+}

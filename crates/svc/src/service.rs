@@ -1,0 +1,739 @@
+//! The long-running proving service: session registry, shard workers, job
+//! lifecycle and the in-process wire endpoint.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ──frames──▶ ProvingService
+//!                        │ register: Circuit bytes ─▶ preprocess ─▶ Session (pk/vk, Arc-shared)
+//!                        │ submit:   Witness bytes ─▶ shard queue (bounded, priority, aging)
+//!                        ▼
+//!               shard 0 worker ─ pop_wave ─▶ prove_batch ─▶ proofs (canonical bytes)
+//!               shard 1 worker ─ pop_wave ─▶ prove_batch ─▶ ...
+//! ```
+//!
+//! Each **shard** owns a bounded [`JobQueue`], one worker thread and a
+//! dedicated execution [`Backend`] pool, so independent sessions assigned
+//! to different shards prove on disjoint workers. Sessions are assigned to
+//! shards round-robin at registration. Within a shard, the worker pops
+//! *waves* — up to `wave_size` queued jobs of one session and priority
+//! class — and proves them through
+//! [`prove_batch_with_reports_msm_on`], which fans the independent proofs
+//! out across the shard's pool. Proofs are canonical bytes; identical
+//! (circuit, witness) submissions produce byte-identical proofs regardless
+//! of queue order, priority or wave packing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use zkspeed_curve::MsmConfig;
+use zkspeed_hyperplonk::{
+    prove_batch_with_reports_msm_on, try_preprocess_on, Circuit, PreprocessError, ProvingKey,
+    VerifyingKey, Witness,
+};
+use zkspeed_pcs::Srs;
+use zkspeed_rt::codec::{DecodeError, Reader};
+use zkspeed_rt::pool::{backend_with_threads, Backend};
+use zkspeed_rt::ToJson;
+
+use crate::metrics::{MetricsRecorder, ServiceMetrics};
+use crate::queue::{JobQueue, QueuedJob};
+use crate::wire::{JobState, Priority, RejectCode, Request, Response};
+
+/// Tuning knobs of a [`ProvingService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of scheduler shards (each with its own queue, worker thread
+    /// and backend pool).
+    pub shards: usize,
+    /// Pool threads per shard backend (1 = serial proving per shard).
+    pub threads_per_shard: usize,
+    /// Queue capacity per shard; a full queue rejects (`try_submit`) or
+    /// parks (`submit`) producers.
+    pub queue_capacity: usize,
+    /// Maximum jobs packed into one `prove_batch` wave.
+    pub wave_size: usize,
+    /// Pops a starving class waits before it is force-served (see
+    /// [`JobQueue`]).
+    pub starvation_limit: u64,
+    /// MSM engine configuration used by every session's prover.
+    pub msm_config: MsmConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let threads = zkspeed_rt::par::current_threads();
+        let shards = if threads >= 4 { 2 } else { 1 };
+        Self {
+            shards,
+            threads_per_shard: (threads / shards).max(1),
+            queue_capacity: 64,
+            wave_size: 4,
+            starvation_limit: 4,
+            msm_config: MsmConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Overrides the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Overrides the per-shard backend pool width.
+    pub fn with_threads_per_shard(mut self, threads: usize) -> Self {
+        self.threads_per_shard = threads.max(1);
+        self
+    }
+
+    /// Overrides the per-shard queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the wave size.
+    pub fn with_wave_size(mut self, wave_size: usize) -> Self {
+        self.wave_size = wave_size.max(1);
+        self
+    }
+
+    /// Overrides the anti-starvation limit.
+    pub fn with_starvation_limit(mut self, limit: u64) -> Self {
+        self.starvation_limit = limit;
+        self
+    }
+
+    /// Overrides the MSM engine configuration.
+    pub fn with_msm_config(mut self, msm_config: MsmConfig) -> Self {
+        self.msm_config = msm_config;
+        self
+    }
+}
+
+/// Everything that can go wrong talking to the service in-process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The queue is at capacity (backpressure); retry or use the parking
+    /// submit.
+    QueueFull,
+    /// No session is registered under the given digest.
+    UnknownCircuit,
+    /// No job exists under the given id.
+    UnknownJob,
+    /// The witness shape does not match the session's circuit.
+    WitnessMismatch {
+        /// The circuit's `μ`.
+        expected: usize,
+        /// The witness's `μ`.
+        found: usize,
+    },
+    /// A submitted artifact failed to decode.
+    Decode(DecodeError),
+    /// The circuit could not be preprocessed (e.g. exceeds the service
+    /// SRS).
+    Preprocess(PreprocessError),
+    /// The job ran but its witness failed the circuit.
+    JobFailed(
+        /// The prover's error message.
+        String,
+    ),
+    /// The service is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull => write!(f, "job queue at capacity"),
+            ServiceError::UnknownCircuit => write!(f, "circuit digest not registered"),
+            ServiceError::UnknownJob => write!(f, "unknown job id"),
+            ServiceError::WitnessMismatch { expected, found } => write!(
+                f,
+                "witness has {found} variables, session circuit has {expected}"
+            ),
+            ServiceError::Decode(e) => write!(f, "decode failed: {e}"),
+            ServiceError::Preprocess(e) => write!(f, "preprocess failed: {e}"),
+            ServiceError::JobFailed(msg) => write!(f, "job failed: {msg}"),
+            ServiceError::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<DecodeError> for ServiceError {
+    fn from(e: DecodeError) -> Self {
+        ServiceError::Decode(e)
+    }
+}
+
+impl From<PreprocessError> for ServiceError {
+    fn from(e: PreprocessError) -> Self {
+        ServiceError::Preprocess(e)
+    }
+}
+
+/// A registered circuit: preprocessed keys plus its shard assignment.
+struct Session {
+    pk: Arc<ProvingKey>,
+    vk: Arc<VerifyingKey>,
+    num_vars: usize,
+    shard: usize,
+}
+
+/// One scheduler shard: a bounded queue plus a dedicated backend pool.
+struct Shard {
+    queue: JobQueue,
+    backend: Arc<dyn Backend>,
+}
+
+/// Job lifecycle under the jobs lock.
+enum JobPhase {
+    Queued,
+    Running,
+    Done(Arc<Vec<u8>>),
+    Failed(String),
+}
+
+struct JobEntry {
+    phase: JobPhase,
+    submitted: Instant,
+    session: [u8; 32],
+}
+
+struct ServiceShared {
+    srs: Arc<Srs>,
+    config: ServiceConfig,
+    shards: Vec<Shard>,
+    sessions: Mutex<HashMap<[u8; 32], Arc<Session>>>,
+    /// Serializes registrations so concurrent submissions of the same
+    /// circuit preprocess once (and never burn a round-robin shard slot on
+    /// a discarded duplicate). Held only on the registration path — job
+    /// submission and proving never touch it.
+    registration: Mutex<()>,
+    next_shard: AtomicU64,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    job_done: Condvar,
+    next_job_id: AtomicU64,
+    metrics: MetricsRecorder,
+}
+
+/// A running proving service. Dropping it (or calling
+/// [`ProvingService::shutdown`]) closes the queues, drains in-flight waves
+/// and joins the shard workers.
+pub struct ProvingService {
+    shared: Arc<ServiceShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for ProvingService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProvingService")
+            .field("shards", &self.shared.config.shards)
+            .field("srs_num_vars", &self.shared.srs.num_vars())
+            .finish()
+    }
+}
+
+impl ProvingService {
+    /// Starts the service: builds one queue + backend pool per shard and
+    /// spawns the shard worker threads.
+    pub fn start(srs: Arc<Srs>, config: ServiceConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|_| Shard {
+                queue: JobQueue::new(config.queue_capacity, config.starvation_limit),
+                backend: backend_with_threads(config.threads_per_shard),
+            })
+            .collect();
+        let shared = Arc::new(ServiceShared {
+            srs,
+            config: config.clone(),
+            shards,
+            sessions: Mutex::new(HashMap::new()),
+            registration: Mutex::new(()),
+            next_shard: AtomicU64::new(0),
+            jobs: Mutex::new(HashMap::new()),
+            job_done: Condvar::new(),
+            next_job_id: AtomicU64::new(1),
+            metrics: MetricsRecorder::new(),
+        });
+        let workers = (0..shared.config.shards.max(1))
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("zkspeed-svc-shard-{shard}"))
+                    .spawn(move || shard_loop(&shared, shard))
+                    .expect("failed to spawn shard worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The universal SRS sessions are preprocessed against.
+    pub fn srs(&self) -> &Arc<Srs> {
+        &self.shared.srs
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.config
+    }
+
+    /// Registers a circuit: preprocesses it into a session keyed by the
+    /// circuit's canonical digest and assigns it to a shard (round-robin).
+    /// Registering the same circuit twice is idempotent and returns the
+    /// existing session's digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Preprocess`] if the circuit does not fit the
+    /// service SRS.
+    pub fn register_circuit(&self, circuit: Circuit) -> Result<[u8; 32], ServiceError> {
+        let digest = circuit.digest();
+        self.register_with_digest(circuit, digest)
+    }
+
+    fn register_with_digest(
+        &self,
+        circuit: Circuit,
+        digest: [u8; 32],
+    ) -> Result<[u8; 32], ServiceError> {
+        // One registration at a time: preprocessing commits eight MLE
+        // tables (seconds at μ=14), and racing duplicates would each pay it
+        // and burn a shard slot for the discarded copy.
+        let _registering = self
+            .shared
+            .registration
+            .lock()
+            .expect("registration lock poisoned");
+        if self
+            .shared
+            .sessions
+            .lock()
+            .expect("sessions lock poisoned")
+            .contains_key(&digest)
+        {
+            return Ok(digest);
+        }
+        let shard =
+            (self.shared.next_shard.fetch_add(1, Ordering::Relaxed) as usize) % self.shard_count();
+        let num_vars = circuit.num_vars();
+        let backend = &self.shared.shards[shard].backend;
+        let (pk, vk) = try_preprocess_on(circuit, &self.shared.srs, backend)?;
+        let session = Arc::new(Session {
+            pk: Arc::new(pk),
+            vk: Arc::new(vk),
+            num_vars,
+            shard,
+        });
+        self.shared
+            .sessions
+            .lock()
+            .expect("sessions lock poisoned")
+            .entry(digest)
+            .or_insert(session);
+        Ok(digest)
+    }
+
+    /// [`ProvingService::register_circuit`] from canonical circuit bytes;
+    /// returns the digest and the circuit's `μ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Decode`] for malformed bytes, or
+    /// [`ServiceError::Preprocess`] if the circuit does not fit the SRS.
+    pub fn register_circuit_bytes(&self, bytes: &[u8]) -> Result<([u8; 32], usize), ServiceError> {
+        let circuit = Circuit::from_bytes(bytes)?;
+        // Every input `from_bytes` accepts is canonical (round-trip
+        // byte-identical), so hashing the input directly equals
+        // `circuit.digest()` without re-encoding the 2^μ gate tables.
+        let digest = zkspeed_rt::Sha3_256::digest(bytes);
+        let num_vars = circuit.num_vars();
+        Ok((self.register_with_digest(circuit, digest)?, num_vars))
+    }
+
+    /// The verifying key of a registered session (for clients that verify
+    /// streamed proofs).
+    pub fn verifying_key(&self, digest: &[u8; 32]) -> Option<Arc<VerifyingKey>> {
+        self.shared
+            .sessions
+            .lock()
+            .expect("sessions lock poisoned")
+            .get(digest)
+            .map(|s| Arc::clone(&s.vk))
+    }
+
+    /// Submits a job, **rejecting** with [`ServiceError::QueueFull`] when
+    /// the session's shard queue is at capacity (the wire protocol's
+    /// backpressure path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownCircuit`],
+    /// [`ServiceError::WitnessMismatch`] or [`ServiceError::QueueFull`].
+    pub fn try_submit(
+        &self,
+        digest: &[u8; 32],
+        witness: Witness,
+        priority: Priority,
+    ) -> Result<u64, ServiceError> {
+        self.submit_inner(digest, witness, priority, false)
+    }
+
+    /// Submits a job, **parking** the calling thread until queue capacity
+    /// frees up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownCircuit`],
+    /// [`ServiceError::WitnessMismatch`] or [`ServiceError::Shutdown`].
+    pub fn submit(
+        &self,
+        digest: &[u8; 32],
+        witness: Witness,
+        priority: Priority,
+    ) -> Result<u64, ServiceError> {
+        self.submit_inner(digest, witness, priority, true)
+    }
+
+    fn submit_inner(
+        &self,
+        digest: &[u8; 32],
+        witness: Witness,
+        priority: Priority,
+        park: bool,
+    ) -> Result<u64, ServiceError> {
+        let session = {
+            let sessions = self.shared.sessions.lock().expect("sessions lock poisoned");
+            Arc::clone(sessions.get(digest).ok_or_else(|| {
+                self.shared
+                    .metrics
+                    .rejected_invalid
+                    .fetch_add(1, Ordering::Relaxed);
+                ServiceError::UnknownCircuit
+            })?)
+        };
+        if witness.num_vars() != session.num_vars {
+            self.shared
+                .metrics
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::WitnessMismatch {
+                expected: session.num_vars,
+                found: witness.num_vars(),
+            });
+        }
+        let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let job = QueuedJob {
+            id,
+            session: *digest,
+            witness: Arc::new(witness),
+            priority,
+        };
+        // The entry must exist before the worker can complete it.
+        self.shared.jobs.lock().expect("jobs lock poisoned").insert(
+            id,
+            JobEntry {
+                phase: JobPhase::Queued,
+                submitted: Instant::now(),
+                session: *digest,
+            },
+        );
+        let queue = &self.shared.shards[session.shard].queue;
+        let pushed = if park {
+            queue.push_blocking(job)
+        } else {
+            queue.try_push(job)
+        };
+        if pushed.is_err() {
+            self.shared
+                .jobs
+                .lock()
+                .expect("jobs lock poisoned")
+                .remove(&id);
+            return if park {
+                Err(ServiceError::Shutdown)
+            } else {
+                self.shared
+                    .metrics
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::QueueFull)
+            };
+        }
+        self.shared
+            .metrics
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// The job's current lifecycle state, or `None` for unknown ids —
+    /// including ids whose terminal outcome was already delivered through
+    /// [`ProvingService::wait`] or the wire protocol.
+    pub fn status(&self, job: u64) -> Option<JobState> {
+        let jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
+        jobs.get(&job).map(|entry| match entry.phase {
+            JobPhase::Queued => JobState::Queued,
+            JobPhase::Running => JobState::Running,
+            JobPhase::Done(_) => JobState::Done,
+            JobPhase::Failed(_) => JobState::Failed,
+        })
+    }
+
+    /// Blocks until the job completes and returns its canonical proof
+    /// bytes.
+    ///
+    /// Delivery **consumes** the job record: once the outcome has been
+    /// handed over (here, or streamed as `ProofReady` / a `Failed` status
+    /// over the wire), the id is forgotten, so a long-running service does
+    /// not retain proof bytes without bound. A later lookup of the same id
+    /// reports it as unknown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownJob`] for unknown (or
+    /// already-delivered) ids or [`ServiceError::JobFailed`] if the
+    /// witness failed the circuit.
+    pub fn wait(&self, job: u64) -> Result<Arc<Vec<u8>>, ServiceError> {
+        let mut jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
+        loop {
+            if let Some(entry) = jobs.get(&job) {
+                if matches!(entry.phase, JobPhase::Done(_) | JobPhase::Failed(_)) {
+                    let entry = jobs.remove(&job).expect("entry present");
+                    return match entry.phase {
+                        JobPhase::Done(proof) => Ok(proof),
+                        JobPhase::Failed(msg) => Err(ServiceError::JobFailed(msg)),
+                        _ => unreachable!("terminal phase matched above"),
+                    };
+                }
+            } else {
+                return Err(ServiceError::UnknownJob);
+            }
+            jobs = self.shared.job_done.wait(jobs).expect("jobs lock poisoned");
+        }
+    }
+
+    /// A point-in-time metrics snapshot (queue gauges aggregated over
+    /// shards).
+    pub fn metrics(&self) -> ServiceMetrics {
+        let mut depths = [0usize; 3];
+        let mut peak = 0usize;
+        let mut capacity = 0usize;
+        for shard in &self.shared.shards {
+            let d = shard.queue.depths();
+            for (total, class) in depths.iter_mut().zip(d) {
+                *total += class;
+            }
+            peak = peak.max(shard.queue.peak_depth());
+            capacity += shard.queue.capacity();
+        }
+        let sessions = self
+            .shared
+            .sessions
+            .lock()
+            .expect("sessions lock poisoned")
+            .len();
+        self.shared
+            .metrics
+            .snapshot(depths, peak, capacity, sessions)
+    }
+
+    /// The number of scheduler shards.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The in-process wire endpoint: decodes one request frame, serves it,
+    /// and returns the encoded response frame. Malformed input never
+    /// panics — it answers with a `Rejected` response instead, like a
+    /// socket server would.
+    pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        self.handle_frame_inner(frame).to_frame()
+    }
+
+    fn handle_frame_inner(&self, frame: &[u8]) -> Response {
+        let mut reader = Reader::new(frame);
+        let payload = match reader.frame().and_then(|p| {
+            reader.finish()?;
+            Ok(p)
+        }) {
+            Ok(payload) => payload,
+            Err(e) => return reject(RejectCode::Malformed, &e),
+        };
+        let request = match Request::from_bytes(payload) {
+            Ok(request) => request,
+            Err(e) => return reject(RejectCode::Malformed, &e),
+        };
+        match request {
+            Request::SubmitCircuit { circuit } => match self.register_circuit_bytes(&circuit) {
+                Ok((digest, num_vars)) => Response::CircuitRegistered {
+                    digest,
+                    num_vars: num_vars as u32,
+                },
+                Err(e @ ServiceError::Decode(_)) => reject(RejectCode::Malformed, &e),
+                Err(e) => reject(RejectCode::Unsupported, &e),
+            },
+            Request::SubmitJob {
+                circuit,
+                priority,
+                witness,
+            } => {
+                let witness = match Witness::from_bytes(&witness) {
+                    Ok(witness) => witness,
+                    Err(e) => return reject(RejectCode::Malformed, &e),
+                };
+                match self.try_submit(&circuit, witness, priority) {
+                    Ok(job) => Response::JobAccepted { job },
+                    Err(e @ ServiceError::QueueFull) => reject(RejectCode::QueueFull, &e),
+                    Err(e @ ServiceError::UnknownCircuit) => reject(RejectCode::UnknownCircuit, &e),
+                    Err(e) => reject(RejectCode::WitnessMismatch, &e),
+                }
+            }
+            Request::JobStatus { job } => {
+                // A finished job streams its proof back in the same
+                // request/response cycle; terminal outcomes are consumed on
+                // delivery (see [`ProvingService::wait`]) so the jobs map
+                // stays bounded over a long-running service's lifetime.
+                let taken = {
+                    let mut jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
+                    match jobs.get(&job) {
+                        None => return reject(RejectCode::UnknownJob, &ServiceError::UnknownJob),
+                        Some(entry) if matches!(entry.phase, JobPhase::Queued) => {
+                            return Response::Status {
+                                job,
+                                state: JobState::Queued,
+                            }
+                        }
+                        Some(entry) if matches!(entry.phase, JobPhase::Running) => {
+                            return Response::Status {
+                                job,
+                                state: JobState::Running,
+                            }
+                        }
+                        Some(_) => jobs.remove(&job).expect("entry present").phase,
+                    }
+                };
+                // The proof-byte copy happens outside the jobs lock so one
+                // large delivery cannot stall submitters and shard workers.
+                match taken {
+                    JobPhase::Done(proof) => Response::ProofReady {
+                        job,
+                        proof: Arc::try_unwrap(proof).unwrap_or_else(|arc| (*arc).clone()),
+                    },
+                    JobPhase::Failed(_) => Response::Status {
+                        job,
+                        state: JobState::Failed,
+                    },
+                    _ => unreachable!("non-terminal phases matched above"),
+                }
+            }
+            Request::Metrics => Response::Metrics {
+                json: self.metrics().to_json().pretty(),
+            },
+        }
+    }
+
+    /// Stops accepting work, drains the queued backlog, joins the shard
+    /// workers and returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> ServiceMetrics {
+        self.shutdown_in_place();
+        self.metrics()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ProvingService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn reject(code: RejectCode, err: &dyn fmt::Display) -> Response {
+    Response::Rejected {
+        code,
+        detail: err.to_string(),
+    }
+}
+
+/// One shard's worker loop: pop a wave, prove it, publish the proofs.
+fn shard_loop(shared: &ServiceShared, shard_idx: usize) {
+    let shard = &shared.shards[shard_idx];
+    while let Some(wave) = shard.queue.pop_wave(shared.config.wave_size) {
+        run_wave(shared, shard, wave);
+    }
+}
+
+fn run_wave(shared: &ServiceShared, shard: &Shard, wave: Vec<QueuedJob>) {
+    let session = {
+        let sessions = shared.sessions.lock().expect("sessions lock poisoned");
+        Arc::clone(
+            sessions
+                .get(&wave[0].session)
+                .expect("queued job references a registered session"),
+        )
+    };
+    {
+        let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+        for job in &wave {
+            if let Some(entry) = jobs.get_mut(&job.id) {
+                entry.phase = JobPhase::Running;
+            }
+        }
+    }
+    // Witnesses that fail the circuit are failed individually so one bad
+    // submission cannot poison its wave-mates.
+    let mut valid = Vec::with_capacity(wave.len());
+    for job in wave {
+        match session.pk.circuit.check_witness(&job.witness) {
+            Ok(()) => valid.push(job),
+            Err(e) => {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+                if let Some(entry) = jobs.get_mut(&job.id) {
+                    entry.phase = JobPhase::Failed(e.to_string());
+                }
+                shared.job_done.notify_all();
+            }
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+    shared.metrics.record_wave(valid.len());
+    let witnesses: Vec<Witness> = valid.iter().map(|j| j.witness.as_ref().clone()).collect();
+    let proved = prove_batch_with_reports_msm_on(
+        &session.pk,
+        &witnesses,
+        &shard.backend,
+        shared.config.msm_config,
+    )
+    .expect("wave witnesses were validated");
+    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    for (job, (proof, report)) in valid.iter().zip(proved) {
+        let bytes = Arc::new(proof.to_bytes());
+        if let Some(entry) = jobs.get_mut(&job.id) {
+            let latency_ms = entry.submitted.elapsed().as_secs_f64() * 1e3;
+            shared
+                .metrics
+                .record_completion(entry.session, latency_ms, &report);
+            entry.phase = JobPhase::Done(bytes);
+        }
+    }
+    shared.job_done.notify_all();
+}

@@ -1,0 +1,545 @@
+//! The byte-level wire protocol between proving-service clients and the
+//! service.
+//!
+//! Every message travels as one **frame**: a little-endian `u32` payload
+//! length ([`zkspeed_rt::codec::write_frame`]) followed by a canonical
+//! artifact — the shared `magic + version + kind` header (kind
+//! [`KIND_REQUEST`] or [`KIND_RESPONSE`]), a one-byte message tag, and the
+//! tag-specific body. Embedded artifacts (circuits, witnesses, proofs) ride
+//! inside requests/responses as length-prefixed blobs carrying their own
+//! canonical headers, so each layer validates independently.
+//!
+//! | request tag | message | body |
+//! |---|---|---|
+//! | 1 | `SubmitCircuit` | `u32` len + circuit artifact |
+//! | 2 | `SubmitJob` | 32-byte circuit digest, `u8` priority, `u32` len + witness artifact |
+//! | 3 | `JobStatus` | `u64` job id |
+//! | 4 | `Metrics` | (empty) |
+//!
+//! | response tag | message | body |
+//! |---|---|---|
+//! | 1 | `CircuitRegistered` | 32-byte digest, `u32` num_vars |
+//! | 2 | `JobAccepted` | `u64` job id |
+//! | 3 | `Rejected` | `u8` reject code, `u32` len + UTF-8 detail |
+//! | 4 | `Status` | `u64` job id, `u8` job state |
+//! | 5 | `ProofReady` | `u64` job id, `u32` len + proof artifact |
+//! | 6 | `Metrics` | `u32` len + UTF-8 JSON |
+//!
+//! The same encode/decode pair serves the in-process endpoint
+//! ([`crate::ProvingService::handle_frame`]) today and a socket transport
+//! later — nothing here assumes shared memory.
+
+use zkspeed_rt::codec::{self, DecodeError, Kind, Reader};
+
+/// Artifact kind tag of an encoded [`Request`].
+pub const KIND_REQUEST: u8 = Kind::Request as u8;
+
+/// Artifact kind tag of an encoded [`Response`].
+pub const KIND_RESPONSE: u8 = Kind::Response as u8;
+
+/// Scheduling priority class of a proof job. Lower discriminant = more
+/// urgent.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Priority {
+    /// Served ahead of every other class.
+    High = 0,
+    /// The default class.
+    Normal = 1,
+    /// Bulk work, served when nothing more urgent is pending (subject to
+    /// the scheduler's anti-starvation promotion).
+    Low = 2,
+}
+
+impl Priority {
+    /// All classes, most urgent first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Decodes a priority tag byte.
+    pub fn from_u8(tag: u8) -> Option<Priority> {
+        Priority::ALL.into_iter().find(|p| *p as u8 == tag)
+    }
+
+    /// Class index (0 = high).
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// Why a request was rejected.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectCode {
+    /// The job queue is at capacity; retry later (backpressure).
+    QueueFull = 1,
+    /// The referenced circuit digest is not registered.
+    UnknownCircuit = 2,
+    /// The submitted artifact failed structural validation.
+    Malformed = 3,
+    /// The witness does not fit the referenced circuit.
+    WitnessMismatch = 4,
+    /// The referenced job id does not exist.
+    UnknownJob = 5,
+    /// The circuit cannot be served (e.g. larger than the service SRS).
+    Unsupported = 6,
+}
+
+impl RejectCode {
+    /// Every code, in tag order.
+    pub const ALL: [RejectCode; 6] = [
+        RejectCode::QueueFull,
+        RejectCode::UnknownCircuit,
+        RejectCode::Malformed,
+        RejectCode::WitnessMismatch,
+        RejectCode::UnknownJob,
+        RejectCode::Unsupported,
+    ];
+
+    /// Decodes a reject-code tag byte.
+    pub fn from_u8(tag: u8) -> Option<RejectCode> {
+        RejectCode::ALL.into_iter().find(|c| *c as u8 == tag)
+    }
+}
+
+/// Lifecycle state of a submitted job, as reported over the wire.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Queued = 0,
+    /// Picked into a proving wave.
+    Running = 1,
+    /// Proved; the proof is ready to stream.
+    Done = 2,
+    /// Proving failed (e.g. the witness does not satisfy the circuit).
+    Failed = 3,
+}
+
+impl JobState {
+    /// Decodes a job-state tag byte.
+    pub fn from_u8(tag: u8) -> Option<JobState> {
+        [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+        ]
+        .into_iter()
+        .find(|s| *s as u8 == tag)
+    }
+}
+
+/// A client-to-service message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Registers a circuit (canonical [`Circuit`](zkspeed_hyperplonk::Circuit)
+    /// bytes); the service preprocesses it into a session.
+    SubmitCircuit {
+        /// Canonical circuit artifact bytes.
+        circuit: Vec<u8>,
+    },
+    /// Submits a witness to prove against a registered circuit.
+    SubmitJob {
+        /// Digest of the registered circuit (from `CircuitRegistered`).
+        circuit: [u8; 32],
+        /// Scheduling class.
+        priority: Priority,
+        /// Canonical witness artifact bytes.
+        witness: Vec<u8>,
+    },
+    /// Polls one job's state; a `Done` job answers with `ProofReady`.
+    JobStatus {
+        /// The job id (from `JobAccepted`).
+        job: u64,
+    },
+    /// Fetches the service metrics snapshot as JSON.
+    Metrics,
+}
+
+const REQ_SUBMIT_CIRCUIT: u8 = 1;
+const REQ_SUBMIT_JOB: u8 = 2;
+const REQ_JOB_STATUS: u8 = 3;
+const REQ_METRICS: u8 = 4;
+
+/// A service-to-client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The circuit was registered (or was already registered) under this
+    /// digest.
+    CircuitRegistered {
+        /// The session key for subsequent `SubmitJob`s.
+        digest: [u8; 32],
+        /// Number of variables `μ` of the circuit.
+        num_vars: u32,
+    },
+    /// The job was accepted into the queue.
+    JobAccepted {
+        /// Handle for `JobStatus` polling.
+        job: u64,
+    },
+    /// The request was rejected.
+    Rejected {
+        /// Machine-readable reason.
+        code: RejectCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The job's current state (non-terminal, or `Failed`).
+    Status {
+        /// The polled job id.
+        job: u64,
+        /// Its lifecycle state.
+        state: JobState,
+    },
+    /// The job finished; canonical proof bytes included.
+    ProofReady {
+        /// The polled job id.
+        job: u64,
+        /// Canonical proof artifact bytes.
+        proof: Vec<u8>,
+    },
+    /// The metrics snapshot.
+    Metrics {
+        /// JSON-rendered [`crate::ServiceMetrics`].
+        json: String,
+    },
+}
+
+const RESP_CIRCUIT_REGISTERED: u8 = 1;
+const RESP_JOB_ACCEPTED: u8 = 2;
+const RESP_REJECTED: u8 = 3;
+const RESP_STATUS: u8 = 4;
+const RESP_PROOF_READY: u8 = 5;
+const RESP_METRICS: u8 = 6;
+
+fn write_blob(out: &mut Vec<u8>, blob: &[u8]) {
+    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    out.extend_from_slice(blob);
+}
+
+fn read_blob(reader: &mut Reader<'_>, what: &'static str) -> Result<Vec<u8>, DecodeError> {
+    let len = reader.count(1, what)?;
+    Ok(reader.take(len)?.to_vec())
+}
+
+fn read_string(reader: &mut Reader<'_>, what: &'static str) -> Result<String, DecodeError> {
+    let bytes = read_blob(reader, what)?;
+    String::from_utf8(bytes).map_err(|_| DecodeError::InvalidValue { what })
+}
+
+fn read_digest(reader: &mut Reader<'_>) -> Result<[u8; 32], DecodeError> {
+    let mut digest = [0u8; 32];
+    digest.copy_from_slice(reader.take(32)?);
+    Ok(digest)
+}
+
+impl Request {
+    /// Serializes the request into its canonical message encoding (header +
+    /// tag + body, **without** the outer frame).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::write_header(&mut out, KIND_REQUEST);
+        match self {
+            Request::SubmitCircuit { circuit } => {
+                out.push(REQ_SUBMIT_CIRCUIT);
+                write_blob(&mut out, circuit);
+            }
+            Request::SubmitJob {
+                circuit,
+                priority,
+                witness,
+            } => {
+                out.push(REQ_SUBMIT_JOB);
+                out.extend_from_slice(circuit);
+                out.push(*priority as u8);
+                write_blob(&mut out, witness);
+            }
+            Request::JobStatus { job } => {
+                out.push(REQ_JOB_STATUS);
+                out.extend_from_slice(&job.to_le_bytes());
+            }
+            Request::Metrics => out.push(REQ_METRICS),
+        }
+        out
+    }
+
+    /// Serializes the request as one wire frame (length prefix included).
+    pub fn to_frame(&self) -> Vec<u8> {
+        codec::frame(&self.to_bytes())
+    }
+
+    /// Decodes a message produced by [`Request::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] describing the first malformed field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut reader = Reader::new(bytes);
+        reader.header(KIND_REQUEST)?;
+        let request = match reader.u8()? {
+            REQ_SUBMIT_CIRCUIT => Request::SubmitCircuit {
+                circuit: read_blob(&mut reader, "embedded circuit blob")?,
+            },
+            REQ_SUBMIT_JOB => {
+                let circuit = read_digest(&mut reader)?;
+                let priority =
+                    Priority::from_u8(reader.u8()?).ok_or(DecodeError::InvalidValue {
+                        what: "job priority",
+                    })?;
+                let witness = read_blob(&mut reader, "embedded witness blob")?;
+                Request::SubmitJob {
+                    circuit,
+                    priority,
+                    witness,
+                }
+            }
+            REQ_JOB_STATUS => Request::JobStatus { job: reader.u64()? },
+            REQ_METRICS => Request::Metrics,
+            _ => {
+                return Err(DecodeError::InvalidValue {
+                    what: "request message tag",
+                })
+            }
+        };
+        reader.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Serializes the response into its canonical message encoding (header +
+    /// tag + body, **without** the outer frame).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::write_header(&mut out, KIND_RESPONSE);
+        match self {
+            Response::CircuitRegistered { digest, num_vars } => {
+                out.push(RESP_CIRCUIT_REGISTERED);
+                out.extend_from_slice(digest);
+                out.extend_from_slice(&num_vars.to_le_bytes());
+            }
+            Response::JobAccepted { job } => {
+                out.push(RESP_JOB_ACCEPTED);
+                out.extend_from_slice(&job.to_le_bytes());
+            }
+            Response::Rejected { code, detail } => {
+                out.push(RESP_REJECTED);
+                out.push(*code as u8);
+                write_blob(&mut out, detail.as_bytes());
+            }
+            Response::Status { job, state } => {
+                out.push(RESP_STATUS);
+                out.extend_from_slice(&job.to_le_bytes());
+                out.push(*state as u8);
+            }
+            Response::ProofReady { job, proof } => {
+                out.push(RESP_PROOF_READY);
+                out.extend_from_slice(&job.to_le_bytes());
+                write_blob(&mut out, proof);
+            }
+            Response::Metrics { json } => {
+                out.push(RESP_METRICS);
+                write_blob(&mut out, json.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Serializes the response as one wire frame (length prefix included).
+    pub fn to_frame(&self) -> Vec<u8> {
+        codec::frame(&self.to_bytes())
+    }
+
+    /// Decodes a message produced by [`Response::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] describing the first malformed field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut reader = Reader::new(bytes);
+        reader.header(KIND_RESPONSE)?;
+        let response = match reader.u8()? {
+            RESP_CIRCUIT_REGISTERED => Response::CircuitRegistered {
+                digest: read_digest(&mut reader)?,
+                num_vars: reader.u32()?,
+            },
+            RESP_JOB_ACCEPTED => Response::JobAccepted { job: reader.u64()? },
+            RESP_REJECTED => {
+                let code = RejectCode::from_u8(reader.u8()?).ok_or(DecodeError::InvalidValue {
+                    what: "reject code",
+                })?;
+                Response::Rejected {
+                    code,
+                    detail: read_string(&mut reader, "reject detail")?,
+                }
+            }
+            RESP_STATUS => {
+                let job = reader.u64()?;
+                let state = JobState::from_u8(reader.u8()?)
+                    .ok_or(DecodeError::InvalidValue { what: "job state" })?;
+                Response::Status { job, state }
+            }
+            RESP_PROOF_READY => Response::ProofReady {
+                job: reader.u64()?,
+                proof: read_blob(&mut reader, "embedded proof blob")?,
+            },
+            RESP_METRICS => Response::Metrics {
+                json: read_string(&mut reader, "metrics JSON")?,
+            },
+            _ => {
+                return Err(DecodeError::InvalidValue {
+                    what: "response message tag",
+                })
+            }
+        };
+        reader.finish()?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::SubmitCircuit {
+                circuit: vec![1, 2, 3, 4, 5],
+            },
+            Request::SubmitJob {
+                circuit: [7u8; 32],
+                priority: Priority::Low,
+                witness: vec![9; 40],
+            },
+            Request::JobStatus { job: 0xdead_beef },
+            Request::Metrics,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::CircuitRegistered {
+                digest: [3u8; 32],
+                num_vars: 14,
+            },
+            Response::JobAccepted { job: 42 },
+            Response::Rejected {
+                code: RejectCode::QueueFull,
+                detail: "queue at capacity (64)".into(),
+            },
+            Response::Status {
+                job: 42,
+                state: JobState::Running,
+            },
+            Response::ProofReady {
+                job: 42,
+                proof: vec![0xaa; 100],
+            },
+            Response::Metrics {
+                json: "{\"proofs_per_second\": 3.5}".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for request in sample_requests() {
+            let bytes = request.to_bytes();
+            assert_eq!(Request::from_bytes(&bytes).unwrap(), request);
+            // Frame round-trip.
+            let frame = request.to_frame();
+            let mut r = Reader::new(&frame);
+            let payload = r.frame().unwrap();
+            r.finish().unwrap();
+            assert_eq!(Request::from_bytes(payload).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for response in sample_responses() {
+            let bytes = response.to_bytes();
+            assert_eq!(Response::from_bytes(&bytes).unwrap(), response);
+            let frame = response.to_frame();
+            let mut r = Reader::new(&frame);
+            assert_eq!(Response::from_bytes(r.frame().unwrap()).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn kinds_are_checked_both_ways() {
+        let req = Request::Metrics.to_bytes();
+        assert!(matches!(
+            Response::from_bytes(&req),
+            Err(DecodeError::WrongKind {
+                expected: KIND_RESPONSE,
+                found: KIND_REQUEST
+            })
+        ));
+        let resp = Response::JobAccepted { job: 1 }.to_bytes();
+        assert!(matches!(
+            Request::from_bytes(&resp),
+            Err(DecodeError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn corruption_sweep_never_panics_and_mostly_rejects() {
+        // Deterministic sweep: every byte position of every message, three
+        // corruption patterns each, plus every truncation length. Decoding
+        // must return (never panic), and header/tag corruptions must fail.
+        for request in sample_requests() {
+            let bytes = request.to_bytes();
+            for i in 0..bytes.len() {
+                for pattern in [0x01u8, 0x80, 0xff] {
+                    let mut bad = bytes.clone();
+                    bad[i] ^= pattern;
+                    let _ = Request::from_bytes(&bad);
+                }
+            }
+            for len in 0..bytes.len() {
+                assert!(Request::from_bytes(&bytes[..len]).is_err());
+            }
+        }
+        for response in sample_responses() {
+            let bytes = response.to_bytes();
+            for i in 0..bytes.len() {
+                for pattern in [0x01u8, 0x80, 0xff] {
+                    let mut bad = bytes.clone();
+                    bad[i] ^= pattern;
+                    let _ = Response::from_bytes(&bad);
+                }
+            }
+            for len in 0..bytes.len() {
+                assert!(Response::from_bytes(&bytes[..len]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_blob_lengths_fail_before_allocating() {
+        let mut bytes = Request::SubmitCircuit {
+            circuit: vec![0; 8],
+        }
+        .to_bytes();
+        // Blob length starts right after header (8) + tag (1).
+        bytes[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Request::from_bytes(&bytes),
+            Err(DecodeError::InvalidLength { .. })
+        ));
+    }
+
+    #[test]
+    fn enums_reject_unknown_tags() {
+        assert_eq!(Priority::from_u8(9), None);
+        assert_eq!(RejectCode::from_u8(0), None);
+        assert_eq!(JobState::from_u8(17), None);
+        for p in Priority::ALL {
+            assert_eq!(Priority::from_u8(p as u8), Some(p));
+        }
+        for c in RejectCode::ALL {
+            assert_eq!(RejectCode::from_u8(c as u8), Some(c));
+        }
+    }
+}

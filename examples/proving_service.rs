@@ -1,0 +1,179 @@
+//! The proving service end to end: one long-running [`ProvingService`]
+//! over a μ = 14 universal setup, the three real-circuit workloads
+//! (hash-chain, Merkle-membership, state-transition) registered as
+//! sessions, and four concurrent clients submitting interleaved jobs at
+//! mixed priorities **through the byte-level wire protocol** — every
+//! circuit, witness and proof crosses the client/service boundary as
+//! canonical frames, exactly as it would over a socket.
+//!
+//! Run with: `cargo run --release --example proving_service`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use zkspeed::prelude::*;
+use zkspeed::svc::{JobState, Request, Response};
+use zkspeed_rt::codec::Reader;
+
+/// A minimal wire-protocol client: frames out, frames in.
+struct Client<'a> {
+    service: &'a ProvingService,
+}
+
+impl Client<'_> {
+    fn call(&self, request: &Request) -> Response {
+        let frame = self.service.handle_frame(&request.to_frame());
+        let mut reader = Reader::new(&frame);
+        let payload = reader.frame().expect("framed response");
+        Response::from_bytes(payload).expect("canonical response")
+    }
+
+    fn register(&self, circuit: &Circuit) -> [u8; 32] {
+        match self.call(&Request::SubmitCircuit {
+            circuit: circuit.to_bytes(),
+        }) {
+            Response::CircuitRegistered { digest, .. } => digest,
+            other => panic!("registration failed: {other:?}"),
+        }
+    }
+
+    fn submit(&self, digest: [u8; 32], witness: &Witness, priority: Priority) -> u64 {
+        match self.call(&Request::SubmitJob {
+            circuit: digest,
+            priority,
+            witness: witness.to_bytes(),
+        }) {
+            Response::JobAccepted { job } => job,
+            Response::Rejected { code, detail } => {
+                panic!("submission rejected ({code:?}): {detail}")
+            }
+            other => panic!("submission failed: {other:?}"),
+        }
+    }
+
+    fn wait_for_proof(&self, job: u64) -> Vec<u8> {
+        loop {
+            match self.call(&Request::JobStatus { job }) {
+                Response::ProofReady { proof, .. } => return proof,
+                Response::Status { state, .. } => {
+                    assert!(matches!(state, JobState::Queued | JobState::Running));
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                other => panic!("status poll failed: {other:?}"),
+            }
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let t0 = Instant::now();
+    let srs = Srs::try_setup(14, &mut rng)?;
+    println!(
+        "universal setup (μ = 14, fixed-base tables): {:.2} s",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let system = ProofSystem::setup(srs);
+    let service = Arc::new(
+        system.serve(
+            ServiceConfig::default()
+                .with_wave_size(4)
+                .with_queue_capacity(64),
+        ),
+    );
+    println!(
+        "service started: {} shard(s) × {} thread(s), queue capacity {}/shard\n",
+        service.shard_count(),
+        service.config().threads_per_shard,
+        service.config().queue_capacity
+    );
+
+    // Register the three workloads as sessions, over the wire.
+    let client = Client { service: &service };
+    let mut sessions = Vec::new();
+    for spec in WorkloadSpec::test_suite() {
+        let (circuit, witness) = spec.build(&mut rng);
+        let digest = client.register(&circuit);
+        println!(
+            "registered {:<40} session {}…",
+            spec.name(),
+            hex(&digest[..6])
+        );
+        sessions.push((spec, digest, witness));
+    }
+
+    // Four clients, 24 interleaved jobs across all sessions and priorities.
+    const CLIENTS: usize = 4;
+    const JOBS_PER_CLIENT: usize = 6;
+    println!("\nserving {CLIENTS} clients × {JOBS_PER_CLIENT} jobs …");
+    let t1 = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|id| {
+            let service = Arc::clone(&service);
+            let sessions: Vec<([u8; 32], Witness)> = sessions
+                .iter()
+                .map(|(_, digest, witness)| (*digest, witness.clone()))
+                .collect();
+            std::thread::spawn(move || {
+                let client = Client { service: &service };
+                let jobs: Vec<(u64, [u8; 32])> = (0..JOBS_PER_CLIENT)
+                    .map(|i| {
+                        let (digest, witness) = &sessions[(id + i) % sessions.len()];
+                        let priority = Priority::ALL[(id + i) % 3];
+                        (client.submit(*digest, witness, priority), *digest)
+                    })
+                    .collect();
+                jobs.into_iter()
+                    .map(|(job, digest)| (digest, client.wait_for_proof(job)))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+
+    let mut proofs = 0usize;
+    for worker in workers {
+        for (digest, proof_bytes) in worker.join().expect("client thread") {
+            let vk = service.verifying_key(&digest).expect("registered session");
+            let proof = Proof::from_bytes(&proof_bytes)?;
+            zkspeed::hyperplonk::verify(&vk, &proof)?;
+            proofs += 1;
+        }
+    }
+    let elapsed = t1.elapsed().as_secs_f64();
+    println!(
+        "served and verified {proofs} proofs in {elapsed:.2} s ({:.2} proofs/s)\n",
+        proofs as f64 / elapsed
+    );
+
+    // The operational picture, straight off the metrics endpoint.
+    let metrics = service.metrics();
+    println!(
+        "waves: {} (mean occupancy {:.2}, max {}), peak queue depth {}",
+        metrics.waves,
+        metrics.mean_wave_occupancy,
+        metrics.max_wave_occupancy,
+        metrics.peak_queue_depth
+    );
+    for session in &metrics.sessions {
+        println!(
+            "session {}…  jobs {:>3}  p50 {:>8.1} ms  p99 {:>8.1} ms",
+            hex(&session.digest[..6]),
+            session.jobs_completed,
+            session.p50_ms,
+            session.p99_ms
+        );
+    }
+    match client.call(&Request::Metrics) {
+        Response::Metrics { json } => {
+            println!("\nmetrics endpoint returned {} bytes of JSON", json.len())
+        }
+        other => panic!("metrics failed: {other:?}"),
+    }
+    Ok(())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

@@ -28,6 +28,10 @@
 //!   functional HyperPlonk prover and verifier;
 //! * [`hw`] / [`model`] — the zkSpeed accelerator's analytical hardware
 //!   model and design-space exploration;
+//! * [`svc`] — the long-running proving service: priority job queue with
+//!   backpressure, shard-aware `prove_batch` wave scheduling, and the
+//!   framed wire protocol for circuits, witnesses and proofs (start one
+//!   with [`ProofSystem::serve`]);
 //! * [`bench`] — helpers shared by the figure/table reproduction binaries.
 //!
 //! # Quickstart
@@ -118,6 +122,7 @@ pub use zkspeed_pcs as pcs;
 pub use zkspeed_poly as poly;
 pub use zkspeed_rt as rt;
 pub use zkspeed_sumcheck as sumcheck;
+pub use zkspeed_svc as svc;
 pub use zkspeed_transcript as transcript;
 
 /// One-line import for the session API and the types most programs touch.
@@ -134,5 +139,6 @@ pub mod prelude {
     pub use zkspeed_pcs::Srs;
     pub use zkspeed_rt::pool::{Backend, Serial, ThreadPool};
     pub use zkspeed_rt::rngs::StdRng;
-    pub use zkspeed_rt::SeedableRng;
+    pub use zkspeed_rt::{SeedableRng, ToJson};
+    pub use zkspeed_svc::{Priority, ProvingService, ServiceConfig, ServiceError};
 }

@@ -37,6 +37,7 @@ use zkspeed_hyperplonk::{
 };
 use zkspeed_pcs::Srs;
 use zkspeed_rt::pool::{self, Backend};
+use zkspeed_svc::{ProvingService, ServiceConfig};
 
 use crate::error::Error;
 
@@ -101,6 +102,18 @@ impl ProofSystem {
     /// The execution backend handles derived from this session will use.
     pub fn backend(&self) -> &Arc<dyn Backend> {
         &self.backend
+    }
+
+    /// Starts a long-running [`ProvingService`] over this session's SRS and
+    /// MSM configuration: circuits register as sessions keyed by digest,
+    /// jobs queue with priorities and backpressure, and shard workers pack
+    /// them into `prove_batch` waves (see [`zkspeed_svc`]). The service
+    /// builds its own per-shard backend pools as configured.
+    pub fn serve(&self, config: ServiceConfig) -> ProvingService {
+        ProvingService::start(
+            Arc::clone(&self.srs),
+            config.with_msm_config(self.msm_config),
+        )
     }
 
     /// Preprocesses (indexes) a circuit: commits to its selector and wiring

@@ -205,7 +205,11 @@ impl ChipConfig {
         for j in 0..3 {
             let (zeros, ones, dense) = workload.column_split(j);
             let compute = secs(self.msm.sparse_msm_cycles(zeros, ones, dense));
-            let traffic = (ones + dense) as f64 * POINT_BYTES + dense as f64 * FR_BYTES;
+            // The precomputed datapath reads one shifted table point per
+            // window for each dense scalar; ones still read a single base.
+            let traffic = (ones as f64 + dense as f64 * self.msm.points_read_per_scalar())
+                * POINT_BYTES
+                + dense as f64 * FR_BYTES;
             step1 += compute.max(mem(traffic));
             sim.busy[0] += compute;
         }
@@ -226,7 +230,7 @@ impl ChipConfig {
         let frac = secs(self.fracmle.fraction_cycles(n as usize));
         let prod = secs(self.mtu.tree_pass_cycles(mu));
         let msm_compute = secs(2.0 * self.msm.dense_msm_cycles(n as usize));
-        let msm_traffic = 2.0 * n * (POINT_BYTES + FR_BYTES);
+        let msm_traffic = 2.0 * n * (self.msm.points_read_per_scalar() * POINT_BYTES + FR_BYTES);
         let wiring_msm = msm_compute.max(mem(msm_traffic));
         let stream_traffic = 8.0 * n * FR_BYTES;
         let phase_a = construct
@@ -279,7 +283,9 @@ impl ChipConfig {
         }
         let halving_compute = secs(halving_cycles);
         sim.busy[0] += halving_compute;
-        let polyopen_msm = halving_compute.max(mem(n * (POINT_BYTES + FR_BYTES)));
+        let polyopen_msm = halving_compute.max(mem(
+            n * (self.msm.points_read_per_scalar() * POINT_BYTES + FR_BYTES)
+        ));
         sim.kernels.polyopen_msm = polyopen_msm;
         sim.step_seconds[4] = phase_5a + opencheck + final_combine.max(polyopen_msm);
 

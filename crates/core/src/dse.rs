@@ -7,7 +7,8 @@
 //! [`pareto_frontier`] extracts the non-dominated points.
 
 use zkspeed_hw::{
-    AggregationSchedule, FracMleConfig, MleUpdateUnitConfig, MsmUnitConfig, SumcheckUnitConfig,
+    AggregationSchedule, FracMleConfig, MleUpdateUnitConfig, MsmDatapath, MsmUnitConfig,
+    SumcheckUnitConfig,
 };
 
 use crate::chip::ChipConfig;
@@ -34,6 +35,9 @@ pub struct DesignSpace {
     pub mle_update_modmuls: Vec<usize>,
     /// Off-chip bandwidths in GB/s.
     pub bandwidths_gbps: Vec<f64>,
+    /// MSM bucket-accumulation datapaths to explore (the precomputed-table
+    /// variant trades HBM traffic and table memory for zero doublings).
+    pub msm_datapaths: Vec<MsmDatapath>,
 }
 
 impl DesignSpace {
@@ -49,11 +53,17 @@ impl DesignSpace {
             mle_update_pes: (1..=11).collect(),
             mle_update_modmuls: vec![1, 2, 4, 8, 16],
             bandwidths_gbps: zkspeed_hw::params::DSE_BANDWIDTHS_GBPS.to_vec(),
+            // Table 2 sweeps the classic datapath only; the variants are
+            // explored by `reduced` and custom spaces.
+            msm_datapaths: vec![MsmDatapath::Unsigned],
         }
     }
 
     /// A reduced sweep (same knobs, coarser grids) that keeps the Pareto
-    /// frontier shape while evaluating in a few seconds.
+    /// frontier shape while evaluating in a few seconds. Unlike
+    /// [`DesignSpace::paper`], it also explores the precomputed-table MSM
+    /// datapath so the frontier weighs table HBM traffic against the
+    /// eliminated doublings.
     pub fn reduced() -> Self {
         Self {
             msm_cores: vec![1, 2],
@@ -65,6 +75,10 @@ impl DesignSpace {
             mle_update_pes: vec![1, 3, 5, 7, 9, 11],
             mle_update_modmuls: vec![1, 4, 16],
             bandwidths_gbps: zkspeed_hw::params::DSE_BANDWIDTHS_GBPS.to_vec(),
+            msm_datapaths: vec![
+                MsmDatapath::Unsigned,
+                MsmDatapath::Precomputed { batch_affine: true },
+            ],
         }
     }
 
@@ -87,6 +101,7 @@ impl DesignSpace {
             * self.mle_update_pes.len()
             * self.mle_update_modmuls.len()
             * self.bandwidths_gbps.len()
+            * self.msm_datapaths.len()
     }
 
     /// Returns `true` if the sweep is empty.
@@ -107,31 +122,34 @@ impl DesignSpace {
                                 for &upes in &self.mle_update_pes {
                                     for &umm in &self.mle_update_modmuls {
                                         for &bw in &self.bandwidths_gbps {
-                                            out.push(ChipConfig {
-                                                msm: MsmUnitConfig {
-                                                    cores,
-                                                    pes_per_core: pes,
-                                                    window_bits: w,
-                                                    points_per_pe: pts,
-                                                    aggregation: AggregationSchedule::Grouped {
-                                                        group_size: 16,
+                                            for &datapath in &self.msm_datapaths {
+                                                out.push(ChipConfig {
+                                                    msm: MsmUnitConfig {
+                                                        cores,
+                                                        pes_per_core: pes,
+                                                        window_bits: w,
+                                                        points_per_pe: pts,
+                                                        aggregation: AggregationSchedule::Grouped {
+                                                            group_size: 16,
+                                                        },
+                                                        datapath,
                                                     },
-                                                },
-                                                sumcheck: SumcheckUnitConfig { pes: scpes },
-                                                mle_update: MleUpdateUnitConfig {
-                                                    pes: upes,
-                                                    modmuls_per_pe: umm,
-                                                },
-                                                fracmle: FracMleConfig {
-                                                    pes: fpes,
-                                                    batch_size: 64,
-                                                },
-                                                memory: zkspeed_hw::MemoryConfig {
-                                                    bandwidth_gbps: bw,
-                                                },
-                                                max_num_vars,
-                                                ..ChipConfig::table5_design()
-                                            });
+                                                    sumcheck: SumcheckUnitConfig { pes: scpes },
+                                                    mle_update: MleUpdateUnitConfig {
+                                                        pes: upes,
+                                                        modmuls_per_pe: umm,
+                                                    },
+                                                    fracmle: FracMleConfig {
+                                                        pes: fpes,
+                                                        batch_size: 64,
+                                                    },
+                                                    memory: zkspeed_hw::MemoryConfig {
+                                                        bandwidth_gbps: bw,
+                                                    },
+                                                    max_num_vars,
+                                                    ..ChipConfig::table5_design()
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -233,6 +251,7 @@ mod tests {
             mle_update_pes: vec![4, 11],
             mle_update_modmuls: vec![4],
             bandwidths_gbps: vec![512.0, 2048.0],
+            msm_datapaths: vec![MsmDatapath::Unsigned],
         }
     }
 
@@ -313,6 +332,7 @@ zkspeed_rt::impl_to_json_struct!(DesignSpace {
     mle_update_pes,
     mle_update_modmuls,
     bandwidths_gbps,
+    msm_datapaths,
 });
 zkspeed_rt::impl_to_json_struct!(DesignPoint {
     config,

@@ -41,6 +41,7 @@
 mod fixed_base;
 mod g1;
 mod msm;
+mod multi_base;
 
 pub use fixed_base::{FixedBaseTable, FIXED_BASE_DEFAULT_WINDOW_BITS};
 pub use g1::{
@@ -48,8 +49,9 @@ pub use g1::{
     PADD_MIXED_FQ_MULS, PDBL_FQ_MULS,
 };
 pub use msm::{
-    aggregate_buckets, auto_intra_window_chunks, auto_window_bits, msm, msm_with_config,
-    msm_with_config_on, msm_with_config_shared, naive_msm, sparse_msm, sparse_msm_on,
-    sparse_msm_with_config_on, tree_sum, Aggregation, MsmConfig, MsmSchedule, MsmStats,
-    SparseMsmStats, BATCH_AFFINE_DEFAULT_MIN_POINTS,
+    aggregate_buckets, auto_intra_window_chunks, auto_window_bits, msm, msm_precomputed_on,
+    msm_with_config, msm_with_config_on, msm_with_config_shared, naive_msm, sparse_msm,
+    sparse_msm_on, sparse_msm_precomputed_on, sparse_msm_with_config_on, tree_sum, Aggregation,
+    MsmConfig, MsmSchedule, MsmStats, SparseMsmStats, BATCH_AFFINE_DEFAULT_MIN_POINTS,
 };
+pub use multi_base::{MultiBaseTable, MULTI_BASE_DEFAULT_WINDOW_BITS};

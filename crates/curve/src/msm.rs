@@ -39,6 +39,7 @@ use zkspeed_field::{batch_invert, Fq, Fr};
 use zkspeed_rt::pool::{self, Backend};
 
 use crate::g1::{G1Affine, G1Projective};
+use crate::multi_base::MultiBaseTable;
 
 /// How bucket sums are aggregated into the per-window total `Σ i·Bᵢ`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -83,6 +84,21 @@ pub enum MsmSchedule {
         /// Number of point chunks per window (0 = auto).
         chunks: usize,
     },
+    /// Consume a precomputed [`MultiBaseTable`] over the fixed bases: the
+    /// shifted multiples `2^{w·j}·Bᵢ` turn the whole MSM into one flat
+    /// signed-digit bucket problem — zero doublings, `⌈255/w⌉ + 1` digit
+    /// lookups per scalar, and a single aggregation pass. Work is
+    /// decomposed by partitioning the *bucket index space* into
+    /// config-derived ranges (each job scans every digit but fills only
+    /// its disjoint bucket slice), so no combine additions are needed and
+    /// results stay thread-count invariant.
+    ///
+    /// Only table-aware entry points ([`msm_precomputed_on`],
+    /// [`sparse_msm_precomputed_on`]) can honor this schedule; the plain
+    /// `msm_with_config*` functions have no table and fall back to the
+    /// auto [`MsmSchedule::IntraWindow`] decomposition, still computing
+    /// the same group element.
+    Precomputed,
 }
 
 impl Default for MsmSchedule {
@@ -143,6 +159,18 @@ impl MsmConfig {
             schedule: MsmSchedule::IntraWindow { chunks: 0 },
             signed_digits: true,
             batch_affine_min_points: BATCH_AFFINE_DEFAULT_MIN_POINTS,
+        }
+    }
+
+    /// The precomputed-table schedule: signed digits into a single flat
+    /// bucket set fed from a [`MultiBaseTable`]'s shifted bases — zero
+    /// doublings per MSM. `window_bits` is ignored by the table engine
+    /// (the table's own width wins); callers without a table fall back to
+    /// [`MsmConfig::optimized`]'s decomposition.
+    pub fn precomputed() -> Self {
+        Self {
+            schedule: MsmSchedule::Precomputed,
+            ..Self::optimized()
         }
     }
 
@@ -798,7 +826,12 @@ fn msm_impl(
     });
     let chunks = match config.schedule {
         MsmSchedule::WindowParallel => 1,
-        MsmSchedule::IntraWindow { chunks: 0 } => auto_intra_window_chunks(n),
+        // No table reaches this engine: the precomputed schedule degrades
+        // to the auto intra-window decomposition (same group element, just
+        // without the zero-doubling shortcut).
+        MsmSchedule::IntraWindow { chunks: 0 } | MsmSchedule::Precomputed => {
+            auto_intra_window_chunks(n)
+        }
         MsmSchedule::IntraWindow { chunks } => chunks.min(n),
     };
     let chunk_ranges = zkspeed_rt::par::split_ranges(n, chunks);
@@ -1090,6 +1123,251 @@ pub fn sparse_msm_with_config_on(
     let total = ones_sum + dense_sum;
     stats.ops.combine_adds += 1;
     (total, stats)
+}
+
+// ------------------------------------------------------ precomputed MSM ----
+
+/// Selects the number of bucket-range jobs for the precomputed engine from
+/// the problem size (`total_entries = n · num_windows` digit slots) — never
+/// from the backend's thread count, so results and counters are
+/// thread-count invariant. Each job re-scans the digit vector (cheap
+/// integer work) but fills a disjoint bucket slice, so jobs need no
+/// combine additions; ~4096 entries per job keep the scan overhead small.
+fn auto_precomputed_jobs(total_entries: usize, num_buckets: usize) -> usize {
+    (total_entries / 4096).clamp(1, 32).min(num_buckets)
+}
+
+/// Computes `Σ sᵢ·Bᵢ` over the fixed bases covered by a precomputed
+/// [`MultiBaseTable`]: every scalar is signed-digit recoded at the table's
+/// window width, each nonzero digit contributes one shifted base
+/// `±2^{w·j}·Bᵢ` to a single flat bucket set of `2^{w−1}` buckets, and one
+/// aggregation pass finishes the sum — **zero doublings** and no window
+/// combine, the whole point of precomputing the session's bases.
+///
+/// `config` supplies the aggregation schedule and batch-affine threshold;
+/// `config.window_bits` and `config.signed_digits` are ignored (the table's
+/// width wins and recoding is always signed). The result is the same group
+/// element any other schedule computes.
+///
+/// # Panics
+///
+/// Panics if `scalars` is longer than the table's base count (shorter is
+/// fine: a prefix MSM, as the halving openings need).
+pub fn msm_precomputed_on(
+    backend: &dyn Backend,
+    table: &Arc<MultiBaseTable>,
+    scalars: &[Fr],
+    config: MsmConfig,
+) -> (G1Projective, MsmStats) {
+    assert!(
+        scalars.len() <= table.num_bases(),
+        "more scalars than precomputed bases"
+    );
+    msm_precomputed_impl(backend, table, None, scalars, config)
+}
+
+/// The Sparse MSM of the Witness Commit step over precomputed tables:
+/// 0-scalars are skipped, 1-scalars are tree-summed directly from the
+/// table's base entries, and the dense remainder runs through the
+/// precomputed bucket engine (the dense bases are non-contiguous, so their
+/// table rows are addressed through an index vector).
+///
+/// # Panics
+///
+/// Panics if `scalars` is longer than the table's base count.
+pub fn sparse_msm_precomputed_on(
+    backend: &dyn Backend,
+    table: &Arc<MultiBaseTable>,
+    scalars: &[Fr],
+    config: MsmConfig,
+) -> (G1Projective, SparseMsmStats) {
+    assert!(
+        scalars.len() <= table.num_bases(),
+        "more scalars than precomputed bases"
+    );
+    let one = Fr::one();
+    let zero = Fr::zero();
+    let mut ones_points = Vec::new();
+    let mut dense_indices: Vec<u32> = Vec::new();
+    let mut dense_scalars = Vec::new();
+    let mut stats = SparseMsmStats::default();
+    for (i, s) in scalars.iter().enumerate() {
+        if *s == zero {
+            stats.zeros += 1;
+        } else if *s == one {
+            stats.ones += 1;
+            ones_points.push(table.base(i).to_projective());
+        } else {
+            stats.dense += 1;
+            dense_indices.push(i as u32);
+            dense_scalars.push(*s);
+        }
+    }
+    let (ones_sum, tree_adds) = tree_sum(&ones_points);
+    stats.ops.combine_adds += tree_adds;
+
+    let (dense_sum, dense_stats) = msm_precomputed_impl(
+        backend,
+        table,
+        Some(Arc::new(dense_indices)),
+        &dense_scalars,
+        config,
+    );
+    stats.ops.merge(&dense_stats);
+    let total = ones_sum + dense_sum;
+    stats.ops.combine_adds += 1;
+    (total, stats)
+}
+
+/// Immutable inputs of one precomputed MSM run, shared by every
+/// bucket-range job.
+struct PrecomputedInstance {
+    table: Arc<MultiBaseTable>,
+    /// Table row of each scalar (`None` = identity mapping, the dense case).
+    indices: Option<Arc<Vec<u32>>>,
+    scalar_limbs: Arc<Vec<[u64; 4]>>,
+    carries: Arc<Vec<CarryMask>>,
+    config: MsmConfig,
+    /// Disjoint bucket index ranges, one per job.
+    bucket_ranges: Vec<Range<usize>>,
+}
+
+impl PrecomputedInstance {
+    /// Fills one job's bucket slice: scans every (scalar, window) digit and
+    /// keeps only the entries whose bucket falls in the job's range. The
+    /// scan repeats cheap integer recoding per job; all the point
+    /// arithmetic is disjoint across jobs, so no combine pass follows.
+    fn fill_bucket_range(&self, job: usize) -> FilledSegment {
+        let range = self.bucket_ranges[job].clone();
+        let w = self.table.window_bits();
+        let num_windows = self.table.num_windows();
+        let mut entries: Vec<(u32, G1Affine)> = Vec::new();
+        for (i, limbs) in self.scalar_limbs.iter().enumerate() {
+            let carries = &self.carries[i];
+            let base = match &self.indices {
+                Some(idx) => idx[i] as usize,
+                None => i,
+            };
+            for window in 0..num_windows {
+                let d = signed_window_digit(limbs, carries, window, w);
+                if d == 0 {
+                    continue;
+                }
+                let bucket = d.unsigned_abs() as usize - 1;
+                if !range.contains(&bucket) {
+                    continue;
+                }
+                let point = self.table.entry(base, window);
+                if point.infinity {
+                    continue;
+                }
+                let point = if d < 0 { point.neg() } else { *point };
+                entries.push(((bucket - range.start) as u32, point));
+            }
+        }
+        let nonempty = !entries.is_empty();
+        if entries.len() >= self.config.batch_affine_min_points {
+            let (buckets, affine_adds, batch_inversions) =
+                batch_affine_bucket_sums(range.len(), entries);
+            FilledSegment {
+                buckets,
+                nonempty,
+                bucket_adds: 0,
+                affine_adds,
+                batch_inversions,
+            }
+        } else {
+            let mut buckets = vec![G1Projective::identity(); range.len()];
+            let mut bucket_adds = 0u64;
+            for (bucket, point) in entries {
+                let slot = &mut buckets[bucket as usize];
+                if slot.is_identity() {
+                    *slot = point.to_projective();
+                } else {
+                    *slot = slot.add_mixed(&point);
+                    bucket_adds += 1;
+                }
+            }
+            FilledSegment {
+                buckets,
+                nonempty,
+                bucket_adds,
+                affine_adds: 0,
+                batch_inversions: 0,
+            }
+        }
+    }
+}
+
+fn msm_precomputed_impl(
+    backend: &dyn Backend,
+    table: &Arc<MultiBaseTable>,
+    indices: Option<Arc<Vec<u32>>>,
+    scalars: &[Fr],
+    config: MsmConfig,
+) -> (G1Projective, MsmStats) {
+    let n = scalars.len();
+    let mut stats = MsmStats::default();
+    if n == 0 {
+        return (G1Projective::identity(), stats);
+    }
+    let w = table.window_bits();
+    let num_windows = table.num_windows();
+    let num_buckets = 1usize << (w - 1);
+    let scalar_limbs: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical_limbs()).collect();
+    let carries: Vec<CarryMask> = scalar_limbs
+        .iter()
+        .map(|limbs| recode_carries(limbs, w, num_windows))
+        .collect();
+    stats.recoded_scalars = n as u64;
+
+    let total_entries = n * num_windows;
+    let jobs = auto_precomputed_jobs(total_entries, num_buckets);
+    let bucket_ranges = zkspeed_rt::par::split_ranges(num_buckets, jobs);
+    let num_jobs = bucket_ranges.len();
+    let instance = PrecomputedInstance {
+        table: Arc::clone(table),
+        indices,
+        scalar_limbs: Arc::new(scalar_limbs),
+        carries: Arc::new(carries),
+        config,
+        bucket_ranges,
+    };
+
+    // Same fan-out policy as `msm_impl`: below the parallel floor the work
+    // stays on the calling thread; workers measure and hand back their
+    // modmul deltas so the profiling counters match a serial run.
+    const PAR_MIN_POINTS: usize = 256;
+    let parallel = total_entries >= PAR_MIN_POINTS && backend.threads() > 1 && num_jobs > 1;
+    let segments: Vec<(FilledSegment, zkspeed_field::ModmulCount)> = if parallel {
+        let instance = Arc::new(instance);
+        pool::map_indices_on(backend, num_jobs, move |job| {
+            zkspeed_field::measure_modmuls(|| instance.fill_bucket_range(job))
+        })
+    } else {
+        (0..num_jobs)
+            .map(|job| zkspeed_field::measure_modmuls(|| instance.fill_bucket_range(job)))
+            .collect()
+    };
+
+    // Concatenate the disjoint bucket slices in range order (zero combine
+    // additions) and finish with the single aggregation pass.
+    let mut buckets = Vec::with_capacity(num_buckets);
+    let mut any = false;
+    for (segment, muls) in segments {
+        zkspeed_field::add_modmul_count(muls);
+        stats.bucket_adds += segment.bucket_adds;
+        stats.affine_adds += segment.affine_adds;
+        stats.batch_inversions += segment.batch_inversions;
+        any |= segment.nonempty;
+        buckets.extend(segment.buckets);
+    }
+    if !any {
+        return (G1Projective::identity(), stats);
+    }
+    let (sum, agg_adds) = aggregate_buckets(&buckets, config.aggregation);
+    stats.aggregation_adds = agg_adds;
+    (sum, stats)
 }
 
 /// Sums a slice of points with a binary-tree reduction, returning the sum and
@@ -1507,5 +1785,133 @@ mod tests {
         assert_eq!(auto_intra_window_chunks(1), 1);
         assert_eq!(auto_intra_window_chunks(1 << 12), 2);
         assert_eq!(auto_intra_window_chunks(1 << 20), 16);
+    }
+
+    #[test]
+    fn precomputed_matches_naive_across_window_bits() {
+        let mut r = rng();
+        let n = 40;
+        let points = random_points(n, &mut r);
+        let shared = Arc::new(points.clone());
+        // Edge scalars exercise the recoding carries; random fill the rest.
+        let mut scalars = vec![Fr::zero(), Fr::one(), -Fr::one(), -Fr::from_u64(2)];
+        scalars.extend((4..n).map(|_| Fr::random(&mut r)));
+        let expect = naive_msm(&points, &scalars);
+        for w in [1usize, 4, 8, 12, 16] {
+            let table = Arc::new(MultiBaseTable::build_on(&shared, w, &Serial));
+            for min_points in [0usize, usize::MAX] {
+                let config = MsmConfig::precomputed().with_batch_affine_min_points(min_points);
+                let (res, stats) = msm_precomputed_on(&Serial, &table, &scalars, config);
+                assert_eq!(res, expect, "w = {w}, min_points = {min_points}");
+                assert_eq!(stats.doublings, 0, "precomputed engine never doubles");
+                assert_eq!(stats.combine_adds, 0);
+                assert_eq!(stats.partial_combine_adds, 0);
+                assert_eq!(stats.recoded_scalars, n as u64);
+            }
+        }
+        // Prefix MSMs (fewer scalars than bases) are allowed.
+        let table = Arc::new(MultiBaseTable::build_on(&shared, 8, &Serial));
+        let (prefix, _) =
+            msm_precomputed_on(&Serial, &table, &scalars[..7], MsmConfig::precomputed());
+        assert_eq!(prefix, naive_msm(&points[..7], &scalars[..7]));
+        // Empty input.
+        let (empty, empty_stats) =
+            msm_precomputed_on(&Serial, &table, &[], MsmConfig::precomputed());
+        assert_eq!(empty, G1Projective::identity());
+        assert_eq!(empty_stats, MsmStats::default());
+    }
+
+    #[test]
+    fn precomputed_is_thread_count_invariant() {
+        // Enough entries that the bucket-range jobs genuinely fan out.
+        let mut r = rng();
+        let n = 512;
+        let points = Arc::new(random_points(n, &mut r));
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut r)).collect();
+        let table = Arc::new(MultiBaseTable::build_on(&points, 10, &Serial));
+        let config = MsmConfig::precomputed();
+        let serial = msm_precomputed_on(&Serial, &table, &scalars, config);
+        assert_eq!(serial.0, naive_msm(&points, &scalars));
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let pooled = msm_precomputed_on(&pool, &table, &scalars, config);
+            assert_eq!(pooled.0, serial.0, "threads = {threads}: result drifted");
+            assert_eq!(pooled.1, serial.1, "threads = {threads}: stats drifted");
+        }
+    }
+
+    #[test]
+    fn sparse_precomputed_matches_dense_reference() {
+        let mut r = rng();
+        let n = 300;
+        let points = Arc::new(random_points(n, &mut r));
+        // Witness-like sparsity so all three classes are populated.
+        let scalars: Vec<Fr> = (0..n)
+            .map(|i| match i % 10 {
+                0..=3 => Fr::zero(),
+                4..=8 => Fr::one(),
+                _ => Fr::random(&mut r),
+            })
+            .collect();
+        let expect = naive_msm(&points, &scalars);
+        let table = Arc::new(MultiBaseTable::build_on(&points, 9, &Serial));
+        let config = MsmConfig::precomputed();
+        let serial = sparse_msm_precomputed_on(&Serial, &table, &scalars, config);
+        assert_eq!(serial.0, expect);
+        assert!(serial.1.zeros > 0 && serial.1.ones > 0 && serial.1.dense > 0);
+        assert_eq!(serial.1.ops.doublings, 0);
+        let pooled = sparse_msm_precomputed_on(&ThreadPool::new(8), &table, &scalars, config);
+        assert_eq!(pooled.0, serial.0);
+        assert_eq!(pooled.1, serial.1);
+    }
+
+    #[test]
+    fn precomputed_schedule_without_table_falls_back() {
+        // The plain engine has no table, so MsmSchedule::Precomputed must
+        // degrade to the intra-window decomposition and still be correct.
+        let mut r = rng();
+        let n = 100;
+        let points = random_points(n, &mut r);
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut r)).collect();
+        let (res, stats) = msm_with_config(&points, &scalars, MsmConfig::precomputed());
+        assert_eq!(res, naive_msm(&points, &scalars));
+        assert!(stats.total_adds() > 0);
+    }
+
+    #[test]
+    fn precomputed_engine_reduces_fq_muls() {
+        // The whole point: at session sizes the table engine beats the best
+        // table-free schedule on Fq multiplications (no doublings, one
+        // aggregation for the whole MSM instead of one per window).
+        let mut r = rng();
+        let n = 1 << 10;
+        let points = Arc::new(random_points(n, &mut r));
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut r)).collect();
+        let (opt_res, optimized) = msm_with_config(&points, &scalars, MsmConfig::optimized());
+        let table = Arc::new(MultiBaseTable::build_on(
+            &points,
+            crate::MULTI_BASE_DEFAULT_WINDOW_BITS,
+            &Serial,
+        ));
+        let (pre_res, precomputed) =
+            msm_precomputed_on(&Serial, &table, &scalars, MsmConfig::precomputed());
+        assert_eq!(pre_res, opt_res);
+        assert!(
+            precomputed.fq_muls() * 4 < optimized.fq_muls() * 3,
+            "expected ≥25% fewer Fq muls: optimized {} vs precomputed {}",
+            optimized.fq_muls(),
+            precomputed.fq_muls()
+        );
+        assert_eq!(precomputed.doublings, 0);
+        assert!(precomputed.affine_adds > 0);
+    }
+
+    #[test]
+    fn auto_precomputed_jobs_scale_with_problem_size() {
+        assert_eq!(auto_precomputed_jobs(100, 2048), 1);
+        assert_eq!(auto_precomputed_jobs(16 * 4096, 2048), 16);
+        assert_eq!(auto_precomputed_jobs(1 << 24, 2048), 32);
+        // Never more jobs than buckets.
+        assert_eq!(auto_precomputed_jobs(1 << 24, 4), 4);
     }
 }

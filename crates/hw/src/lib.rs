@@ -23,7 +23,7 @@ pub mod params;
 mod units;
 
 pub use memory::{MemoryConfig, MemoryTechnology, SramModel};
-pub use msm_unit::{aggregation_cycles, AggregationSchedule, MsmUnitConfig};
+pub use msm_unit::{aggregation_cycles, AggregationSchedule, MsmDatapath, MsmUnitConfig};
 pub use units::{
     ConstructNdConfig, FracMleConfig, MleCombineConfig, MleUpdateUnitConfig, MtuConfig,
     Sha3UnitConfig, SumcheckUnitConfig,

@@ -9,7 +9,7 @@
 use core::fmt;
 use std::sync::Arc;
 
-use zkspeed_pcs::{commit_on, Commitment, Srs};
+use zkspeed_pcs::{commit_on, CommitTables, Commitment, PrecomputeBudget, Srs};
 use zkspeed_poly::MultilinearPoly;
 use zkspeed_rt::pool::{self, Backend, Serial};
 use zkspeed_transcript::Transcript;
@@ -55,6 +55,11 @@ pub struct ProvingKey {
     pub selector_commitments: [Commitment; 5],
     /// Commitments to `σ₁, σ₂, σ₃`.
     pub sigma_commitments: [Commitment; 3],
+    /// Per-session precomputed commit tables over the SRS Lagrange bases
+    /// ([`try_preprocess_with_budget_on`] builds them within the opt-in
+    /// [`PrecomputeBudget`]; `None` keeps every commit on the table-free
+    /// engine). Proof bytes are identical either way.
+    pub commit_tables: Option<Arc<CommitTables>>,
 }
 
 /// The verifier's key: circuit commitments plus the SRS.
@@ -126,6 +131,26 @@ pub fn try_preprocess_on(
     srs: &Srs,
     backend: &Arc<dyn Backend>,
 ) -> Result<(ProvingKey, VerifyingKey), PreprocessError> {
+    try_preprocess_with_budget_on(circuit, srs, backend, &PrecomputeBudget::disabled())
+}
+
+/// [`try_preprocess_on`] additionally building per-session precomputed
+/// commit tables ([`CommitTables`]) within the given [`PrecomputeBudget`]
+/// and storing them on the [`ProvingKey`] — the one-time build that lets
+/// every subsequent proof of the session commit with the zero-doubling
+/// [`MsmSchedule::Precomputed`](zkspeed_curve::MsmSchedule) engine. A
+/// disabled budget (the default) makes this identical to
+/// [`try_preprocess_on`].
+///
+/// # Errors
+///
+/// Returns [`PreprocessError::SrsTooSmall`] if the circuit does not fit.
+pub fn try_preprocess_with_budget_on(
+    circuit: Circuit,
+    srs: &Srs,
+    backend: &Arc<dyn Backend>,
+    budget: &PrecomputeBudget,
+) -> Result<(ProvingKey, VerifyingKey), PreprocessError> {
     if circuit.num_vars() > srs.num_vars() {
         return Err(PreprocessError::SrsTooSmall {
             srs_num_vars: srs.num_vars(),
@@ -153,6 +178,9 @@ pub fn try_preprocess_on(
     }
     let selector_commitments = [0, 1, 2, 3, 4].map(|i| ordered[i]);
     let sigma_commitments = [0, 1, 2].map(|i| ordered[5 + i]);
+    // The session's table build rides the same backend; commitments above
+    // were computed table-free, which yields the same group elements.
+    let commit_tables = CommitTables::build_on(srs, budget, &**backend).map(Arc::new);
     let vk = VerifyingKey {
         num_vars: circuit.num_vars(),
         srs: srs.clone(),
@@ -164,6 +192,7 @@ pub fn try_preprocess_on(
         srs: srs.clone(),
         selector_commitments,
         sigma_commitments,
+        commit_tables,
     };
     Ok((pk, vk))
 }
@@ -232,6 +261,30 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("SRS supports up to 2^2"));
+    }
+
+    #[test]
+    fn budgeted_preprocess_builds_tables_and_identical_keys() {
+        let mut r = rng();
+        let srs = Srs::setup(6, &mut r);
+        let (circuit, _) = mock_circuit(6, SparsityProfile::paper_default(), &mut r);
+        let backend: Arc<dyn Backend> = Arc::new(Serial);
+        let (pk_plain, vk_plain) = try_preprocess_on(circuit.clone(), &srs, &backend).unwrap();
+        assert!(
+            pk_plain.commit_tables.is_none(),
+            "default budget is disabled"
+        );
+        let (pk, vk) =
+            try_preprocess_with_budget_on(circuit, &srs, &backend, &PrecomputeBudget::unlimited())
+                .unwrap();
+        let tables = pk.commit_tables.as_ref().expect("unlimited budget builds");
+        assert!(tables.levels_covered() > 0);
+        assert!(tables.size_in_bytes() > 0);
+        // Tables change nothing about the keys themselves.
+        assert_eq!(pk.selector_commitments, pk_plain.selector_commitments);
+        assert_eq!(pk.sigma_commitments, pk_plain.sigma_commitments);
+        assert_eq!(vk.selector_commitments, vk_plain.selector_commitments);
+        assert_eq!(vk.sigma_commitments, vk_plain.sigma_commitments);
     }
 
     #[test]

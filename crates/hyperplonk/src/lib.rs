@@ -61,8 +61,8 @@ pub mod workloads;
 pub use builder::{CircuitBuilder, Variable};
 pub use circuit::{Circuit, GateSelectors, SatisfactionError, WireColumn, Witness};
 pub use keys::{
-    bind_circuit_to_transcript, try_preprocess, try_preprocess_on, PreprocessError, ProvingKey,
-    VerifyingKey,
+    bind_circuit_to_transcript, try_preprocess, try_preprocess_on, try_preprocess_with_budget_on,
+    PreprocessError, ProvingKey, VerifyingKey,
 };
 pub use mock::{mock_circuit, NamedWorkload, SparsityProfile, NAMED_WORKLOADS};
 pub use profile::{profile_kernels, KernelProfile, BYTES_PER_FIELD_ELEMENT, BYTES_PER_G1_POINT};

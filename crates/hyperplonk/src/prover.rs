@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use zkspeed_curve::{MsmConfig, MsmStats, SparseMsmStats};
 use zkspeed_field::Fr;
-use zkspeed_pcs::{commit_sparse_with_config_on, commit_with_config_on, open_with_config_on};
+use zkspeed_pcs::{commit_sparse_with_tables_on, commit_with_tables_on, open_with_tables_on};
 use zkspeed_poly::{fraction_mle, product_mle, split_even_odd, MultilinearPoly, VirtualPolynomial};
 use zkspeed_rt::pool::{self, Backend, Serial};
 use zkspeed_sumcheck::{prove_on as sumcheck_prove_on, prove_zerocheck_on};
@@ -303,9 +303,16 @@ pub fn prove_unchecked_msm_on(
     let t0 = Instant::now();
     let job_srs = pk.srs.clone();
     let job_columns = witness.columns.clone();
+    let job_tables = pk.commit_tables.clone();
     let column_commitments = pool::map_indices_on(&**backend, 3, move |j| {
         zkspeed_field::measure_modmuls(|| {
-            commit_sparse_with_config_on(&Serial, &job_srs, &job_columns[j], msm)
+            commit_sparse_with_tables_on(
+                &Serial,
+                &job_srs,
+                &job_columns[j],
+                msm,
+                job_tables.as_deref(),
+            )
         })
     });
     let mut witness_commitments = Vec::with_capacity(3);
@@ -377,10 +384,11 @@ pub fn prove_unchecked_msm_on(
     // helping scheduler.
     let job_srs = pk.srs.clone();
     let job_polys = [phi.clone(), pi.clone()];
+    let job_tables = pk.commit_tables.clone();
     let inner = Arc::clone(backend);
     let wiring_commitments = pool::map_indices_on(&**backend, 2, move |j| {
         zkspeed_field::measure_modmuls(|| {
-            commit_with_config_on(&*inner, &job_srs, &job_polys[j], msm)
+            commit_with_tables_on(&*inner, &job_srs, &job_polys[j], msm, job_tables.as_deref())
         })
     });
     let mut wiring_iter = wiring_commitments.into_iter();
@@ -526,8 +534,14 @@ pub fn prove_unchecked_msm_on(
     let d = transcript.challenge_scalars(b"gprime-challenge", groups.len());
     let gprime =
         MultilinearPoly::linear_combination(&d, &combined_polys.iter().collect::<Vec<_>>());
-    let (gprime_value, gprime_opening, open_stats) =
-        open_with_config_on(&**backend, &pk.srs, &gprime, &rho, msm);
+    let (gprime_value, gprime_opening, open_stats) = open_with_tables_on(
+        &**backend,
+        &pk.srs,
+        &gprime,
+        &rho,
+        msm,
+        pk.commit_tables.as_deref(),
+    );
     report.opening_msm.merge(&open_stats);
     debug_assert_eq!(
         gprime_value,

@@ -10,6 +10,7 @@ use zkspeed_poly::MultilinearPoly;
 use zkspeed_rt::codec::{DecodeError, Reader};
 use zkspeed_rt::pool::{Ambient, Backend};
 
+use crate::precompute::{wants_tables, CommitTables};
 use crate::srs::Srs;
 
 /// A commitment to a multilinear polynomial (one G1 point).
@@ -179,17 +180,78 @@ pub fn commit_sparse_with_config_on(
     (Commitment(point), stats)
 }
 
-fn shared_basis_for<'a>(
-    srs: &'a Srs,
+/// [`commit_with_config_on`] consulting per-session precomputed tables:
+/// when the configuration selects
+/// [`MsmSchedule::Precomputed`](zkspeed_curve::MsmSchedule) and the
+/// polynomial's SRS level has a built table, the commitment runs through
+/// the zero-doubling table engine; otherwise it transparently falls back
+/// to the table-free path. The group element is identical either way.
+///
+/// # Panics
+///
+/// Panics if the polynomial is larger than the SRS supports.
+pub fn commit_with_tables_on(
+    backend: &dyn Backend,
+    srs: &Srs,
     poly: &MultilinearPoly,
-) -> &'a std::sync::Arc<Vec<zkspeed_curve::G1Affine>> {
+    config: zkspeed_curve::MsmConfig,
+    tables: Option<&CommitTables>,
+) -> (Commitment, MsmStats) {
+    if wants_tables(config) {
+        if let Some(table) = tables.and_then(|t| t.level(level_for(srs, poly))) {
+            let (point, stats) =
+                zkspeed_curve::msm_precomputed_on(backend, table, poly.evaluations(), config);
+            return (Commitment(point), stats);
+        }
+    }
+    commit_with_config_on(backend, srs, poly, config)
+}
+
+/// [`commit_sparse_with_config_on`] consulting per-session precomputed
+/// tables for the dense remainder and the 1-valued tree sum (see
+/// [`commit_with_tables_on`] for the fallback rules).
+///
+/// # Panics
+///
+/// Panics if the polynomial is larger than the SRS supports.
+pub fn commit_sparse_with_tables_on(
+    backend: &dyn Backend,
+    srs: &Srs,
+    poly: &MultilinearPoly,
+    config: zkspeed_curve::MsmConfig,
+    tables: Option<&CommitTables>,
+) -> (Commitment, SparseMsmStats) {
+    if wants_tables(config) {
+        if let Some(table) = tables.and_then(|t| t.level(level_for(srs, poly))) {
+            let (point, stats) = zkspeed_curve::sparse_msm_precomputed_on(
+                backend,
+                table,
+                poly.evaluations(),
+                config,
+            );
+            return (Commitment(point), stats);
+        }
+    }
+    commit_sparse_with_config_on(backend, srs, poly, config)
+}
+
+/// The SRS level a polynomial commits at, with the size check both the
+/// table and table-free paths share.
+fn level_for(srs: &Srs, poly: &MultilinearPoly) -> usize {
     assert!(
         poly.num_vars() <= srs.num_vars(),
         "polynomial has {} variables but the SRS supports at most {}",
         poly.num_vars(),
         srs.num_vars()
     );
-    let level = srs.num_vars() - poly.num_vars();
+    srs.num_vars() - poly.num_vars()
+}
+
+fn shared_basis_for<'a>(
+    srs: &'a Srs,
+    poly: &MultilinearPoly,
+) -> &'a std::sync::Arc<Vec<zkspeed_curve::G1Affine>> {
+    let level = level_for(srs, poly);
     srs.shared_lagrange_basis(level)
 }
 
@@ -273,6 +335,48 @@ mod tests {
             1,
             "identity commitment marks the infinity flag"
         );
+    }
+
+    #[test]
+    fn table_commits_match_table_free_commits() {
+        use crate::precompute::{CommitTables, PrecomputeBudget};
+        use zkspeed_rt::pool::Serial;
+
+        let mut r = rng();
+        let srs = Srs::setup(6, &mut r);
+        let tables = CommitTables::build_on(&srs, &PrecomputeBudget::unlimited(), &Serial)
+            .expect("unlimited budget builds");
+        let config = zkspeed_curve::MsmConfig::precomputed();
+        // Dense commit: covered level, uncovered level, and sparse commit
+        // all agree with the table-free engine.
+        let f = MultilinearPoly::random(6, &mut r);
+        let (plain, _) = commit_with_config_on(&Serial, &srs, &f, config);
+        let (tabled, stats) = commit_with_tables_on(&Serial, &srs, &f, config, Some(&tables));
+        assert_eq!(plain, tabled);
+        assert_eq!(stats.doublings, 0, "table path never doubles");
+        let small = MultilinearPoly::random(2, &mut r); // below the table floor
+        let (plain_small, _) = commit_with_config_on(&Serial, &srs, &small, config);
+        let (tabled_small, _) = commit_with_tables_on(&Serial, &srs, &small, config, Some(&tables));
+        assert_eq!(plain_small, tabled_small);
+        let sparse = MultilinearPoly::from_fn(6, |i| match i % 10 {
+            0..=3 => Fr::zero(),
+            4..=8 => Fr::one(),
+            _ => Fr::from_u64(i as u64 + 7),
+        });
+        let (plain_sparse, _) = commit_sparse_with_config_on(&Serial, &srs, &sparse, config);
+        let (tabled_sparse, sparse_stats) =
+            commit_sparse_with_tables_on(&Serial, &srs, &sparse, config, Some(&tables));
+        assert_eq!(plain_sparse, tabled_sparse);
+        assert_eq!(sparse_stats.ops.doublings, 0);
+        // A non-precomputed schedule ignores the tables entirely.
+        let (default_com, _) = commit_with_tables_on(
+            &Serial,
+            &srs,
+            &f,
+            zkspeed_curve::MsmConfig::default(),
+            Some(&tables),
+        );
+        assert_eq!(default_com, plain);
     }
 
     #[test]

@@ -105,6 +105,28 @@ pub fn open_with_config_on(
     point: &[Fr],
     config: zkspeed_curve::MsmConfig,
 ) -> (Fr, OpeningProof, MsmStats) {
+    open_with_tables_on(backend, srs, poly, point, config, None)
+}
+
+/// [`open_with_config_on`] consulting per-session precomputed tables for
+/// the halving quotient commitments: each round's quotient commits at one
+/// level higher than the last, so rounds whose level has a built
+/// [`CommitTables`](crate::CommitTables) table run through the
+/// zero-doubling engine and the (tiny) tail rounds fall back. Proofs are
+/// bit-identical with or without tables.
+///
+/// # Panics
+///
+/// Panics if the point length does not match the polynomial or the SRS is
+/// too small.
+pub fn open_with_tables_on(
+    backend: &dyn Backend,
+    srs: &Srs,
+    poly: &MultilinearPoly,
+    point: &[Fr],
+    config: zkspeed_curve::MsmConfig,
+    tables: Option<&crate::CommitTables>,
+) -> (Fr, OpeningProof, MsmStats) {
     /// Below this many quotient entries the construction stays serial.
     const MIN_CHUNK: usize = 1 << 12;
     assert_eq!(
@@ -137,7 +159,7 @@ pub fn open_with_config_on(
             q_evals
         };
         let q = MultilinearPoly::new(q_evals);
-        let (com, s) = crate::commit::commit_with_config_on(backend, srs, &q, config);
+        let (com, s) = crate::commit::commit_with_tables_on(backend, srs, &q, config, tables);
         stats.merge(&s);
         quotients.push(com);
         cur = cur.fix_first_variable_on(*z_k, backend);
@@ -268,6 +290,30 @@ mod tests {
             quotients: vec![Commitment::identity(); 4],
         };
         assert!(!verify_opening(&srs, &com, &long_point, value, &long));
+    }
+
+    #[test]
+    fn table_openings_are_bit_identical() {
+        use crate::{CommitTables, PrecomputeBudget};
+        use zkspeed_rt::pool::Serial;
+
+        let mut r = rng();
+        let srs = Srs::setup(6, &mut r);
+        let f = MultilinearPoly::random(6, &mut r);
+        let com = commit(&srs, &f);
+        let point: Vec<Fr> = (0..6).map(|_| Fr::random(&mut r)).collect();
+        let config = zkspeed_curve::MsmConfig::precomputed();
+        let (value, proof, _) = open_with_config_on(&Serial, &srs, &f, &point, config);
+        let tables = CommitTables::build_on(&srs, &PrecomputeBudget::unlimited(), &Serial)
+            .expect("unlimited budget builds");
+        let (tvalue, tproof, tstats) =
+            open_with_tables_on(&Serial, &srs, &f, &point, config, Some(&tables));
+        assert_eq!(value, tvalue);
+        assert_eq!(proof, tproof, "quotient commitments must be identical");
+        assert!(verify_opening(&srs, &com, &point, tvalue, &tproof));
+        // The first rounds (levels 1..) run on tables with zero doublings;
+        // only the sub-floor tail rounds may double.
+        assert!(tstats.fq_muls() > 0);
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub(crate) struct MetricsRecorder {
     max_wave: AtomicU64,
     rollup: Mutex<MsmRollup>,
     latencies: Mutex<HashMap<[u8; 32], SessionSamples>>,
+    /// Per-session precompute accounting recorded at registration:
+    /// `(table_bytes, build_ms)`. Zero bytes means the session registered
+    /// without precomputed commit tables.
+    precompute: Mutex<HashMap<[u8; 32], (u64, f64)>>,
 }
 
 impl MetricsRecorder {
@@ -101,7 +105,19 @@ impl MetricsRecorder {
             max_wave: AtomicU64::new(0),
             rollup: Mutex::new(MsmRollup::default()),
             latencies: Mutex::new(HashMap::new()),
+            precompute: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Records a session registration's precompute accounting: the bytes of
+    /// commit tables built for it (0 when precomputation is disabled or the
+    /// budget built nothing) and the registration preprocess wall time that
+    /// included the one-time build.
+    pub(crate) fn record_precompute(&self, session: [u8; 32], table_bytes: u64, build_ms: f64) {
+        self.precompute
+            .lock()
+            .expect("metrics lock poisoned")
+            .insert(session, (table_bytes, build_ms));
     }
 
     pub(crate) fn record_wave(&self, jobs: usize) {
@@ -141,23 +157,37 @@ impl MetricsRecorder {
         let completed = self.completed.load(Ordering::Relaxed);
         let uptime = self.started.elapsed().as_secs_f64();
         let sessions = {
+            // A session appears once it has either completed a job or been
+            // registered (precompute accounting is recorded at registration),
+            // so freshly registered sessions are visible before their first
+            // proof.
             let latencies = self.latencies.lock().expect("metrics lock poisoned");
-            let mut sessions: Vec<SessionMetrics> = latencies
-                .iter()
-                .map(|(digest, samples)| {
-                    let mut sorted = samples.samples.clone();
+            let precompute = self.precompute.lock().expect("metrics lock poisoned");
+            let mut digests: Vec<[u8; 32]> =
+                latencies.keys().chain(precompute.keys()).copied().collect();
+            digests.sort_unstable();
+            digests.dedup();
+            digests
+                .into_iter()
+                .map(|digest| {
+                    let (precompute_table_bytes, precompute_build_ms) =
+                        precompute.get(&digest).copied().unwrap_or((0, 0.0));
+                    let (jobs_completed, mut sorted) = latencies
+                        .get(&digest)
+                        .map(|samples| (samples.total, samples.samples.clone()))
+                        .unwrap_or((0, Vec::new()));
                     sorted.sort_by(|a, b| a.total_cmp(b));
                     SessionMetrics {
-                        digest: *digest,
-                        jobs_completed: samples.total,
+                        digest,
+                        jobs_completed,
                         p50_ms: percentile(&sorted, 0.50),
                         p99_ms: percentile(&sorted, 0.99),
                         max_ms: sorted.last().copied().unwrap_or(0.0),
+                        precompute_table_bytes,
+                        precompute_build_ms,
                     }
                 })
-                .collect();
-            sessions.sort_by_key(|s| s.digest);
-            sessions
+                .collect()
         };
         ServiceMetrics {
             uptime_seconds: uptime,
@@ -210,6 +240,13 @@ pub struct SessionMetrics {
     pub p99_ms: f64,
     /// Worst latency in the window (ms).
     pub max_ms: f64,
+    /// Bytes of precomputed commit tables built for this session at
+    /// registration (0 when precomputation was disabled or the budget built
+    /// nothing).
+    pub precompute_table_bytes: u64,
+    /// Wall-clock time of the registration preprocess that included the
+    /// one-time table build (ms); 0 when no tables were built.
+    pub precompute_build_ms: f64,
 }
 
 /// A point-in-time service metrics snapshot.
@@ -368,6 +405,14 @@ impl ToJson for ServiceMetrics {
                                 ("p50_ms".into(), JsonValue::Float(s.p50_ms)),
                                 ("p99_ms".into(), JsonValue::Float(s.p99_ms)),
                                 ("max_ms".into(), JsonValue::Float(s.max_ms)),
+                                (
+                                    "precompute_table_bytes".into(),
+                                    JsonValue::UInt(s.precompute_table_bytes),
+                                ),
+                                (
+                                    "precompute_build_ms".into(),
+                                    JsonValue::Float(s.precompute_build_ms),
+                                ),
                             ])
                         })
                         .collect(),
@@ -432,6 +477,32 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn precompute_accounting_is_reported_per_session() {
+        let rec = MetricsRecorder::new();
+        // Session [1;32] registers with tables and completes a job; session
+        // [2;32] registers (no tables) and never proves anything — it must
+        // still appear in the snapshot with zeroed latency fields.
+        rec.record_precompute([1u8; 32], 4096, 12.5);
+        rec.record_precompute([2u8; 32], 0, 0.0);
+        rec.record_completion([1u8; 32], 20.0, &ProverReport::default());
+
+        let snap = rec.snapshot([0, 0, 0], 0, 64, 2);
+        assert_eq!(snap.sessions.len(), 2);
+        assert_eq!(snap.sessions[0].digest, [1u8; 32]);
+        assert_eq!(snap.sessions[0].precompute_table_bytes, 4096);
+        assert!((snap.sessions[0].precompute_build_ms - 12.5).abs() < 1e-9);
+        assert_eq!(snap.sessions[0].jobs_completed, 1);
+        assert_eq!(snap.sessions[1].digest, [2u8; 32]);
+        assert_eq!(snap.sessions[1].precompute_table_bytes, 0);
+        assert_eq!(snap.sessions[1].jobs_completed, 0);
+        assert_eq!(snap.sessions[1].p50_ms, 0.0);
+
+        let json = snap.to_json().render();
+        assert!(json.contains("precompute_table_bytes"));
+        assert!(json.contains("precompute_build_ms"));
     }
 
     #[test]

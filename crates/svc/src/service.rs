@@ -32,10 +32,10 @@ use std::time::Instant;
 
 use zkspeed_curve::MsmConfig;
 use zkspeed_hyperplonk::{
-    prove_batch_with_reports_msm_on, try_preprocess_on, Circuit, PreprocessError, ProvingKey,
-    VerifyingKey, Witness,
+    prove_batch_with_reports_msm_on, try_preprocess_with_budget_on, Circuit, PreprocessError,
+    ProvingKey, VerifyingKey, Witness,
 };
-use zkspeed_pcs::Srs;
+use zkspeed_pcs::{PrecomputeBudget, Srs};
 use zkspeed_rt::codec::{DecodeError, Reader};
 use zkspeed_rt::pool::{backend_with_threads, Backend};
 use zkspeed_rt::ToJson;
@@ -62,6 +62,11 @@ pub struct ServiceConfig {
     pub starvation_limit: u64,
     /// MSM engine configuration used by every session's prover.
     pub msm_config: MsmConfig,
+    /// Opt-in budget for per-session precomputed commit tables, built once
+    /// at registration on the session's shard backend. Disabled by default;
+    /// pair with [`MsmSchedule::Precomputed`](zkspeed_curve::MsmSchedule)
+    /// in [`ServiceConfig::msm_config`] so the prover consumes the tables.
+    pub precompute: PrecomputeBudget,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +80,7 @@ impl Default for ServiceConfig {
             wave_size: 4,
             starvation_limit: 4,
             msm_config: MsmConfig::default(),
+            precompute: PrecomputeBudget::default(),
         }
     }
 }
@@ -113,6 +119,12 @@ impl ServiceConfig {
     /// Overrides the MSM engine configuration.
     pub fn with_msm_config(mut self, msm_config: MsmConfig) -> Self {
         self.msm_config = msm_config;
+        self
+    }
+
+    /// Overrides the precomputed-commit-table budget (disabled by default).
+    pub fn with_precompute(mut self, precompute: PrecomputeBudget) -> Self {
+        self.precompute = precompute;
         self
     }
 }
@@ -326,7 +338,25 @@ impl ProvingService {
             (self.shared.next_shard.fetch_add(1, Ordering::Relaxed) as usize) % self.shard_count();
         let num_vars = circuit.num_vars();
         let backend = &self.shared.shards[shard].backend;
-        let (pk, vk) = try_preprocess_on(circuit, &self.shared.srs, backend)?;
+        let preprocess_started = Instant::now();
+        let (pk, vk) = try_preprocess_with_budget_on(
+            circuit,
+            &self.shared.srs,
+            backend,
+            &self.shared.config.precompute,
+        )?;
+        let table_bytes = pk
+            .commit_tables
+            .as_ref()
+            .map_or(0, |tables| tables.size_in_bytes());
+        let build_ms = if table_bytes > 0 {
+            preprocess_started.elapsed().as_secs_f64() * 1e3
+        } else {
+            0.0
+        };
+        self.shared
+            .metrics
+            .record_precompute(digest, table_bytes, build_ms);
         let session = Arc::new(Session {
             pk: Arc::new(pk),
             vk: Arc::new(vk),

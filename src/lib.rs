@@ -136,7 +136,7 @@ pub mod prelude {
         mock_circuit, Circuit, CircuitBuilder, CircuitStats, Proof, ProverReport, SparsityProfile,
         VerifyingKey, Witness,
     };
-    pub use zkspeed_pcs::Srs;
+    pub use zkspeed_pcs::{PrecomputeBudget, Srs};
     pub use zkspeed_rt::pool::{Backend, Serial, ThreadPool};
     pub use zkspeed_rt::rngs::StdRng;
     pub use zkspeed_rt::{SeedableRng, ToJson};

@@ -30,12 +30,13 @@
 
 use std::sync::Arc;
 
-use zkspeed_curve::MsmConfig;
+use zkspeed_curve::{MsmConfig, MsmSchedule};
 use zkspeed_hyperplonk::{
-    prove_batch_msm_on, prove_unchecked_msm_on, prove_with_report_msm_on, try_preprocess_on,
-    verify, Circuit, Proof, ProverReport, ProvingKey, VerifyingKey, Witness,
+    prove_batch_msm_on, prove_unchecked_msm_on, prove_with_report_msm_on,
+    try_preprocess_with_budget_on, verify, Circuit, Proof, ProverReport, ProvingKey, VerifyingKey,
+    Witness,
 };
-use zkspeed_pcs::Srs;
+use zkspeed_pcs::{PrecomputeBudget, Srs};
 use zkspeed_rt::pool::{self, Backend};
 use zkspeed_svc::{ProvingService, ServiceConfig};
 
@@ -49,6 +50,7 @@ pub struct ProofSystem {
     srs: Arc<Srs>,
     backend: Arc<dyn Backend>,
     msm_config: MsmConfig,
+    precompute: PrecomputeBudget,
 }
 
 impl ProofSystem {
@@ -60,6 +62,7 @@ impl ProofSystem {
             srs: Arc::new(srs),
             backend: pool::ambient(),
             msm_config: MsmConfig::default(),
+            precompute: PrecomputeBudget::default(),
         }
     }
 
@@ -70,6 +73,7 @@ impl ProofSystem {
             srs: Arc::new(srs),
             backend,
             msm_config: MsmConfig::default(),
+            precompute: PrecomputeBudget::default(),
         }
     }
 
@@ -87,6 +91,29 @@ impl ProofSystem {
     pub fn with_msm_config(mut self, msm_config: MsmConfig) -> Self {
         self.msm_config = msm_config;
         self
+    }
+
+    /// Opts the session into precomputed multi-base commit tables: every
+    /// subsequent [`ProofSystem::preprocess`] builds per-level window tables
+    /// over the SRS Lagrange bases within `budget` and stores them on the
+    /// proving key, and the session's MSM schedule switches to
+    /// [`MsmSchedule::Precomputed`] so commits and openings consume them —
+    /// zero doublings per scalar instead of one doubling per bit. Proof
+    /// bytes are identical either way; only the operation schedule changes.
+    /// An explicitly disabled budget reverts to the default schedule.
+    pub fn with_precompute(mut self, budget: PrecomputeBudget) -> Self {
+        self.precompute = budget;
+        self.msm_config.schedule = if budget.is_enabled() {
+            MsmSchedule::Precomputed
+        } else {
+            MsmConfig::default().schedule
+        };
+        self
+    }
+
+    /// The precomputed-table budget applied at preprocessing.
+    pub fn precompute(&self) -> PrecomputeBudget {
+        self.precompute
     }
 
     /// The MSM engine configuration derived handles will prove with.
@@ -112,7 +139,9 @@ impl ProofSystem {
     pub fn serve(&self, config: ServiceConfig) -> ProvingService {
         ProvingService::start(
             Arc::clone(&self.srs),
-            config.with_msm_config(self.msm_config),
+            config
+                .with_msm_config(self.msm_config)
+                .with_precompute(self.precompute),
         )
     }
 
@@ -125,7 +154,8 @@ impl ProofSystem {
     /// Returns [`Error::Preprocess`] if the circuit needs more variables
     /// than the SRS supports.
     pub fn preprocess(&self, circuit: Circuit) -> Result<(ProverHandle, VerifierHandle), Error> {
-        let (pk, vk) = try_preprocess_on(circuit, &self.srs, &self.backend)?;
+        let (pk, vk) =
+            try_preprocess_with_budget_on(circuit, &self.srs, &self.backend, &self.precompute)?;
         Ok((
             ProverHandle {
                 pk: Arc::new(pk),
@@ -293,6 +323,47 @@ mod tests {
         // Handles are cheap to clone and share state.
         let prover2 = prover.clone();
         assert_eq!(prover2.prove(&witness).expect("still proves"), proof);
+    }
+
+    #[test]
+    fn precompute_session_matches_default_proofs() {
+        let mut rng = StdRng::seed_from_u64(0x5e55_0004);
+        let srs = Srs::try_setup(6, &mut rng).expect("small setup");
+        let (circuit, witness) = mock_circuit(6, SparsityProfile::paper_default(), &mut rng);
+
+        let plain = ProofSystem::setup_with_backend(srs.clone(), Arc::new(Serial));
+        let (plain_prover, _) = plain.preprocess(circuit.clone()).expect("fits");
+        assert!(plain_prover.proving_key().commit_tables.is_none());
+        let reference = plain_prover.prove(&witness).expect("valid witness");
+
+        let fast = ProofSystem::setup_with_backend(srs, Arc::new(ThreadPool::new(4)))
+            .with_precompute(PrecomputeBudget::unlimited());
+        assert!(fast.precompute().is_enabled());
+        assert!(matches!(
+            fast.msm_config().schedule,
+            MsmSchedule::Precomputed
+        ));
+        let (prover, verifier) = fast.preprocess(circuit).expect("fits");
+        let tables = prover
+            .proving_key()
+            .commit_tables
+            .as_ref()
+            .expect("unlimited budget builds tables");
+        assert!(tables.size_in_bytes() > 0);
+        let proof = prover.prove(&witness).expect("valid witness");
+        assert_eq!(
+            proof, reference,
+            "precomputed-schedule proofs must be byte-identical"
+        );
+        verifier.verify(&proof).expect("verifies");
+
+        // Disabling the budget reverts the schedule too.
+        let reverted = fast.with_precompute(PrecomputeBudget::disabled());
+        assert!(!reverted.precompute().is_enabled());
+        assert!(matches!(
+            reverted.msm_config().schedule,
+            MsmSchedule::IntraWindow { chunks: 0 }
+        ));
     }
 
     #[test]

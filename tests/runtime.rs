@@ -13,7 +13,10 @@
 use std::sync::Arc;
 
 use zkspeed::prelude::*;
-use zkspeed_curve::{msm_with_config, naive_msm, sparse_msm, G1Affine, G1Projective, MsmConfig};
+use zkspeed_curve::{
+    msm_precomputed_on, msm_with_config, naive_msm, sparse_msm, G1Affine, G1Projective, MsmConfig,
+    MultiBaseTable, MULTI_BASE_DEFAULT_WINDOW_BITS,
+};
 use zkspeed_field::Fr;
 use zkspeed_hyperplonk::mock_circuit;
 use zkspeed_poly::{MultilinearPoly, VirtualPolynomial};
@@ -166,6 +169,28 @@ fn msm_schedules_agree_and_are_thread_count_invariant() {
 }
 
 #[test]
+fn precomputed_msm_results_and_stats_are_thread_count_invariant() {
+    // The precomputed engine splits work over bucket ranges, never over the
+    // backend width: result AND operation counters must be identical under
+    // Serial and any pool size.
+    let (points, scalars) = random_msm_instance(512, 0xD5EE_D015);
+    let expect = naive_msm(&points, &scalars);
+    let table = Arc::new(MultiBaseTable::build(
+        &points,
+        MULTI_BASE_DEFAULT_WINDOW_BITS,
+    ));
+    let config = MsmConfig::precomputed();
+    let serial = msm_precomputed_on(&Serial, &table, &scalars, config);
+    assert_eq!(serial.0, expect, "precomputed MSM computed a wrong result");
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let parallel = msm_precomputed_on(&pool, &table, &scalars, config);
+        assert_eq!(parallel.0, serial.0, "{threads}-thread result drifted");
+        assert_eq!(parallel.1, serial.1, "{threads}-thread stats drifted");
+    }
+}
+
+#[test]
 fn modmul_counters_are_thread_count_invariant() {
     // The kernel profiler (Table 1) reads thread-local modmul counters;
     // parallel workers must hand their counts back to the spawning thread.
@@ -308,6 +333,48 @@ fn proofs_are_bit_identical_across_msm_schedules_and_backends() {
                 ),
             }
         }
+    }
+}
+
+#[test]
+fn precomputed_sessions_reproduce_the_default_proof_bytes_on_every_backend() {
+    // Acceptance scenario of the precomputed-table commit path: a session
+    // with table precomputation enabled must serialize to exactly the bytes
+    // the default schedule produces, on Serial, ThreadPool(1) and
+    // ThreadPool(8) — the tables change how the commitments are computed,
+    // never what they are.
+    let mu = 5;
+    let seed = 0xD5EE_D034;
+    let reference = {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let srs = Srs::try_setup(mu, &mut rng).expect("setup fits");
+        let system = ProofSystem::setup_with_backend(srs, Arc::new(Serial));
+        let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut rng);
+        let (prover, verifier) = system.preprocess(circuit).expect("circuit fits");
+        let proof = prover.prove(&witness).expect("valid witness");
+        verifier.verify(&proof).expect("reference proof verifies");
+        proof.to_bytes()
+    };
+    let backends: Vec<Arc<dyn Backend>> = vec![
+        Arc::new(Serial),
+        Arc::new(ThreadPool::new(1)),
+        Arc::new(ThreadPool::new(8)),
+    ];
+    for backend in backends {
+        let name = backend.name();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let srs = Srs::try_setup(mu, &mut rng).expect("setup fits");
+        let system = ProofSystem::setup_with_backend(srs, backend)
+            .with_precompute(PrecomputeBudget::unlimited());
+        let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut rng);
+        let (prover, verifier) = system.preprocess(circuit).expect("circuit fits");
+        let proof = prover.prove(&witness).expect("valid witness");
+        verifier.verify(&proof).expect("precomputed proof verifies");
+        assert_eq!(
+            proof.to_bytes(),
+            reference,
+            "{name}: precomputed proof drifted from the default encoding"
+        );
     }
 }
 

@@ -322,6 +322,51 @@ fn wire_protocol_full_cycle() {
 }
 
 #[test]
+fn precompute_accounting_flows_through_the_metrics() {
+    // A service with an opt-in precompute budget builds the session tables
+    // at registration and reports their footprint and build time, both in
+    // the in-process snapshot and over the wire Metrics frame.
+    let svc = service(
+        ServiceConfig::default()
+            .with_shards(1)
+            .with_precompute(PrecomputeBudget::unlimited()),
+    );
+    let (circuit, witness) = workload_instances().swap_remove(0);
+    let digest = svc.register_circuit(circuit).expect("fits");
+    let job = svc
+        .submit(&digest, witness, Priority::Normal)
+        .expect("submit");
+    svc.wait(job).expect("completes");
+
+    let metrics = svc.metrics();
+    assert_eq!(metrics.sessions.len(), 1);
+    let session = &metrics.sessions[0];
+    assert!(
+        session.precompute_table_bytes > 0,
+        "tables were built at registration"
+    );
+    assert!(session.precompute_build_ms > 0.0);
+
+    match roundtrip(&svc, &Request::Metrics) {
+        Response::Metrics { json } => {
+            assert!(json.contains("precompute_table_bytes"));
+            assert!(json.contains("precompute_build_ms"));
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+
+    // The default budget is disabled: registration builds nothing and the
+    // per-session accounting stays zero.
+    let off = service(ServiceConfig::default().with_shards(1));
+    let (circuit, _) = workload_instances().swap_remove(1);
+    off.register_circuit(circuit).expect("fits");
+    let metrics = off.metrics();
+    assert_eq!(metrics.sessions.len(), 1);
+    assert_eq!(metrics.sessions[0].precompute_table_bytes, 0);
+    assert_eq!(metrics.sessions[0].precompute_build_ms, 0.0);
+}
+
+#[test]
 fn wire_protocol_rejects_garbage_and_unknowns() {
     let svc = service(ServiceConfig::default().with_shards(1));
 

@@ -10,13 +10,22 @@
 //! MSM rollups — is persisted to `target/bench-history/service-metrics.json`
 //! so CI archives the service's operational profile next to its timings.
 //!
+//! The `serve-tcp/*` scenarios run the same shape through the real
+//! loopback transport — one `NetServer`, 4 `NetClient` threads each on
+//! its own authenticated `127.0.0.1` socket — so the wire-protocol and
+//! socket overhead shows up next to the in-process numbers; the TCP
+//! service's metrics (including the per-session p99 and connection
+//! counters) land in `target/bench-history/service-tcp-metrics.json`.
+//!
 //! [`ServiceMetrics`]: zkspeed_svc::ServiceMetrics
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use zkspeed_curve::MsmConfig;
 use zkspeed_hyperplonk::workloads::WorkloadSpec;
 use zkspeed_hyperplonk::Witness;
+use zkspeed_net::{ClientConfig, NetClient, NetServer, ServerConfig};
 use zkspeed_pcs::{PrecomputeBudget, Srs};
 use zkspeed_rt::bench::{history_dir, Harness};
 use zkspeed_rt::rngs::StdRng;
@@ -74,6 +83,96 @@ fn main() {
             }
         });
     }
+    // Loopback-TCP scenario: the same fan-in through the real transport —
+    // every witness and proof crosses an authenticated 127.0.0.1 socket as
+    // wire frames, so the delta against `serve/*` is the protocol + socket
+    // overhead.
+    let tcp_server = {
+        let mut tcp_rng = StdRng::seed_from_u64(34);
+        let tcp_srs = Arc::new(Srs::try_setup(14, &mut tcp_rng).expect("μ=14 setup fits"));
+        let tcp_service = ProvingService::start(
+            tcp_srs,
+            ServiceConfig::default()
+                .with_shards(if threads >= 4 { 2 } else { 1 })
+                .with_threads_per_shard((threads / 2).max(1))
+                .with_wave_size(4)
+                .with_queue_capacity(64),
+        );
+        NetServer::bind(
+            tcp_service,
+            ServerConfig::new("127.0.0.1:0")
+                .with_auth_token(b"bench-token")
+                .with_idle_timeout(Duration::from_secs(300)),
+        )
+        .expect("bind loopback")
+    };
+    let tcp_addr = tcp_server.local_addr();
+    let tcp_sessions: Vec<([u8; 32], Vec<u8>)> = {
+        let mut admin = NetClient::connect(tcp_addr, b"bench-token", ClientConfig::default())
+            .expect("bench client connects");
+        let mut out = Vec::new();
+        let mut tcp_rng = StdRng::seed_from_u64(35);
+        for spec in WorkloadSpec::test_suite() {
+            let (circuit, witness) = spec.build(&mut tcp_rng);
+            let (digest, _) = admin
+                .register_circuit(&circuit.to_bytes())
+                .expect("workload fits μ=14 SRS");
+            out.push((digest, witness.to_bytes()));
+        }
+        out
+    };
+    {
+        let (jobs, clients) = (8usize, 4usize);
+        h.bench(format!("serve-tcp/{jobs}jobs-{clients}clients"), || {
+            let workers: Vec<_> = (0..clients)
+                .map(|client_id| {
+                    let sessions = tcp_sessions.clone();
+                    std::thread::spawn(move || {
+                        let mut client =
+                            NetClient::connect(tcp_addr, b"bench-token", ClientConfig::default())
+                                .expect("bench client connects");
+                        let per_client = jobs / clients;
+                        let ids: Vec<u64> = (0..per_client)
+                            .map(|i| {
+                                let (digest, witness) = &sessions[(client_id + i) % sessions.len()];
+                                let priority = Priority::ALL[(client_id + i) % 3];
+                                client
+                                    .submit(*digest, priority, witness)
+                                    .expect("tcp submit succeeds")
+                            })
+                            .collect();
+                        for id in ids {
+                            client
+                                .wait(id, Duration::from_secs(600))
+                                .expect("tcp job completes");
+                        }
+                    })
+                })
+                .collect();
+            for worker in workers {
+                worker.join().expect("tcp client thread");
+            }
+        });
+    }
+    let tcp_metrics = tcp_server.service().metrics();
+    println!(
+        "tcp service metrics: {} proofs, {:.2} proofs/s over {} connections",
+        tcp_metrics.completed, tcp_metrics.proofs_per_second, tcp_metrics.connections.total
+    );
+    if let Some(dir) = history_dir() {
+        let path = dir.join("service-tcp-metrics.json");
+        let written = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, tcp_metrics.to_json().pretty().as_bytes()));
+        match written {
+            Ok(()) => println!("tcp service metrics: wrote {}", path.display()),
+            Err(e) => eprintln!(
+                "tcp service metrics: could not write {}: {e}",
+                path.display()
+            ),
+        }
+    }
+    tcp_server.shutdown();
+
     // Repeated-commit scenario: one session proving the same circuit over
     // and over — the serving pattern the precomputed commit tables target.
     // The `-on` service pays the table build once at registration (outside

@@ -1,0 +1,113 @@
+//! The client-side error type.
+
+use std::fmt;
+use std::io;
+
+use zkspeed_rt::codec::{DecodeError, FrameError};
+use zkspeed_svc::RejectCode;
+
+/// Everything that can go wrong talking to a remote proving service.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed (includes read/write timeouts).
+    Io(io::Error),
+    /// A received frame or message failed to decode.
+    Decode(DecodeError),
+    /// The server answered `Rejected`. [`RejectCode::is_retryable`] tells
+    /// whether backing off and retrying can help.
+    Rejected {
+        /// Machine-readable reason.
+        code: RejectCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// The server answered something the request cannot be answered with
+    /// (protocol confusion; treat the connection as poisoned).
+    UnexpectedResponse(
+        /// Debug rendering of the offending response.
+        String,
+    ),
+    /// The job ran but proving failed (the witness does not satisfy the
+    /// circuit).
+    JobFailed(
+        /// The job id that failed.
+        u64,
+    ),
+    /// The server closed the connection.
+    Disconnected,
+    /// A wait deadline expired before the job finished.
+    TimedOut,
+}
+
+impl NetError {
+    /// Whether retrying the same operation after a backoff can succeed:
+    /// I/O timeouts and retryable `Rejected` codes (queue/connection
+    /// backpressure) are transient, everything else is not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            NetError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::Interrupted
+                    | io::ErrorKind::ConnectionRefused
+            ),
+            NetError::Rejected { code, .. } => code.is_retryable(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Decode(e) => write!(f, "decode failed: {e}"),
+            NetError::Rejected { code, detail } => {
+                write!(f, "server rejected request ({code:?}): {detail}")
+            }
+            NetError::UnexpectedResponse(got) => {
+                write!(f, "unexpected response from server: {got}")
+            }
+            NetError::JobFailed(job) => write!(f, "job {job} failed on the server"),
+            NetError::Disconnected => write!(f, "server closed the connection"),
+            NetError::TimedOut => write!(f, "deadline expired waiting for the server"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<DecodeError> for NetError {
+    fn from(e: DecodeError) -> Self {
+        NetError::Decode(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => NetError::Io(io),
+            FrameError::TruncatedFrame { .. } => NetError::Disconnected,
+            FrameError::TooLarge { len, max } => NetError::Decode(DecodeError::InvalidLength {
+                what: "response frame",
+                expected: max,
+                found: len,
+            }),
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! The threaded TCP server wrapping a [`ProvingService`].
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use zkspeed_rt::codec::FrameReader;
+use zkspeed_svc::{ProvingService, RejectCode, Request, Response, ServiceMetrics};
+
+/// How often the accept loop and the drain loop re-check their stop
+/// conditions.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Tuning knobs of a [`NetServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub addr: String,
+    /// The auth token every connection must present in its opening `Hello`
+    /// frame. Empty means "accept any token" (still requires the `Hello`).
+    pub auth_token: Vec<u8>,
+    /// Connection cap — the backpressure tier above the job queue. Over-cap
+    /// connects are answered `Rejected`/[`RejectCode::OverCapacity`] and
+    /// closed.
+    pub max_connections: usize,
+    /// Per-connection idle timeout: a connection with no complete frame for
+    /// this long is closed.
+    pub idle_timeout: Duration,
+    /// After the job backlog drains, how long shutdown keeps established
+    /// connections open so clients can poll their remaining `ProofReady`
+    /// responses before stragglers are force-closed.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            auth_token: Vec::new(),
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(30),
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A default configuration bound to `addr`.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the auth token.
+    pub fn with_auth_token(mut self, token: &[u8]) -> Self {
+        self.auth_token = token.to_vec();
+        self
+    }
+
+    /// Overrides the connection cap.
+    pub fn with_max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap.max(1);
+        self
+    }
+
+    /// Overrides the idle timeout.
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Overrides the drain grace window.
+    pub fn with_drain_grace(mut self, grace: Duration) -> Self {
+        self.drain_grace = grace;
+        self
+    }
+}
+
+struct ServerShared {
+    service: ProvingService,
+    config: ServerConfig,
+    /// Tells the accept loop to stop.
+    stop: AtomicBool,
+    /// Write halves of every live connection, for force-closing stragglers
+    /// at the end of the drain grace window. Keyed by connection id; a
+    /// handler removes its own entry when it exits.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Set when a wire `Shutdown` request arrives; see
+    /// [`NetServer::wait_for_shutdown_request`].
+    shutdown_requested: Mutex<bool>,
+    shutdown_signal: Condvar,
+}
+
+/// A running TCP front-end over a [`ProvingService`].
+///
+/// Accepts connections on a dedicated thread and serves each on its own
+/// handler thread: first frame must be `Hello` (auth), then framed
+/// request/response until the peer disconnects, idles out, or sends bytes
+/// that cannot be framed. Dropping the server (or calling
+/// [`NetServer::shutdown`]) drains gracefully.
+pub struct NetServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds the listener and starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn bind(service: ProvingService, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let local_addr = listener.local_addr()?;
+        // Nonblocking so the loop can observe the stop flag between polls.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ServerShared {
+            service,
+            config,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(1),
+            handlers: Mutex::new(Vec::new()),
+            shutdown_requested: Mutex::new(false),
+            shutdown_signal: Condvar::new(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("zkspeed-net-accept".into())
+            .spawn(move || accept_loop(&accept_shared, listener))
+            .expect("failed to spawn accept thread");
+        Ok(Self {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The wrapped service (for registering circuits or snapshotting
+    /// metrics in-process).
+    pub fn service(&self) -> &ProvingService {
+        &self.shared.service
+    }
+
+    /// Number of currently established connections.
+    pub fn connection_count(&self) -> usize {
+        self.shared.conns.lock().expect("conns lock poisoned").len()
+    }
+
+    /// Blocks until some client sends a wire `Shutdown` request (the
+    /// `zkspeed serve` main loop parks here, then calls
+    /// [`NetServer::shutdown`]).
+    pub fn wait_for_shutdown_request(&self) {
+        let mut requested = self
+            .shared
+            .shutdown_requested
+            .lock()
+            .expect("shutdown lock poisoned");
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_signal
+                .wait(requested)
+                .expect("shutdown lock poisoned");
+        }
+    }
+
+    /// Graceful drain: stop accepting, reject new submissions with
+    /// `Rejected`/[`RejectCode::Draining`], finish every in-flight job,
+    /// keep connections open for [`ServerConfig::drain_grace`] so clients
+    /// collect pending `ProofReady` responses, force-close stragglers, join
+    /// every thread, and return the final metrics snapshot.
+    pub fn shutdown(mut self) -> ServiceMetrics {
+        self.shutdown_in_place();
+        let metrics = self.shared.service.metrics();
+        // ProvingService::drop closes the queues and joins shard workers
+        // when `self.shared` is released.
+        metrics
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.service.begin_drain();
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        // All accepted jobs run to completion before connections are
+        // touched — this is the "never drop an in-flight ProofReady" half
+        // of the drain contract.
+        self.shared.service.drain();
+        let deadline = Instant::now() + self.shared.config.drain_grace;
+        while Instant::now() < deadline {
+            if self
+                .shared
+                .conns
+                .lock()
+                .expect("conns lock poisoned")
+                .is_empty()
+            {
+                break;
+            }
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        // Stragglers (idle clients, or peers that never read) are cut off;
+        // their handler threads observe the closed socket and exit.
+        for (_, stream) in self
+            .shared
+            .conns
+            .lock()
+            .expect("conns lock poisoned")
+            .drain()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handlers =
+            std::mem::take(&mut *self.shared.handlers.lock().expect("handlers poisoned"));
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(shared, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+/// Admission control: enforce the connection cap, then hand the stream to
+/// a dedicated handler thread.
+fn admit(shared: &Arc<ServerShared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Accepted sockets inherit the listener's nonblocking flag on some
+    // platforms; handlers want blocking reads bounded by the idle timeout.
+    let _ = stream.set_nonblocking(false);
+    {
+        let conns = shared.conns.lock().expect("conns lock poisoned");
+        if conns.len() >= shared.config.max_connections {
+            drop(conns);
+            shared.service.record_connection_over_capacity();
+            let reject = Response::Rejected {
+                code: RejectCode::OverCapacity,
+                detail: format!("connection cap reached ({})", shared.config.max_connections),
+            };
+            let _ = stream.write_all(&reject.to_frame());
+            let _ = stream.flush();
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    let registered = match stream.try_clone() {
+        Ok(clone) => {
+            shared
+                .conns
+                .lock()
+                .expect("conns lock poisoned")
+                .insert(id, clone);
+            true
+        }
+        Err(_) => false,
+    };
+    if !registered {
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    shared.service.record_connection_opened();
+    let handler_shared = Arc::clone(shared);
+    let handler = std::thread::Builder::new()
+        .name(format!("zkspeed-net-conn-{id}"))
+        .spawn(move || {
+            serve_connection(&handler_shared, stream);
+            handler_shared
+                .conns
+                .lock()
+                .expect("conns lock poisoned")
+                .remove(&id);
+            handler_shared.service.record_connection_closed();
+        });
+    match handler {
+        Ok(handle) => shared
+            .handlers
+            .lock()
+            .expect("handlers poisoned")
+            .push(handle),
+        Err(_) => {
+            shared
+                .conns
+                .lock()
+                .expect("conns lock poisoned")
+                .remove(&id);
+            shared.service.record_connection_closed();
+        }
+    }
+}
+
+/// Writes one response frame; returns `false` when the peer is gone.
+fn send(stream: &mut TcpStream, response: &Response) -> bool {
+    stream.write_all(&response.to_frame()).is_ok() && stream.flush().is_ok()
+}
+
+/// One connection's lifecycle: auth handshake, then request/response until
+/// EOF, idle timeout, or a framing error.
+fn serve_connection(shared: &ServerShared, stream: TcpStream) {
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = FrameReader::new(stream);
+
+    // --- auth handshake: the first frame must be an acceptable Hello ---
+    let first = match reader.next_frame() {
+        Ok(Some(payload)) => payload,
+        Ok(None) => return,
+        Err(e) => {
+            if e.is_timeout() {
+                shared.service.record_connection_idle_timeout();
+            }
+            return;
+        }
+    };
+    match Request::from_bytes(&first) {
+        Ok(Request::Hello { token }) => {
+            if !shared.config.auth_token.is_empty() && token != shared.config.auth_token {
+                shared.service.record_connection_bad_auth();
+                send(
+                    &mut writer,
+                    &Response::Rejected {
+                        code: RejectCode::BadAuth,
+                        detail: "auth token mismatch".into(),
+                    },
+                );
+                let _ = writer.shutdown(Shutdown::Both);
+                return;
+            }
+            if !send(
+                &mut writer,
+                &shared.service.handle_request(Request::Hello { token }),
+            ) {
+                return;
+            }
+        }
+        Ok(_) => {
+            shared.service.record_connection_bad_auth();
+            send(
+                &mut writer,
+                &Response::Rejected {
+                    code: RejectCode::BadAuth,
+                    detail: "first frame must be Hello".into(),
+                },
+            );
+            let _ = writer.shutdown(Shutdown::Both);
+            return;
+        }
+        Err(e) => {
+            send(
+                &mut writer,
+                &Response::Rejected {
+                    code: RejectCode::Malformed,
+                    detail: e.to_string(),
+                },
+            );
+            let _ = writer.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+
+    // --- authenticated request loop ---
+    loop {
+        let payload = match reader.next_frame() {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF
+            Err(e) => {
+                if e.is_timeout() {
+                    shared.service.record_connection_idle_timeout();
+                }
+                // Oversized length prefixes get a courtesy reject before
+                // the close; torn frames and hard I/O errors just close.
+                if matches!(e, zkspeed_rt::codec::FrameError::TooLarge { .. }) {
+                    send(
+                        &mut writer,
+                        &Response::Rejected {
+                            code: RejectCode::Malformed,
+                            detail: e.to_string(),
+                        },
+                    );
+                }
+                let _ = writer.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let request = match Request::from_bytes(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // A frame that framed correctly but decodes to garbage
+                // means the peer is confused or malicious; answer and
+                // close rather than trusting subsequent bytes.
+                send(
+                    &mut writer,
+                    &Response::Rejected {
+                        code: RejectCode::Malformed,
+                        detail: e.to_string(),
+                    },
+                );
+                let _ = writer.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = shared.service.handle_request(request);
+        if !send(&mut writer, &response) {
+            return;
+        }
+        if is_shutdown {
+            // Wake whoever parked in wait_for_shutdown_request. The
+            // connection stays open so this client (and others) can keep
+            // polling for proofs that finish during the drain.
+            let mut requested = shared
+                .shutdown_requested
+                .lock()
+                .expect("shutdown lock poisoned");
+            *requested = true;
+            shared.shutdown_signal.notify_all();
+        }
+    }
+}

@@ -24,7 +24,16 @@ use core::fmt;
 pub const MAGIC: [u8; 4] = *b"zksp";
 
 /// The current encoding version.
-pub const VERSION: u16 = 1;
+///
+/// Version history:
+///
+/// * **1** — initial canonical encodings (proof/VK/SRS, later circuit,
+///   witness and the service request/response messages).
+/// * **2** — networked wire protocol: `Hello`/`Shutdown` request messages,
+///   `HelloOk`/`ShuttingDown` responses, and the expanded reject-code set
+///   (bad-auth / draining / over-capacity). Version-1 artifacts decode to a
+///   clean [`DecodeError::UnsupportedVersion`], never a misparse.
+pub const VERSION: u16 = 2;
 
 /// The registry of artifact kind tags (byte 6 of the canonical header).
 ///
@@ -321,6 +330,174 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Why a streaming frame read failed (see [`FrameReader`]).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (including read timeouts, which
+    /// surface as [`std::io::ErrorKind::WouldBlock`] or
+    /// [`std::io::ErrorKind::TimedOut`] depending on the platform).
+    Io(std::io::Error),
+    /// The stream ended in the middle of a frame (after some but not all of
+    /// the length prefix, or short of the announced payload length).
+    TruncatedFrame {
+        /// Bytes of the frame that did arrive.
+        got: usize,
+        /// Bytes the frame announced (4 for a torn length prefix).
+        expected: usize,
+    },
+    /// The length prefix announced a payload beyond this reader's limit.
+    /// The stream is desynchronized after this error — close the
+    /// connection, do not try to resynchronize.
+    TooLarge {
+        /// The announced payload length.
+        len: usize,
+        /// This reader's configured limit.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+            FrameError::TruncatedFrame { got, expected } => {
+                write!(f, "stream ended mid-frame ({got} of {expected} bytes)")
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame announces {len} bytes, limit is {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// Whether this error is a read timeout (the transport's idle signal)
+    /// rather than a transport failure or protocol violation.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+/// A streaming wire-frame reader over any [`std::io::Read`] transport.
+///
+/// [`Reader::frame`] decodes frames out of a byte string already in memory;
+/// this type reads them off a stream — a `TcpStream`, a pipe, an in-memory
+/// cursor — handling **partial reads and split frames**: a frame delivered
+/// one byte at a time, or many frames coalesced into one TCP segment,
+/// decodes identically to whole-frame delivery. The length prefix is checked
+/// against a configurable limit *before* the payload allocation, so a
+/// corrupt or hostile prefix cannot request an absurd allocation.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    max_len: usize,
+}
+
+impl<R: std::io::Read> FrameReader<R> {
+    /// Wraps a transport with the default [`MAX_FRAME_LEN`] limit.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            max_len: MAX_FRAME_LEN,
+        }
+    }
+
+    /// Lowers the per-frame payload limit (clamped to [`MAX_FRAME_LEN`]).
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = max_len.min(MAX_FRAME_LEN);
+        self
+    }
+
+    /// The configured per-frame payload limit.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// A shared reference to the underlying transport.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// A mutable reference to the underlying transport (e.g. to write
+    /// responses back over the same duplex stream).
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// Unwraps the reader, returning the transport.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Reads one frame's payload off the stream, blocking as the transport
+    /// does. Returns `Ok(None)` on a clean end-of-stream at a frame
+    /// boundary (the peer closed between frames).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TruncatedFrame`] if the stream ends mid-frame,
+    /// [`FrameError::TooLarge`] if the prefix exceeds the limit (the stream
+    /// is desynchronized afterwards), or [`FrameError::Io`] for transport
+    /// errors — including read timeouts (see [`FrameError::is_timeout`]).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let mut prefix = [0u8; 4];
+        let mut filled = 0usize;
+        while filled < prefix.len() {
+            match self.inner.read(&mut prefix[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(FrameError::TruncatedFrame {
+                        got: filled,
+                        expected: prefix.len(),
+                    })
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > self.max_len {
+            return Err(FrameError::TooLarge {
+                len,
+                max: self.max_len,
+            });
+        }
+        let mut payload = vec![0u8; len];
+        let mut got = 0usize;
+        while got < len {
+            match self.inner.read(&mut payload[got..]) {
+                Ok(0) => return Err(FrameError::TruncatedFrame { got, expected: len }),
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        Ok(Some(payload))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +642,125 @@ mod tests {
             Reader::new(&[1u8, 0]).frame(),
             Err(DecodeError::UnexpectedEnd { .. })
         ));
+    }
+
+    /// A transport that hands out at most `chunk` bytes per read call, so
+    /// tests can model maximally-split TCP delivery.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl std::io::Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = (self.data.len() - self.pos).min(self.chunk).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_is_split_invariant() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"hello");
+        write_frame(&mut stream, b"");
+        write_frame(&mut stream, &[0xaa; 300]);
+
+        // Whole-buffer, byte-at-a-time and 7-byte-chunk delivery must all
+        // produce the identical frame sequence.
+        let mut per_chunk = Vec::new();
+        for chunk in [stream.len(), 1, 7] {
+            let mut reader = FrameReader::new(Trickle {
+                data: stream.clone(),
+                pos: 0,
+                chunk,
+            });
+            let mut frames = Vec::new();
+            while let Some(frame) = reader.next_frame().expect("valid stream") {
+                frames.push(frame);
+            }
+            per_chunk.push(frames);
+        }
+        assert_eq!(per_chunk[0].len(), 3);
+        assert_eq!(per_chunk[0][0], b"hello");
+        assert_eq!(per_chunk[0][1], b"");
+        assert_eq!(per_chunk[0][2], vec![0xaa; 300]);
+        assert_eq!(per_chunk[0], per_chunk[1]);
+        assert_eq!(per_chunk[0], per_chunk[2]);
+    }
+
+    #[test]
+    fn frame_reader_reports_clean_and_torn_eof() {
+        // Clean EOF at a frame boundary → None.
+        let mut ok = Vec::new();
+        write_frame(&mut ok, b"x");
+        let mut reader = FrameReader::new(std::io::Cursor::new(ok));
+        assert_eq!(reader.next_frame().unwrap(), Some(b"x".to_vec()));
+        assert!(reader.next_frame().unwrap().is_none());
+
+        // EOF inside the length prefix.
+        let mut reader = FrameReader::new(std::io::Cursor::new(vec![5u8, 0]));
+        assert!(matches!(
+            reader.next_frame(),
+            Err(FrameError::TruncatedFrame {
+                got: 2,
+                expected: 4
+            })
+        ));
+
+        // EOF inside the payload.
+        let mut torn = Vec::new();
+        write_frame(&mut torn, b"hello");
+        torn.truncate(6);
+        let mut reader = FrameReader::new(std::io::Cursor::new(torn));
+        assert!(matches!(
+            reader.next_frame(),
+            Err(FrameError::TruncatedFrame {
+                got: 2,
+                expected: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_prefix_before_allocating() {
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = FrameReader::new(std::io::Cursor::new(bad)).with_max_len(1024);
+        assert_eq!(reader.max_len(), 1024);
+        match reader.next_frame() {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // The limit clamps to MAX_FRAME_LEN.
+        let reader = FrameReader::new(std::io::Cursor::new(Vec::new())).with_max_len(usize::MAX);
+        assert_eq!(reader.max_len(), MAX_FRAME_LEN);
+    }
+
+    #[test]
+    fn frame_error_classifies_timeouts() {
+        let timeout = FrameError::Io(std::io::Error::new(std::io::ErrorKind::WouldBlock, "t"));
+        assert!(timeout.is_timeout());
+        let timeout = FrameError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, "t"));
+        assert!(timeout.is_timeout());
+        let other = FrameError::Io(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "x"));
+        assert!(!other.is_timeout());
+        assert!(!FrameError::TooLarge { len: 9, max: 1 }.is_timeout());
+        // Display strings carry the numbers operators grep for.
+        assert!(FrameError::TooLarge { len: 9, max: 1 }
+            .to_string()
+            .contains("9 bytes"));
+        assert!(FrameError::TruncatedFrame {
+            got: 2,
+            expected: 4
+        }
+        .to_string()
+        .contains("2 of 4"));
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub mod queue;
 mod service;
 pub mod wire;
 
-pub use metrics::{MsmRollup, ServiceMetrics, SessionMetrics};
+pub use metrics::{ConnectionMetrics, MsmRollup, ServiceMetrics, SessionMetrics};
 pub use service::{ProvingService, ServiceConfig, ServiceError};
 pub use wire::{JobState, Priority, RejectCode, Request, Response, KIND_REQUEST, KIND_RESPONSE};

@@ -72,14 +72,38 @@ impl MsmRollup {
     }
 }
 
+/// Transport-level connection counters, filled in by a socket transport
+/// (`zkspeed-net`) through the [`crate::ProvingService`] recording hooks.
+/// All zeros for an in-process service that never saw a socket.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConnectionMetrics {
+    /// Connections currently open.
+    pub open: u64,
+    /// Connections accepted over the service lifetime.
+    pub total: u64,
+    /// Connections closed after a failed auth handshake.
+    pub rejected_bad_auth: u64,
+    /// Connections turned away at the connection cap (the backpressure
+    /// tier above the job queue).
+    pub rejected_over_capacity: u64,
+    /// Connections closed by the per-connection idle timeout.
+    pub idle_timeouts: u64,
+}
+
 /// The live recorder owned by the service.
 pub(crate) struct MetricsRecorder {
     started: Instant,
     pub(crate) submitted: AtomicU64,
     pub(crate) rejected_queue_full: AtomicU64,
     pub(crate) rejected_invalid: AtomicU64,
+    pub(crate) rejected_draining: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
+    pub(crate) conn_opened: AtomicU64,
+    pub(crate) conn_closed: AtomicU64,
+    pub(crate) conn_bad_auth: AtomicU64,
+    pub(crate) conn_over_capacity: AtomicU64,
+    pub(crate) conn_idle_timeouts: AtomicU64,
     waves: AtomicU64,
     wave_jobs: AtomicU64,
     max_wave: AtomicU64,
@@ -98,8 +122,14 @@ impl MetricsRecorder {
             submitted: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
             rejected_invalid: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            conn_opened: AtomicU64::new(0),
+            conn_closed: AtomicU64::new(0),
+            conn_bad_auth: AtomicU64::new(0),
+            conn_over_capacity: AtomicU64::new(0),
+            conn_idle_timeouts: AtomicU64::new(0),
             waves: AtomicU64::new(0),
             wave_jobs: AtomicU64::new(0),
             max_wave: AtomicU64::new(0),
@@ -189,14 +219,24 @@ impl MetricsRecorder {
                 })
                 .collect()
         };
+        let conn_opened = self.conn_opened.load(Ordering::Relaxed);
+        let conn_closed = self.conn_closed.load(Ordering::Relaxed);
         ServiceMetrics {
             uptime_seconds: uptime,
             sessions_registered,
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
             completed,
             failed: self.failed.load(Ordering::Relaxed),
+            connections: ConnectionMetrics {
+                open: conn_opened.saturating_sub(conn_closed),
+                total: conn_opened,
+                rejected_bad_auth: self.conn_bad_auth.load(Ordering::Relaxed),
+                rejected_over_capacity: self.conn_over_capacity.load(Ordering::Relaxed),
+                idle_timeouts: self.conn_idle_timeouts.load(Ordering::Relaxed),
+            },
             queue_depths,
             peak_queue_depth,
             queue_capacity,
@@ -263,10 +303,15 @@ pub struct ServiceMetrics {
     /// Submissions rejected for structural reasons (unknown circuit, shape
     /// mismatch, malformed bytes).
     pub rejected_invalid: u64,
+    /// Submissions turned away because the service was draining for
+    /// shutdown.
+    pub rejected_draining: u64,
     /// Proofs produced.
     pub completed: u64,
     /// Jobs whose witness failed the circuit at proving time.
     pub failed: u64,
+    /// Transport connection counters (all zero without a socket transport).
+    pub connections: ConnectionMetrics,
     /// Current queue depth per priority class (high, normal, low), summed
     /// over shards.
     pub queue_depths: [usize; 3],
@@ -329,8 +374,31 @@ impl ToJson for ServiceMetrics {
                         "rejected_invalid".into(),
                         JsonValue::UInt(self.rejected_invalid),
                     ),
+                    (
+                        "rejected_draining".into(),
+                        JsonValue::UInt(self.rejected_draining),
+                    ),
                     ("completed".into(), JsonValue::UInt(self.completed)),
                     ("failed".into(), JsonValue::UInt(self.failed)),
+                ]),
+            ),
+            (
+                "connections".into(),
+                JsonValue::Object(vec![
+                    ("open".into(), JsonValue::UInt(self.connections.open)),
+                    ("total".into(), JsonValue::UInt(self.connections.total)),
+                    (
+                        "rejected_bad_auth".into(),
+                        JsonValue::UInt(self.connections.rejected_bad_auth),
+                    ),
+                    (
+                        "rejected_over_capacity".into(),
+                        JsonValue::UInt(self.connections.rejected_over_capacity),
+                    ),
+                    (
+                        "idle_timeouts".into(),
+                        JsonValue::UInt(self.connections.idle_timeouts),
+                    ),
                 ]),
             ),
             (

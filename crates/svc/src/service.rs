@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -156,6 +156,9 @@ pub enum ServiceError {
         /// The prover's error message.
         String,
     ),
+    /// The service is draining: in-flight jobs finish, new work is turned
+    /// away.
+    Draining,
     /// The service is shutting down.
     Shutdown,
 }
@@ -173,6 +176,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Decode(e) => write!(f, "decode failed: {e}"),
             ServiceError::Preprocess(e) => write!(f, "preprocess failed: {e}"),
             ServiceError::JobFailed(msg) => write!(f, "job failed: {msg}"),
+            ServiceError::Draining => write!(f, "service is draining, not accepting new work"),
             ServiceError::Shutdown => write!(f, "service is shutting down"),
         }
     }
@@ -234,6 +238,9 @@ struct ServiceShared {
     jobs: Mutex<HashMap<u64, JobEntry>>,
     job_done: Condvar,
     next_job_id: AtomicU64,
+    /// Set by [`ProvingService::begin_drain`]: new registrations and
+    /// submissions are rejected while accepted jobs run to completion.
+    draining: AtomicBool,
     metrics: MetricsRecorder,
 }
 
@@ -274,6 +281,7 @@ impl ProvingService {
             jobs: Mutex::new(HashMap::new()),
             job_done: Condvar::new(),
             next_job_id: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
             metrics: MetricsRecorder::new(),
         });
         let workers = (0..shared.config.shards.max(1))
@@ -317,6 +325,13 @@ impl ProvingService {
         circuit: Circuit,
         digest: [u8; 32],
     ) -> Result<[u8; 32], ServiceError> {
+        if self.is_draining() {
+            self.shared
+                .metrics
+                .rejected_draining
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Draining);
+        }
         // One registration at a time: preprocessing commits eight MLE
         // tables (seconds at μ=14), and racing duplicates would each pay it
         // and burn a shard slot for the discarded copy.
@@ -440,6 +455,13 @@ impl ProvingService {
         priority: Priority,
         park: bool,
     ) -> Result<u64, ServiceError> {
+        if self.is_draining() {
+            self.shared
+                .metrics
+                .rejected_draining
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Draining);
+        }
         let session = {
             let sessions = self.shared.sessions.lock().expect("sessions lock poisoned");
             Arc::clone(sessions.get(digest).ok_or_else(|| {
@@ -581,6 +603,75 @@ impl ProvingService {
         self.shared.shards.len()
     }
 
+    /// Flips the service into drain mode: every subsequent registration or
+    /// submission is rejected with [`ServiceError::Draining`] (wire:
+    /// `Rejected(Draining)`), while already-accepted jobs keep running and
+    /// their results stay collectable. Idempotent.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`ProvingService::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until no job is queued or running. Call after
+    /// [`ProvingService::begin_drain`] — otherwise new submissions can keep
+    /// the backlog alive indefinitely. Completed-but-uncollected outcomes
+    /// (`Done`/`Failed` entries awaiting delivery) do not block the drain.
+    pub fn drain(&self) {
+        let mut jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
+        while jobs
+            .values()
+            .any(|entry| matches!(entry.phase, JobPhase::Queued | JobPhase::Running))
+        {
+            jobs = self.shared.job_done.wait(jobs).expect("jobs lock poisoned");
+        }
+    }
+
+    /// Records a transport connection being accepted (transport layers call
+    /// this so [`ServiceMetrics::connections`] reflects socket activity).
+    pub fn record_connection_opened(&self) {
+        self.shared
+            .metrics
+            .conn_opened
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a transport connection closing (any reason).
+    pub fn record_connection_closed(&self) {
+        self.shared
+            .metrics
+            .conn_closed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection rejected for a bad auth token.
+    pub fn record_connection_bad_auth(&self) {
+        self.shared
+            .metrics
+            .conn_bad_auth
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection rejected because the transport's connection cap
+    /// was reached.
+    pub fn record_connection_over_capacity(&self) {
+        self.shared
+            .metrics
+            .conn_over_capacity
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closed by the per-connection idle timeout.
+    pub fn record_connection_idle_timeout(&self) {
+        self.shared
+            .metrics
+            .conn_idle_timeouts
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The in-process wire endpoint: decodes one request frame, serves it,
     /// and returns the encoded response frame. Malformed input never
     /// panics — it answers with a `Rejected` response instead, like a
@@ -602,13 +693,35 @@ impl ProvingService {
             Ok(request) => request,
             Err(e) => return reject(RejectCode::Malformed, &e),
         };
+        self.handle_request(request)
+    }
+
+    /// Serves one already-decoded request. Transport layers that decode
+    /// frames themselves (and intercept `Hello` for authentication) call
+    /// this directly; [`ProvingService::handle_frame`] is the whole-frame
+    /// convenience wrapper.
+    ///
+    /// `Hello` here answers unconditionally with `HelloOk` — the service
+    /// itself holds no auth secret; token checking is the transport's job.
+    /// `Shutdown` flips the service into drain mode and answers
+    /// `ShuttingDown`.
+    pub fn handle_request(&self, request: Request) -> Response {
         match request {
+            Request::Hello { .. } => Response::HelloOk {
+                protocol: zkspeed_rt::codec::VERSION,
+                server: format!("zkspeed-svc/{}", env!("CARGO_PKG_VERSION")),
+            },
+            Request::Shutdown => {
+                self.begin_drain();
+                Response::ShuttingDown
+            }
             Request::SubmitCircuit { circuit } => match self.register_circuit_bytes(&circuit) {
                 Ok((digest, num_vars)) => Response::CircuitRegistered {
                     digest,
                     num_vars: num_vars as u32,
                 },
                 Err(e @ ServiceError::Decode(_)) => reject(RejectCode::Malformed, &e),
+                Err(e @ ServiceError::Draining) => reject(RejectCode::Draining, &e),
                 Err(e) => reject(RejectCode::Unsupported, &e),
             },
             Request::SubmitJob {
@@ -624,6 +737,7 @@ impl ProvingService {
                     Ok(job) => Response::JobAccepted { job },
                     Err(e @ ServiceError::QueueFull) => reject(RejectCode::QueueFull, &e),
                     Err(e @ ServiceError::UnknownCircuit) => reject(RejectCode::UnknownCircuit, &e),
+                    Err(e @ ServiceError::Draining) => reject(RejectCode::Draining, &e),
                     Err(e) => reject(RejectCode::WitnessMismatch, &e),
                 }
             }

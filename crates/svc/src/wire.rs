@@ -15,6 +15,8 @@
 //! | 2 | `SubmitJob` | 32-byte circuit digest, `u8` priority, `u32` len + witness artifact |
 //! | 3 | `JobStatus` | `u64` job id |
 //! | 4 | `Metrics` | (empty) |
+//! | 5 | `Hello` | `u32` len + auth token bytes |
+//! | 6 | `Shutdown` | (empty) |
 //!
 //! | response tag | message | body |
 //! |---|---|---|
@@ -24,10 +26,17 @@
 //! | 4 | `Status` | `u64` job id, `u8` job state |
 //! | 5 | `ProofReady` | `u64` job id, `u32` len + proof artifact |
 //! | 6 | `Metrics` | `u32` len + UTF-8 JSON |
+//! | 7 | `HelloOk` | `u16` protocol version, `u32` len + UTF-8 server id |
+//! | 8 | `ShuttingDown` | (empty) |
 //!
 //! The same encode/decode pair serves the in-process endpoint
-//! ([`crate::ProvingService::handle_frame`]) today and a socket transport
-//! later — nothing here assumes shared memory.
+//! ([`crate::ProvingService::handle_frame`]) and the `zkspeed-net` socket
+//! transport — nothing here assumes shared memory. On a socket, `Hello`
+//! must be the first frame of every connection: the transport checks its
+//! token before any other request is served (a mismatch answers
+//! `Rejected`/[`RejectCode::BadAuth`] and closes). `Shutdown` asks the
+//! server to drain gracefully; subsequent submissions answer
+//! `Rejected`/[`RejectCode::Draining`] while in-flight jobs finish.
 
 use zkspeed_rt::codec::{self, DecodeError, Kind, Reader};
 
@@ -82,22 +91,45 @@ pub enum RejectCode {
     UnknownJob = 5,
     /// The circuit cannot be served (e.g. larger than the service SRS).
     Unsupported = 6,
+    /// The connection's auth token did not match; the transport closes the
+    /// connection after this response. Fatal — do not retry with the same
+    /// credentials.
+    BadAuth = 7,
+    /// The server is draining for shutdown: in-flight jobs finish and
+    /// their proofs remain fetchable, but new submissions are turned away.
+    /// Retry against another server, not this one.
+    Draining = 8,
+    /// The server's connection cap is reached; the connection is closed
+    /// after this response. Retry later (connection-level backpressure,
+    /// the tier above [`RejectCode::QueueFull`]).
+    OverCapacity = 9,
 }
 
 impl RejectCode {
     /// Every code, in tag order.
-    pub const ALL: [RejectCode; 6] = [
+    pub const ALL: [RejectCode; 9] = [
         RejectCode::QueueFull,
         RejectCode::UnknownCircuit,
         RejectCode::Malformed,
         RejectCode::WitnessMismatch,
         RejectCode::UnknownJob,
         RejectCode::Unsupported,
+        RejectCode::BadAuth,
+        RejectCode::Draining,
+        RejectCode::OverCapacity,
     ];
 
     /// Decodes a reject-code tag byte.
     pub fn from_u8(tag: u8) -> Option<RejectCode> {
         RejectCode::ALL.into_iter().find(|c| *c as u8 == tag)
+    }
+
+    /// Whether a client may usefully retry the same request against the
+    /// same server after a backoff. Queue and connection backpressure are
+    /// transient; everything else (bad bytes, bad auth, unknown ids, a
+    /// draining server) will answer the same way again.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RejectCode::QueueFull | RejectCode::OverCapacity)
     }
 }
 
@@ -154,12 +186,26 @@ pub enum Request {
     },
     /// Fetches the service metrics snapshot as JSON.
     Metrics,
+    /// Opens a connection: presents the auth token. On a socket this must
+    /// be the first frame; the transport answers `HelloOk` or
+    /// `Rejected`/[`RejectCode::BadAuth`] and closes. The in-process
+    /// endpoint accepts any token (the caller is already trusted).
+    Hello {
+        /// The connection's auth token (opaque bytes; UTF-8 by convention).
+        token: Vec<u8>,
+    },
+    /// Asks the server to drain gracefully: stop accepting submissions,
+    /// finish in-flight jobs, flush pending `ProofReady` responses, then
+    /// exit. Answered with `ShuttingDown`.
+    Shutdown,
 }
 
 const REQ_SUBMIT_CIRCUIT: u8 = 1;
 const REQ_SUBMIT_JOB: u8 = 2;
 const REQ_JOB_STATUS: u8 = 3;
 const REQ_METRICS: u8 = 4;
+const REQ_HELLO: u8 = 5;
+const REQ_SHUTDOWN: u8 = 6;
 
 /// A service-to-client message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -203,6 +249,16 @@ pub enum Response {
         /// JSON-rendered [`crate::ServiceMetrics`].
         json: String,
     },
+    /// The connection handshake succeeded.
+    HelloOk {
+        /// The protocol (encoding) version the server speaks
+        /// ([`zkspeed_rt::codec::VERSION`]).
+        protocol: u16,
+        /// A human-readable server identifier.
+        server: String,
+    },
+    /// The server acknowledged a `Shutdown` request and began draining.
+    ShuttingDown,
 }
 
 const RESP_CIRCUIT_REGISTERED: u8 = 1;
@@ -211,6 +267,8 @@ const RESP_REJECTED: u8 = 3;
 const RESP_STATUS: u8 = 4;
 const RESP_PROOF_READY: u8 = 5;
 const RESP_METRICS: u8 = 6;
+const RESP_HELLO_OK: u8 = 7;
+const RESP_SHUTTING_DOWN: u8 = 8;
 
 fn write_blob(out: &mut Vec<u8>, blob: &[u8]) {
     out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
@@ -259,6 +317,11 @@ impl Request {
                 out.extend_from_slice(&job.to_le_bytes());
             }
             Request::Metrics => out.push(REQ_METRICS),
+            Request::Hello { token } => {
+                out.push(REQ_HELLO);
+                write_blob(&mut out, token);
+            }
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
         }
         out
     }
@@ -295,6 +358,10 @@ impl Request {
             }
             REQ_JOB_STATUS => Request::JobStatus { job: reader.u64()? },
             REQ_METRICS => Request::Metrics,
+            REQ_HELLO => Request::Hello {
+                token: read_blob(&mut reader, "auth token blob")?,
+            },
+            REQ_SHUTDOWN => Request::Shutdown,
             _ => {
                 return Err(DecodeError::InvalidValue {
                     what: "request message tag",
@@ -341,6 +408,12 @@ impl Response {
                 out.push(RESP_METRICS);
                 write_blob(&mut out, json.as_bytes());
             }
+            Response::HelloOk { protocol, server } => {
+                out.push(RESP_HELLO_OK);
+                out.extend_from_slice(&protocol.to_le_bytes());
+                write_blob(&mut out, server.as_bytes());
+            }
+            Response::ShuttingDown => out.push(RESP_SHUTTING_DOWN),
         }
         out
     }
@@ -386,6 +459,11 @@ impl Response {
             RESP_METRICS => Response::Metrics {
                 json: read_string(&mut reader, "metrics JSON")?,
             },
+            RESP_HELLO_OK => Response::HelloOk {
+                protocol: reader.u16()?,
+                server: read_string(&mut reader, "server id")?,
+            },
+            RESP_SHUTTING_DOWN => Response::ShuttingDown,
             _ => {
                 return Err(DecodeError::InvalidValue {
                     what: "response message tag",
@@ -413,6 +491,10 @@ mod tests {
             },
             Request::JobStatus { job: 0xdead_beef },
             Request::Metrics,
+            Request::Hello {
+                token: b"secret-token".to_vec(),
+            },
+            Request::Shutdown,
         ]
     }
 
@@ -437,6 +519,15 @@ mod tests {
             },
             Response::Metrics {
                 json: "{\"proofs_per_second\": 3.5}".into(),
+            },
+            Response::HelloOk {
+                protocol: zkspeed_rt::codec::VERSION,
+                server: "zkspeed-svc/2".into(),
+            },
+            Response::ShuttingDown,
+            Response::Rejected {
+                code: RejectCode::Draining,
+                detail: "service is draining".into(),
             },
         ]
     }
@@ -534,6 +625,7 @@ mod tests {
     fn enums_reject_unknown_tags() {
         assert_eq!(Priority::from_u8(9), None);
         assert_eq!(RejectCode::from_u8(0), None);
+        assert_eq!(RejectCode::from_u8(10), None);
         assert_eq!(JobState::from_u8(17), None);
         for p in Priority::ALL {
             assert_eq!(Priority::from_u8(p as u8), Some(p));
@@ -541,5 +633,35 @@ mod tests {
         for c in RejectCode::ALL {
             assert_eq!(RejectCode::from_u8(c as u8), Some(c));
         }
+    }
+
+    #[test]
+    fn retryability_separates_backpressure_from_fatal_codes() {
+        assert!(RejectCode::QueueFull.is_retryable());
+        assert!(RejectCode::OverCapacity.is_retryable());
+        for fatal in [
+            RejectCode::UnknownCircuit,
+            RejectCode::Malformed,
+            RejectCode::WitnessMismatch,
+            RejectCode::UnknownJob,
+            RejectCode::Unsupported,
+            RejectCode::BadAuth,
+            RejectCode::Draining,
+        ] {
+            assert!(!fatal.is_retryable(), "{fatal:?} must not be retryable");
+        }
+    }
+
+    #[test]
+    fn version_1_frames_are_rejected_cleanly() {
+        // Encodings carry the bumped codec version; a v1 frame (as an older
+        // client would send) must fail with UnsupportedVersion, never
+        // misparse.
+        let mut old = Request::Metrics.to_bytes();
+        old[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert!(matches!(
+            Request::from_bytes(&old),
+            Err(DecodeError::UnsupportedVersion { found: 1 })
+        ));
     }
 }

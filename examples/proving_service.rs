@@ -1,69 +1,24 @@
-//! The proving service end to end: one long-running [`ProvingService`]
-//! over a μ = 14 universal setup, the three real-circuit workloads
-//! (hash-chain, Merkle-membership, state-transition) registered as
-//! sessions, and four concurrent clients submitting interleaved jobs at
-//! mixed priorities **through the byte-level wire protocol** — every
-//! circuit, witness and proof crosses the client/service boundary as
-//! canonical frames, exactly as it would over a socket.
+//! The proving service end to end **over real loopback TCP**: one
+//! long-running [`ProvingService`] behind a [`NetServer`] on an ephemeral
+//! `127.0.0.1` port, the three real-circuit workloads (hash-chain,
+//! Merkle-membership, state-transition) registered as sessions, and four
+//! concurrent [`NetClient`]s — each with its own authenticated socket —
+//! submitting interleaved jobs at mixed priorities. Every circuit, witness
+//! and proof crosses the process boundary as canonical frames on the wire,
+//! metrics are scraped over the same socket, and the server drains
+//! gracefully at the end.
 //!
 //! Run with: `cargo run --release --example proving_service`
 
-use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use zkspeed::prelude::*;
-use zkspeed::svc::{JobState, Request, Response};
-use zkspeed_rt::codec::Reader;
 
-/// A minimal wire-protocol client: frames out, frames in.
-struct Client<'a> {
-    service: &'a ProvingService,
-}
+const TOKEN: &[u8] = b"example-token";
 
-impl Client<'_> {
-    fn call(&self, request: &Request) -> Response {
-        let frame = self.service.handle_frame(&request.to_frame());
-        let mut reader = Reader::new(&frame);
-        let payload = reader.frame().expect("framed response");
-        Response::from_bytes(payload).expect("canonical response")
-    }
-
-    fn register(&self, circuit: &Circuit) -> [u8; 32] {
-        match self.call(&Request::SubmitCircuit {
-            circuit: circuit.to_bytes(),
-        }) {
-            Response::CircuitRegistered { digest, .. } => digest,
-            other => panic!("registration failed: {other:?}"),
-        }
-    }
-
-    fn submit(&self, digest: [u8; 32], witness: &Witness, priority: Priority) -> u64 {
-        match self.call(&Request::SubmitJob {
-            circuit: digest,
-            priority,
-            witness: witness.to_bytes(),
-        }) {
-            Response::JobAccepted { job } => job,
-            Response::Rejected { code, detail } => {
-                panic!("submission rejected ({code:?}): {detail}")
-            }
-            other => panic!("submission failed: {other:?}"),
-        }
-    }
-
-    fn wait_for_proof(&self, job: u64) -> Vec<u8> {
-        loop {
-            match self.call(&Request::JobStatus { job }) {
-                Response::ProofReady { proof, .. } => return proof,
-                Response::Status { state, .. } => {
-                    assert!(matches!(state, JobState::Queued | JobState::Running));
-                    std::thread::sleep(std::time::Duration::from_millis(2));
-                }
-                other => panic!("status poll failed: {other:?}"),
-            }
-        }
-    }
-}
+/// `(session digest, serialized witness-or-proof bytes)` pairs shuttled
+/// between the client threads and the verifier loop.
+type DigestBytes = Vec<([u8; 32], Vec<u8>)>;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
@@ -76,66 +31,82 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let system = ProofSystem::setup(srs);
-    let service = Arc::new(
-        system.serve(
-            ServiceConfig::default()
-                .with_wave_size(4)
-                .with_queue_capacity(64),
-        ),
+    let service = system.serve(
+        ServiceConfig::default()
+            .with_wave_size(4)
+            .with_queue_capacity(64),
     );
     println!(
-        "service started: {} shard(s) × {} thread(s), queue capacity {}/shard\n",
+        "service started: {} shard(s) × {} thread(s), queue capacity {}/shard",
         service.shard_count(),
         service.config().threads_per_shard,
         service.config().queue_capacity
     );
 
+    let server = NetServer::bind(
+        service,
+        ServerConfig::new("127.0.0.1:0").with_auth_token(TOKEN),
+    )?;
+    let addr = server.local_addr();
+    println!("listening on {addr}\n");
+
     // Register the three workloads as sessions, over the wire.
-    let client = Client { service: &service };
+    let mut admin = NetClient::connect(addr, TOKEN, ClientConfig::default())?;
+    println!(
+        "connected to {} (protocol v{})",
+        admin.server_id(),
+        admin.protocol()
+    );
     let mut sessions = Vec::new();
     for spec in WorkloadSpec::test_suite() {
         let (circuit, witness) = spec.build(&mut rng);
-        let digest = client.register(&circuit);
+        let (digest, num_vars) = admin.register_circuit(&circuit.to_bytes())?;
         println!(
-            "registered {:<40} session {}…",
+            "registered {:<40} μ={num_vars} session {}…",
             spec.name(),
             hex(&digest[..6])
         );
-        sessions.push((spec, digest, witness));
+        sessions.push((digest, witness));
     }
 
-    // Four clients, 24 interleaved jobs across all sessions and priorities.
+    // Four clients, 24 interleaved jobs, each over its own TCP connection.
     const CLIENTS: usize = 4;
     const JOBS_PER_CLIENT: usize = 6;
-    println!("\nserving {CLIENTS} clients × {JOBS_PER_CLIENT} jobs …");
+    println!("\nserving {CLIENTS} clients × {JOBS_PER_CLIENT} jobs over TCP …");
     let t1 = Instant::now();
     let workers: Vec<_> = (0..CLIENTS)
         .map(|id| {
-            let service = Arc::clone(&service);
-            let sessions: Vec<([u8; 32], Witness)> = sessions
+            let sessions: DigestBytes = sessions
                 .iter()
-                .map(|(_, digest, witness)| (*digest, witness.clone()))
+                .map(|(digest, witness)| (*digest, witness.to_bytes()))
                 .collect();
-            std::thread::spawn(move || {
-                let client = Client { service: &service };
-                let jobs: Vec<(u64, [u8; 32])> = (0..JOBS_PER_CLIENT)
-                    .map(|i| {
-                        let (digest, witness) = &sessions[(id + i) % sessions.len()];
+            std::thread::spawn(move || -> Result<DigestBytes, NetError> {
+                let mut client = NetClient::connect(addr, TOKEN, ClientConfig::default())?;
+                let jobs: Vec<(u64, [u8; 32])> = sessions
+                    .iter()
+                    .cycle()
+                    .skip(id)
+                    .take(JOBS_PER_CLIENT)
+                    .enumerate()
+                    .map(|(i, (digest, witness))| {
                         let priority = Priority::ALL[(id + i) % 3];
-                        (client.submit(*digest, witness, priority), *digest)
+                        Ok((client.submit(*digest, priority, witness)?, *digest))
                     })
-                    .collect();
+                    .collect::<Result<_, NetError>>()?;
                 jobs.into_iter()
-                    .map(|(job, digest)| (digest, client.wait_for_proof(job)))
-                    .collect::<Vec<_>>()
+                    .map(|(job, digest)| Ok((digest, client.wait(job, Duration::from_secs(120))?)))
+                    .collect()
             })
         })
         .collect();
 
     let mut proofs = 0usize;
     for worker in workers {
-        for (digest, proof_bytes) in worker.join().expect("client thread") {
-            let vk = service.verifying_key(&digest).expect("registered session");
+        for (digest, proof_bytes) in worker.join().expect("client thread")? {
+            let vk = server
+                .service()
+                .verifying_key(&digest)
+                .expect("registered session");
             let proof = Proof::from_bytes(&proof_bytes)?;
             zkspeed::hyperplonk::verify(&vk, &proof)?;
             proofs += 1;
@@ -147,14 +118,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         proofs as f64 / elapsed
     );
 
-    // The operational picture, straight off the metrics endpoint.
-    let metrics = service.metrics();
+    // The operational picture, scraped over the wire like an operator
+    // would. The registration connection idled out during proving (the
+    // server reaps idle sockets), so scrape on a fresh one.
+    drop(admin);
+    let mut scraper = NetClient::connect(addr, TOKEN, ClientConfig::default())?;
+    let json = scraper.metrics()?;
+    println!("metrics endpoint returned {} bytes of JSON", json.len());
+    let metrics = server.service().metrics();
     println!(
-        "waves: {} (mean occupancy {:.2}, max {}), peak queue depth {}",
+        "waves: {} (mean occupancy {:.2}, max {}), peak queue depth {}, connections {} (open {})",
         metrics.waves,
         metrics.mean_wave_occupancy,
         metrics.max_wave_occupancy,
-        metrics.peak_queue_depth
+        metrics.peak_queue_depth,
+        metrics.connections.total,
+        metrics.connections.open
     );
     for session in &metrics.sessions {
         println!(
@@ -165,12 +144,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             session.p99_ms
         );
     }
-    match client.call(&Request::Metrics) {
-        Response::Metrics { json } => {
-            println!("\nmetrics endpoint returned {} bytes of JSON", json.len())
-        }
-        other => panic!("metrics failed: {other:?}"),
-    }
+
+    // Graceful drain: finish anything in flight, join every thread.
+    drop(scraper);
+    let final_metrics = server.shutdown();
+    println!(
+        "\ndrained: {} proofs served over {} connections",
+        final_metrics.completed, final_metrics.connections.total
+    );
     Ok(())
 }
 

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Multi-process loopback smoke test of the zkspeed CLI + TCP transport:
+# one `zkspeed serve` process, two concurrent `zkspeed submit` client
+# processes, proofs verified offline against the same circuit, metrics
+# scraped over the wire, then a graceful wire-requested shutdown.
+#
+# Usage: scripts/net_smoke.sh [workdir]   (default: a fresh temp dir)
+# Leaves scraped-metrics.json and final-metrics.json in the workdir.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKDIR="${1:-$(mktemp -d /tmp/zkspeed-net-smoke.XXXXXX)}"
+mkdir -p "${WORKDIR}"
+TOKEN="net-smoke-token"
+
+echo ">> building the zkspeed binary"
+cargo build --release --offline --bin zkspeed
+ZK=target/release/zkspeed
+
+echo ">> offline artifacts into ${WORKDIR}"
+"${ZK}" setup --mu 8 --out "${WORKDIR}/srs.bin" --seed 1
+"${ZK}" compile --workload state-transition --transfers 2 --balance-bits 8 \
+  --out "${WORKDIR}/circuit.bin" --witness-out "${WORKDIR}/witness.bin" --seed 2
+
+echo ">> starting zkspeed serve on an ephemeral port"
+"${ZK}" serve --srs "${WORKDIR}/srs.bin" --addr 127.0.0.1:0 \
+  --auth-token "${TOKEN}" --ready-file "${WORKDIR}/addr.txt" \
+  --metrics-out "${WORKDIR}/final-metrics.json" >"${WORKDIR}/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "${SERVE_PID}" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  [ -f "${WORKDIR}/addr.txt" ] && break
+  sleep 0.1
+done
+ADDR="$(cat "${WORKDIR}/addr.txt")"
+echo ">> server ready at ${ADDR}"
+
+echo ">> two concurrent submit clients"
+"${ZK}" submit --addr "${ADDR}" --auth-token "${TOKEN}" \
+  --circuit "${WORKDIR}/circuit.bin" --witness "${WORKDIR}/witness.bin" \
+  --jobs 2 --proof-out "${WORKDIR}/net-proof.bin" >"${WORKDIR}/client-a.log" 2>&1 &
+CLIENT_A=$!
+"${ZK}" submit --addr "${ADDR}" --auth-token "${TOKEN}" \
+  --circuit "${WORKDIR}/circuit.bin" --witness "${WORKDIR}/witness.bin" \
+  --jobs 2 --priority high >"${WORKDIR}/client-b.log" 2>&1 &
+CLIENT_B=$!
+wait "${CLIENT_A}" "${CLIENT_B}"
+
+echo ">> verifying a proof fetched over TCP"
+"${ZK}" verify --srs "${WORKDIR}/srs.bin" --circuit "${WORKDIR}/circuit.bin" \
+  --proof "${WORKDIR}/net-proof.bin"
+
+echo ">> scraping metrics over the wire, then graceful shutdown"
+"${ZK}" submit --addr "${ADDR}" --auth-token "${TOKEN}" \
+  --metrics --metrics-out "${WORKDIR}/scraped-metrics.json" --shutdown
+wait "${SERVE_PID}"
+trap - EXIT
+
+echo ">> checking the scraped metrics report the jobs"
+grep -q '"completed": 4' "${WORKDIR}/scraped-metrics.json"
+grep -q '"connections"' "${WORKDIR}/scraped-metrics.json"
+test -f "${WORKDIR}/final-metrics.json"
+
+echo ">> net smoke OK (artifacts in ${WORKDIR})"

@@ -1,0 +1,389 @@
+//! `zkspeed` — the operator CLI for the proving stack.
+//!
+//! Offline artifact tooling plus the networked service front-end:
+//!
+//! | subcommand | what it does |
+//! |---|---|
+//! | `setup`   | generate a universal SRS and write it to a file |
+//! | `compile` | build a named workload circuit (+ witness) as canonical bytes |
+//! | `prove`   | prove a witness against a circuit, offline, file-based |
+//! | `verify`  | verify a proof against a circuit, offline, file-based |
+//! | `serve`   | host a `ProvingService` on a TCP socket |
+//! | `submit`  | drive a remote server: register, submit, collect, scrape metrics |
+//!
+//! Every artifact on disk is a canonical encoding (magic + version header),
+//! so files produced here interoperate with the library APIs and the wire
+//! protocol byte-for-byte. Run `zkspeed help` for per-subcommand flags.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use zkspeed::hyperplonk::workloads::{
+    HashChainSpec, MerkleSpec, StateTransitionSpec, WorkloadSpec,
+};
+use zkspeed::hyperplonk::{Circuit, Proof, Witness};
+use zkspeed::pcs::Srs;
+use zkspeed::rt::rngs::StdRng;
+use zkspeed::rt::SeedableRng;
+use zkspeed::svc::{Priority, ProvingService, ServiceConfig};
+use zkspeed::ProofSystem;
+use zkspeed_net::{ClientConfig, NetClient, NetServer, ServerConfig};
+
+const USAGE: &str = "zkspeed — operator CLI for the zkSpeed proving stack
+
+USAGE: zkspeed <SUBCOMMAND> [FLAGS]
+
+SUBCOMMANDS:
+  setup    --mu N --out FILE [--seed N]
+           Generate a universal SRS for circuits up to 2^N gates.
+
+  compile  --workload NAME --out FILE [--witness-out FILE] [--seed N]
+           [--links N] [--rounds N] [--depth N] [--transfers N] [--balance-bits N]
+           Build a workload circuit (hash-chain | merkle | state-transition)
+           as canonical bytes; prints the circuit digest.
+
+  prove    --srs FILE --circuit FILE --witness FILE --out FILE
+           Preprocess and prove offline; writes canonical proof bytes.
+
+  verify   --srs FILE --circuit FILE --proof FILE
+           Preprocess and verify offline; exits 0 iff the proof verifies.
+
+  serve    --srs FILE [--addr HOST:PORT] [--auth-token T] [--ready-file FILE]
+           [--max-connections N] [--idle-timeout-ms N] [--drain-grace-ms N]
+           [--shards N] [--metrics-out FILE]
+           Host a ProvingService over TCP. With --addr 127.0.0.1:0 the bound
+           address goes to --ready-file (and stdout). Runs until a client
+           sends Shutdown, then drains gracefully and writes final metrics.
+
+  submit   --addr HOST:PORT --circuit FILE --witness FILE [--auth-token T]
+           [--jobs N] [--priority high|normal|low] [--proof-out FILE]
+           [--wait-ms N] [--metrics] [--metrics-out FILE] [--shutdown]
+           Register the circuit, submit N jobs, wait for every proof.
+           --metrics scrapes the server's ServiceMetrics JSON afterwards;
+           --shutdown asks the server to drain when done.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "setup" => cmd_setup(rest),
+        "compile" => cmd_compile(rest),
+        "prove" => cmd_prove(rest),
+        "verify" => cmd_verify(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand `{other}` (try `zkspeed help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("zkspeed {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal `--flag value` / `--flag` parser over one subcommand's args.
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            let value = match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    i += 1;
+                    Some(v.clone())
+                }
+                _ => None,
+            };
+            pairs.push((name.to_string(), value));
+            i += 1;
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name} VALUE"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn read_file(path: &str, what: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("cannot read {what} from {path}: {e}"))
+}
+
+fn write_file(path: &str, bytes: &[u8], what: &str) -> Result<(), String> {
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write {what} to {path}: {e}"))
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn cmd_setup(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let mu: usize = flags
+        .require("mu")?
+        .parse()
+        .map_err(|_| "--mu must be an integer".to_string())?;
+    let out = flags.require("out")?;
+    let seed: u64 = flags.parse_num("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let srs = Srs::try_setup(mu, &mut rng).map_err(|e| e.to_string())?;
+    let bytes = srs.to_bytes();
+    write_file(out, &bytes, "SRS")?;
+    println!("setup: μ={mu} SRS ({} bytes) -> {out}", bytes.len());
+    Ok(())
+}
+
+fn workload_from_flags(flags: &Flags) -> Result<WorkloadSpec, String> {
+    let name = flags.require("workload")?;
+    let rounds: usize = flags.parse_num("rounds", 1)?;
+    match name {
+        "hash-chain" => Ok(WorkloadSpec::HashChain(HashChainSpec {
+            links: flags.parse_num("links", 2)?,
+            rounds,
+        })),
+        "merkle" => Ok(WorkloadSpec::MerkleMembership(MerkleSpec {
+            depth: flags.parse_num("depth", 1)?,
+            rounds,
+        })),
+        "state-transition" => Ok(WorkloadSpec::StateTransition(StateTransitionSpec {
+            transfers: flags.parse_num("transfers", 4)?,
+            balance_bits: flags.parse_num("balance-bits", 16)?,
+        })),
+        other => Err(format!(
+            "unknown workload `{other}` (expected hash-chain, merkle, or state-transition)"
+        )),
+    }
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let spec = workload_from_flags(&flags)?;
+    let out = flags.require("out")?;
+    let seed: u64 = flags.parse_num("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (circuit, witness) = spec.build(&mut rng);
+    let digest = circuit.digest();
+    let bytes = circuit.to_bytes();
+    write_file(out, &bytes, "circuit")?;
+    println!(
+        "compile: {} μ={} ({} bytes) -> {out}",
+        spec.name(),
+        circuit.num_vars(),
+        bytes.len()
+    );
+    println!("digest: {}", hex(&digest));
+    if let Some(witness_out) = flags.get("witness-out") {
+        let wbytes = witness.to_bytes();
+        write_file(witness_out, &wbytes, "witness")?;
+        println!("witness: {} bytes -> {witness_out}", wbytes.len());
+    }
+    Ok(())
+}
+
+fn load_system(flags: &Flags) -> Result<(ProofSystem, Circuit), String> {
+    let srs_bytes = read_file(flags.require("srs")?, "SRS")?;
+    let srs = Srs::from_bytes(&srs_bytes).map_err(|e| format!("bad SRS file: {e}"))?;
+    let circuit_bytes = read_file(flags.require("circuit")?, "circuit")?;
+    let circuit =
+        Circuit::from_bytes(&circuit_bytes).map_err(|e| format!("bad circuit file: {e}"))?;
+    Ok((ProofSystem::setup(srs), circuit))
+}
+
+fn cmd_prove(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let out = flags.require("out")?;
+    let (system, circuit) = load_system(&flags)?;
+    let witness_bytes = read_file(flags.require("witness")?, "witness")?;
+    let witness =
+        Witness::from_bytes(&witness_bytes).map_err(|e| format!("bad witness file: {e}"))?;
+    let (prover, _verifier) = system.preprocess(circuit).map_err(|e| e.to_string())?;
+    let proof = prover.prove(&witness).map_err(|e| e.to_string())?;
+    let bytes = proof.to_bytes();
+    write_file(out, &bytes, "proof")?;
+    println!("prove: proof ({} bytes) -> {out}", bytes.len());
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let proof_bytes = read_file(flags.require("proof")?, "proof")?;
+    let proof = Proof::from_bytes(&proof_bytes).map_err(|e| format!("bad proof file: {e}"))?;
+    let (system, circuit) = load_system(&flags)?;
+    let (_prover, verifier) = system.preprocess(circuit).map_err(|e| e.to_string())?;
+    verifier
+        .verify(&proof)
+        .map_err(|e| format!("proof REJECTED: {e}"))?;
+    println!("verify: OK");
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let srs_bytes = read_file(flags.require("srs")?, "SRS")?;
+    let srs = Srs::from_bytes(&srs_bytes).map_err(|e| format!("bad SRS file: {e}"))?;
+    let mut config = ServiceConfig::default();
+    let default_shards = config.shards;
+    if flags.get("shards").is_some() {
+        config = config.with_shards(flags.parse_num("shards", default_shards)?);
+    }
+    let service = ProvingService::start(Arc::new(srs), config);
+
+    let server_config = ServerConfig::new(flags.get("addr").unwrap_or("127.0.0.1:0"))
+        .with_auth_token(flags.get("auth-token").unwrap_or("").as_bytes())
+        .with_max_connections(flags.parse_num("max-connections", 64)?)
+        .with_idle_timeout(Duration::from_millis(
+            flags.parse_num("idle-timeout-ms", 30_000)?,
+        ))
+        .with_drain_grace(Duration::from_millis(
+            flags.parse_num("drain-grace-ms", 5_000)?,
+        ));
+    let server = NetServer::bind(service, server_config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    println!("serve: listening on {addr}");
+    if let Some(ready_file) = flags.get("ready-file") {
+        // Atomic rename so a polling client never reads a half-written
+        // address.
+        let tmp = format!("{ready_file}.tmp");
+        write_file(&tmp, addr.to_string().as_bytes(), "ready file")?;
+        std::fs::rename(&tmp, ready_file)
+            .map_err(|e| format!("cannot publish ready file {ready_file}: {e}"))?;
+    }
+
+    server.wait_for_shutdown_request();
+    println!("serve: shutdown requested, draining");
+    let metrics = server.shutdown();
+    let json = zkspeed::rt::ToJson::to_json(&metrics).pretty();
+    if let Some(path) = flags.get("metrics-out") {
+        write_file(path, json.as_bytes(), "final metrics")?;
+        println!("serve: final metrics -> {path}");
+    } else {
+        println!("{json}");
+    }
+    println!(
+        "serve: drained ({} proofs, {} connections served)",
+        metrics.completed, metrics.connections.total
+    );
+    Ok(())
+}
+
+fn parse_priority(s: &str) -> Result<Priority, String> {
+    match s {
+        "high" => Ok(Priority::High),
+        "normal" => Ok(Priority::Normal),
+        "low" => Ok(Priority::Low),
+        other => Err(format!(
+            "--priority: expected high|normal|low, got `{other}`"
+        )),
+    }
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let token = flags.get("auth-token").unwrap_or("");
+    let mut client = NetClient::connect(addr, token.as_bytes(), ClientConfig::default())
+        .map_err(|e| format!("connect to {addr} failed: {e}"))?;
+    println!(
+        "submit: connected to {} (protocol v{})",
+        client.server_id(),
+        client.protocol()
+    );
+
+    if let (None, None) = (flags.get("circuit"), flags.get("witness")) {
+        // Metrics-scrape / shutdown-only invocations need no artifacts.
+        return finish_submit(&flags, &mut client, 0);
+    }
+
+    let circuit_bytes = read_file(flags.require("circuit")?, "circuit")?;
+    let witness_bytes = read_file(flags.require("witness")?, "witness")?;
+    let jobs: usize = flags.parse_num("jobs", 1)?;
+    let priority = parse_priority(flags.get("priority").unwrap_or("normal"))?;
+    let wait_ms: u64 = flags.parse_num("wait-ms", 120_000)?;
+
+    let (digest, num_vars) = client
+        .register_circuit(&circuit_bytes)
+        .map_err(|e| format!("register failed: {e}"))?;
+    println!("submit: registered μ={num_vars} circuit {}", hex(&digest));
+
+    let ids: Vec<u64> = (0..jobs)
+        .map(|_| client.submit(digest, priority, &witness_bytes))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("submit failed: {e}"))?;
+    let mut first_proof: Option<Vec<u8>> = None;
+    for id in ids {
+        let proof = client
+            .wait(id, Duration::from_millis(wait_ms))
+            .map_err(|e| format!("job {id} failed: {e}"))?;
+        println!("submit: job {id} proof ready ({} bytes)", proof.len());
+        first_proof.get_or_insert(proof);
+    }
+    if let (Some(path), Some(proof)) = (flags.get("proof-out"), first_proof.as_ref()) {
+        write_file(path, proof, "proof")?;
+        println!("submit: proof -> {path}");
+    }
+    finish_submit(&flags, &mut client, jobs)
+}
+
+fn finish_submit(flags: &Flags, client: &mut NetClient, jobs: usize) -> Result<(), String> {
+    if flags.has("metrics") {
+        let json = client
+            .metrics()
+            .map_err(|e| format!("metrics scrape failed: {e}"))?;
+        if let Some(path) = flags.get("metrics-out") {
+            write_file(path, json.as_bytes(), "metrics")?;
+            println!("submit: metrics -> {path}");
+        } else {
+            println!("{json}");
+        }
+    }
+    if flags.has("shutdown") {
+        client
+            .shutdown_server()
+            .map_err(|e| format!("shutdown request failed: {e}"))?;
+        println!("submit: server acknowledged shutdown");
+    }
+    if jobs > 0 {
+        println!("submit: {jobs} job(s) complete");
+    }
+    Ok(())
+}

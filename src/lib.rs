@@ -32,6 +32,10 @@
 //!   backpressure, shard-aware `prove_batch` wave scheduling, and the
 //!   framed wire protocol for circuits, witnesses and proofs (start one
 //!   with [`ProofSystem::serve`]);
+//! * [`net`] — the TCP transport in front of the service: authenticated
+//!   threaded frame server with connection caps and graceful drain, the
+//!   blocking [`NetClient`](net::NetClient), and the `zkspeed` operator
+//!   CLI binary;
 //! * [`bench`] — helpers shared by the figure/table reproduction binaries.
 //!
 //! # Quickstart
@@ -118,6 +122,7 @@ pub use zkspeed_curve as curve;
 pub use zkspeed_field as field;
 pub use zkspeed_hw as hw;
 pub use zkspeed_hyperplonk as hyperplonk;
+pub use zkspeed_net as net;
 pub use zkspeed_pcs as pcs;
 pub use zkspeed_poly as poly;
 pub use zkspeed_rt as rt;
@@ -136,6 +141,7 @@ pub mod prelude {
         mock_circuit, Circuit, CircuitBuilder, CircuitStats, Proof, ProverReport, SparsityProfile,
         VerifyingKey, Witness,
     };
+    pub use zkspeed_net::{ClientConfig, NetClient, NetError, NetServer, ServerConfig};
     pub use zkspeed_pcs::{PrecomputeBudget, Srs};
     pub use zkspeed_rt::pool::{Backend, Serial, ThreadPool};
     pub use zkspeed_rt::rngs::StdRng;

@@ -17,6 +17,12 @@
 //! service's metrics (including the per-session p99 and connection
 //! counters) land in `target/bench-history/service-tcp-metrics.json`.
 //!
+//! The `serve/fault-1-in-8` scenario injects a deterministic
+//! wave-panic rate through the service's fault plan and measures serving
+//! throughput with supervision absorbing the failures; its failure and
+//! restart counters land in
+//! `target/bench-history/service-fault-metrics.json`.
+//!
 //! [`ServiceMetrics`]: zkspeed_svc::ServiceMetrics
 
 use std::sync::Arc;
@@ -223,7 +229,65 @@ fn main() {
             session.precompute_build_ms
         );
     }
+    // Fault-injected scenario: ~1 in 8 waves panics (deterministic seed),
+    // wave size 1 so the rate maps directly onto jobs. Measures serving
+    // throughput *with the supervision machinery absorbing failures* —
+    // failed jobs are collected like successes, just without a proof. The
+    // survivor service's failure/restart counters are persisted to
+    // `service-fault-metrics.json` so CI tracks the chaos profile run over
+    // run.
+    let fault_svc = {
+        let fault_plan =
+            zkspeed_rt::faults::FaultPlan::parse("wave-panic~8:seed=88").expect("valid spec");
+        let fault_config = ServiceConfig::default()
+            .with_shards(1)
+            .with_threads_per_shard(threads.max(1))
+            .with_wave_size(1)
+            .with_faults(Arc::new(fault_plan));
+        ProvingService::start(Arc::clone(&repeat_srs), fault_config)
+    };
+    {
+        let digest = fault_svc
+            .register_circuit(repeat_circuit.clone())
+            .expect("workload fits μ=14 SRS");
+        h.bench("serve/fault-1-in-8", || {
+            let ids: Vec<u64> = (0..8)
+                .map(|_| {
+                    fault_svc
+                        .submit(&digest, repeat_witness.clone(), Priority::Normal)
+                        .expect("parking submit succeeds")
+                })
+                .collect();
+            for id in ids {
+                match fault_svc.wait(id) {
+                    Ok(_) | Err(zkspeed_svc::ServiceError::JobFailed(_)) => {}
+                    Err(e) => panic!("unexpected outcome under fault plan: {e}"),
+                }
+            }
+        });
+    }
     h.finish();
+
+    let fault_metrics = fault_svc.metrics();
+    println!(
+        "fault service metrics: {} proofs, {} failed ({} wave panics, {} restarts)",
+        fault_metrics.completed,
+        fault_metrics.failed,
+        fault_metrics.supervision.wave_panics,
+        fault_metrics.supervision.worker_restarts
+    );
+    if let Some(dir) = history_dir() {
+        let path = dir.join("service-fault-metrics.json");
+        let written = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, fault_metrics.to_json().pretty().as_bytes()));
+        match written {
+            Ok(()) => println!("fault service metrics: wrote {}", path.display()),
+            Err(e) => eprintln!(
+                "fault service metrics: could not write {}: {e}",
+                path.display()
+            ),
+        }
+    }
 
     // Persist the operational metrics next to the timing history.
     let metrics = service.metrics();

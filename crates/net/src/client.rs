@@ -230,9 +230,27 @@ impl NetClient {
         priority: Priority,
         witness: &[u8],
     ) -> Result<u64, NetError> {
+        self.submit_with_deadline(circuit, priority, witness, 0)
+    }
+
+    /// [`NetClient::submit`] with a per-job deadline in milliseconds
+    /// (`0` = the server's configured default). A job whose deadline
+    /// passes before proving fails with `JobFailed` instead of a proof.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::submit`].
+    pub fn submit_with_deadline(
+        &mut self,
+        circuit: [u8; 32],
+        priority: Priority,
+        witness: &[u8],
+        deadline_ms: u64,
+    ) -> Result<u64, NetError> {
         match self.request_retrying(&Request::SubmitJob {
             circuit,
             priority,
+            deadline_ms,
             witness: witness.to_vec(),
         })? {
             Response::JobAccepted { job } => Ok(job),
@@ -246,13 +264,22 @@ impl NetClient {
     ///
     /// # Errors
     ///
-    /// [`NetError::JobFailed`] for a failed job, [`NetError::Rejected`]
-    /// for unknown ids (including already-delivered proofs).
+    /// [`NetError::JobFailed`] for a failed job (carrying the server's
+    /// failure reason), [`NetError::Rejected`] for unknown ids (including
+    /// already-delivered proofs).
     pub fn poll(&mut self, job: u64) -> Result<Result<Vec<u8>, JobState>, NetError> {
         match self.request(&Request::JobStatus { job })? {
             Response::ProofReady { job: id, proof } if id == job => Ok(Ok(proof)),
+            Response::JobFailed { job: id, reason } if id == job => {
+                Err(NetError::JobFailed { job: id, reason })
+            }
             Response::Status { state, .. } => match state {
-                JobState::Failed => Err(NetError::JobFailed(job)),
+                // Pre-v3 shape; current servers answer `JobFailed` with the
+                // reason instead.
+                JobState::Failed => Err(NetError::JobFailed {
+                    job,
+                    reason: "job failed on the server".into(),
+                }),
                 other => Ok(Err(other)),
             },
             Response::Rejected { code, detail } => Err(NetError::Rejected { code, detail }),

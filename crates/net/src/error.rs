@@ -27,12 +27,15 @@ pub enum NetError {
         /// Debug rendering of the offending response.
         String,
     ),
-    /// The job ran but proving failed (the witness does not satisfy the
-    /// circuit).
-    JobFailed(
+    /// The job ran (or expired) and will never produce a proof: bad
+    /// witness, panicked wave, dead worker or missed deadline. Fatal for
+    /// the job — the client does not retry it.
+    JobFailed {
         /// The job id that failed.
-        u64,
-    ),
+        job: u64,
+        /// The server's failure reason.
+        reason: String,
+    },
     /// The server closed the connection.
     Disconnected,
     /// A wait deadline expired before the job finished.
@@ -69,7 +72,9 @@ impl fmt::Display for NetError {
             NetError::UnexpectedResponse(got) => {
                 write!(f, "unexpected response from server: {got}")
             }
-            NetError::JobFailed(job) => write!(f, "job {job} failed on the server"),
+            NetError::JobFailed { job, reason } => {
+                write!(f, "job {job} failed on the server: {reason}")
+            }
             NetError::Disconnected => write!(f, "server closed the connection"),
             NetError::TimedOut => write!(f, "deadline expired waiting for the server"),
         }

@@ -336,6 +336,21 @@ fn send(stream: &mut TcpStream, response: &Response) -> bool {
     stream.write_all(&response.to_frame()).is_ok() && stream.flush().is_ok()
 }
 
+/// [`send`] for post-handshake responses, consulting the service's fault
+/// plan first: an armed `conn-tear` writes half the frame, flushes it, and
+/// slams the connection — deterministically reproducing a server dying
+/// mid-frame so client torn-frame handling can be tested end to end.
+fn send_response(shared: &ServerShared, stream: &mut TcpStream, response: &Response) -> bool {
+    let frame = response.to_frame();
+    if shared.service.config().faults.on_response() {
+        let _ = stream.write_all(&frame[..frame.len() / 2]);
+        let _ = stream.flush();
+        let _ = stream.shutdown(Shutdown::Both);
+        return false;
+    }
+    stream.write_all(&frame).is_ok() && stream.flush().is_ok()
+}
+
 /// One connection's lifecycle: auth handshake, then request/response until
 /// EOF, idle timeout, or a framing error.
 fn serve_connection(shared: &ServerShared, stream: TcpStream) {
@@ -445,7 +460,7 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) {
         };
         let is_shutdown = matches!(request, Request::Shutdown);
         let response = shared.service.handle_request(request);
-        if !send(&mut writer, &response) {
+        if !send_response(shared, &mut writer, &response) {
             return;
         }
         if is_shutdown {

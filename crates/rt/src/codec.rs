@@ -8,7 +8,7 @@
 //! | bytes | meaning |
 //! |---|---|
 //! | 0–3 | magic `b"zksp"` |
-//! | 4–5 | format version, little-endian `u16` (currently 1) |
+//! | 4–5 | format version, little-endian `u16` (currently 3) |
 //! | 6 | artifact kind tag |
 //! | 7 | reserved, must be zero |
 //!
@@ -33,7 +33,11 @@ pub const MAGIC: [u8; 4] = *b"zksp";
 ///   `HelloOk`/`ShuttingDown` responses, and the expanded reject-code set
 ///   (bad-auth / draining / over-capacity). Version-1 artifacts decode to a
 ///   clean [`DecodeError::UnsupportedVersion`], never a misparse.
-pub const VERSION: u16 = 2;
+/// * **3** — failure reporting: the `JobFailed` response (job id + reason)
+///   and a per-job deadline field on `SubmitJob`. Version-1 and version-2
+///   artifacts decode to a clean [`DecodeError::UnsupportedVersion`], never
+///   a misparse.
+pub const VERSION: u16 = 3;
 
 /// The registry of artifact kind tags (byte 6 of the canonical header).
 ///

@@ -1,0 +1,408 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] is a parsed list of rules that upper layers (the proving
+//! service's shard workers, the TCP server's response path) consult at
+//! well-defined *fault points*. Rules either fire at a fixed event ordinal
+//! (`@K`, exactly reproducible) or pseudo-randomly at a `1/N` rate driven by
+//! the workspace's deterministic SHA3-XOF PRNG (`~N:seed=S`), so a chaos run
+//! with the same spec and the same scheduling produces the same faults.
+//!
+//! # Spec grammar
+//!
+//! A spec is a `;`-separated list of rules:
+//!
+//! | rule | effect at the fault point |
+//! |---|---|
+//! | `wave-panic@K` | panic inside the K-th proving wave of every shard |
+//! | `wave-panic~N:seed=S` | panic inside ~1/N waves, keyed by `(S, shard, wave)` |
+//! | `worker-kill@K` | panic *outside* the wave guard on the K-th wave, killing the shard worker |
+//! | `worker-kill~N:seed=S` | same, at a ~1/N rate |
+//! | `shard-delay=S:MS` | sleep `MS` milliseconds before every wave on shard `S` |
+//! | `conn-tear@K` | tear the K-th transport response mid-frame and close the socket |
+//!
+//! Wave ordinals are **per shard** and 1-based; response ordinals are global
+//! per server and 1-based, counting post-handshake responses only (the auth
+//! handshake's `HelloOk` is exempt, so authentication always succeeds).
+//!
+//! The plan is env-gated: [`FaultPlan::from_env`] reads `ZKSPEED_FAULTS`
+//! and returns an inert plan when the variable is unset. A malformed spec
+//! in the environment is an error worth failing loudly for — silently
+//! running a chaos suite with no faults would report a green result that
+//! tested nothing — so `from_env` panics on parse errors.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::rng::{Rng, SeedableRng, StdRng};
+
+/// Environment variable holding the fault spec consumed by
+/// [`FaultPlan::from_env`].
+pub const FAULTS_ENV: &str = "ZKSPEED_FAULTS";
+
+/// What a shard worker should do with the wave it just popped.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WaveFault {
+    /// Proceed normally.
+    None,
+    /// Panic inside the per-wave guard: the wave's jobs fail, the worker
+    /// survives.
+    Panic,
+    /// Panic outside the per-wave guard: the worker thread dies and the
+    /// supervisor must respawn it.
+    KillWorker,
+}
+
+/// How one rule decides whether it fires for a given event ordinal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Trigger {
+    /// Fires exactly on the `k`-th event (1-based).
+    At(u64),
+    /// Fires on ~1 in `n` events, decided by hashing `(seed, scope, event)`
+    /// through the deterministic PRNG.
+    OneIn { n: u64, seed: u64 },
+}
+
+impl Trigger {
+    fn fires(&self, scope: u64, event: u64) -> bool {
+        match *self {
+            Trigger::At(k) => event == k,
+            Trigger::OneIn { n, seed } => {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ scope.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        ^ event.wrapping_mul(0xbf58_476d_1ce4_e5b9),
+                );
+                rng.next_u64() % n.max(1) == 0
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Rule {
+    WavePanic(Trigger),
+    WorkerKill(Trigger),
+    ShardDelay { shard: usize, millis: u64 },
+    ConnTear(Trigger),
+}
+
+/// A malformed fault spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultParseError {
+    /// The offending rule text.
+    pub rule: String,
+    /// What was wrong with it.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault rule `{}`: {}", self.rule, self.reason)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
+/// A parsed, stateful fault-injection plan.
+///
+/// Event counters live inside the plan (per-shard wave ordinals, a global
+/// response ordinal), so one plan instance must be consulted by exactly one
+/// service/server for its ordinals to mean anything. The inert plan
+/// ([`FaultPlan::none`]) is counter-free and costs one branch per fault
+/// point.
+pub struct FaultPlan {
+    rules: Vec<Rule>,
+    /// Waves popped per shard (the `@K` ordinal space for wave rules).
+    wave_counts: Mutex<HashMap<usize, u64>>,
+    /// Transport responses sent (the ordinal space for `conn-tear`).
+    response_count: Mutex<u64>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("rules", &self.rules)
+            .finish()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The inert plan: no rule ever fires.
+    pub fn none() -> Self {
+        Self {
+            rules: Vec::new(),
+            wave_counts: Mutex::new(HashMap::new()),
+            response_count: Mutex::new(0),
+        }
+    }
+
+    /// Whether any rule is loaded (fault points can skip their bookkeeping
+    /// entirely for an inert plan).
+    pub fn is_active(&self) -> bool {
+        !self.rules.is_empty()
+    }
+
+    /// Parses a `;`-separated spec (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultParseError`] naming the first malformed rule.
+    pub fn parse(spec: &str) -> Result<Self, FaultParseError> {
+        let mut rules = Vec::new();
+        for rule in spec.split(';') {
+            let rule = rule.trim();
+            if rule.is_empty() {
+                continue;
+            }
+            rules.push(parse_rule(rule)?);
+        }
+        Ok(Self {
+            rules,
+            wave_counts: Mutex::new(HashMap::new()),
+            response_count: Mutex::new(0),
+        })
+    }
+
+    /// Builds the plan from the `ZKSPEED_FAULTS` environment variable; an
+    /// unset or empty variable yields the inert plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec — a chaos run that silently injected
+    /// nothing would be a false green.
+    pub fn from_env() -> Self {
+        match std::env::var(FAULTS_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => {
+                Self::parse(&spec).unwrap_or_else(|e| panic!("{FAULTS_ENV}: {e}"))
+            }
+            _ => Self::none(),
+        }
+    }
+
+    /// Consulted by a shard worker once per popped wave, **before** proving.
+    /// Advances the shard's wave ordinal and returns the injected action
+    /// plus any configured delay for this shard. The caller sleeps the
+    /// delay first, then acts.
+    pub fn on_wave(&self, shard: usize) -> (WaveFault, Option<Duration>) {
+        if !self.is_active() {
+            return (WaveFault::None, None);
+        }
+        let event = {
+            let mut counts = self
+                .wave_counts
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let slot = counts.entry(shard).or_insert(0);
+            *slot += 1;
+            *slot
+        };
+        let mut action = WaveFault::None;
+        let mut delay = None;
+        for rule in &self.rules {
+            match rule {
+                Rule::WavePanic(t) if action == WaveFault::None && t.fires(shard as u64, event) => {
+                    action = WaveFault::Panic;
+                }
+                Rule::WorkerKill(t) if t.fires(shard as u64, event) => {
+                    action = WaveFault::KillWorker;
+                }
+                Rule::ShardDelay { shard: s, millis } if *s == shard => {
+                    delay = Some(Duration::from_millis(*millis));
+                }
+                _ => {}
+            }
+        }
+        (action, delay)
+    }
+
+    /// Consulted by a transport once per outgoing response: `true` means
+    /// tear this response mid-frame and close the connection. Advances the
+    /// global response ordinal.
+    pub fn on_response(&self) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        let event = {
+            let mut count = self
+                .response_count
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *count += 1;
+            *count
+        };
+        self.rules.iter().any(|rule| match rule {
+            Rule::ConnTear(t) => t.fires(0, event),
+            _ => false,
+        })
+    }
+}
+
+fn parse_u64(text: &str, rule: &str, reason: &'static str) -> Result<u64, FaultParseError> {
+    text.parse().map_err(|_| FaultParseError {
+        rule: rule.to_string(),
+        reason,
+    })
+}
+
+/// Parses the `@K` / `~N:seed=S` suffix shared by the ordinal-triggered
+/// rules.
+fn parse_trigger(text: &str, rule: &str) -> Result<Trigger, FaultParseError> {
+    if let Some(k) = text.strip_prefix('@') {
+        let k = parse_u64(k, rule, "expected an integer ordinal after `@`")?;
+        if k == 0 {
+            return Err(FaultParseError {
+                rule: rule.to_string(),
+                reason: "ordinals are 1-based; `@0` never fires",
+            });
+        }
+        return Ok(Trigger::At(k));
+    }
+    if let Some(rest) = text.strip_prefix('~') {
+        let (n, seed) = match rest.split_once(":seed=") {
+            Some((n, seed)) => (
+                parse_u64(n, rule, "expected an integer rate after `~`")?,
+                parse_u64(seed, rule, "expected an integer seed after `seed=`")?,
+            ),
+            None => (
+                parse_u64(rest, rule, "expected an integer rate after `~`")?,
+                0,
+            ),
+        };
+        if n == 0 {
+            return Err(FaultParseError {
+                rule: rule.to_string(),
+                reason: "a `~0` rate is meaningless",
+            });
+        }
+        return Ok(Trigger::OneIn { n, seed });
+    }
+    Err(FaultParseError {
+        rule: rule.to_string(),
+        reason: "expected `@K` or `~N[:seed=S]` after the rule name",
+    })
+}
+
+fn parse_rule(rule: &str) -> Result<Rule, FaultParseError> {
+    if let Some(trigger) = rule.strip_prefix("wave-panic") {
+        return Ok(Rule::WavePanic(parse_trigger(trigger, rule)?));
+    }
+    if let Some(trigger) = rule.strip_prefix("worker-kill") {
+        return Ok(Rule::WorkerKill(parse_trigger(trigger, rule)?));
+    }
+    if let Some(trigger) = rule.strip_prefix("conn-tear") {
+        return Ok(Rule::ConnTear(parse_trigger(trigger, rule)?));
+    }
+    if let Some(body) = rule.strip_prefix("shard-delay=") {
+        let (shard, millis) = body.split_once(':').ok_or(FaultParseError {
+            rule: rule.to_string(),
+            reason: "expected `shard-delay=SHARD:MILLIS`",
+        })?;
+        return Ok(Rule::ShardDelay {
+            shard: parse_u64(shard, rule, "expected an integer shard index")? as usize,
+            millis: parse_u64(millis, rule, "expected integer milliseconds")?,
+        });
+    }
+    Err(FaultParseError {
+        rule: rule.to_string(),
+        reason: "unknown rule (expected wave-panic, worker-kill, shard-delay, or conn-tear)",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        for shard in 0..4 {
+            for _ in 0..100 {
+                assert_eq!(plan.on_wave(shard), (WaveFault::None, None));
+            }
+        }
+        assert!(!plan.on_response());
+    }
+
+    #[test]
+    fn at_triggers_fire_exactly_once_per_shard() {
+        let plan = FaultPlan::parse("wave-panic@3").unwrap();
+        for shard in 0..2 {
+            let fired: Vec<bool> = (0..6)
+                .map(|_| plan.on_wave(shard).0 == WaveFault::Panic)
+                .collect();
+            assert_eq!(fired, [false, false, true, false, false, false]);
+        }
+    }
+
+    #[test]
+    fn kill_outranks_panic_and_delay_composes() {
+        let plan = FaultPlan::parse("wave-panic@1; worker-kill@1; shard-delay=0:25").unwrap();
+        let (action, delay) = plan.on_wave(0);
+        assert_eq!(action, WaveFault::KillWorker);
+        assert_eq!(delay, Some(Duration::from_millis(25)));
+        // Shard 1 has no delay rule and its own ordinal counter.
+        let (action, delay) = plan.on_wave(1);
+        assert_eq!(action, WaveFault::KillWorker);
+        assert_eq!(delay, None);
+    }
+
+    #[test]
+    fn random_triggers_are_deterministic_and_roughly_rate_limited() {
+        let a = FaultPlan::parse("wave-panic~8:seed=42").unwrap();
+        let b = FaultPlan::parse("wave-panic~8:seed=42").unwrap();
+        let fired_a: Vec<bool> = (0..256)
+            .map(|_| a.on_wave(0).0 == WaveFault::Panic)
+            .collect();
+        let fired_b: Vec<bool> = (0..256)
+            .map(|_| b.on_wave(0).0 == WaveFault::Panic)
+            .collect();
+        assert_eq!(fired_a, fired_b, "same seed, same schedule, same faults");
+        let count = fired_a.iter().filter(|f| **f).count();
+        assert!(
+            (8..=64).contains(&count),
+            "1-in-8 rate wildly off: {count}/256"
+        );
+        // A different seed reshuffles the firing pattern.
+        let c = FaultPlan::parse("wave-panic~8:seed=43").unwrap();
+        let fired_c: Vec<bool> = (0..256)
+            .map(|_| c.on_wave(0).0 == WaveFault::Panic)
+            .collect();
+        assert_ne!(fired_a, fired_c);
+    }
+
+    #[test]
+    fn conn_tear_counts_responses_globally() {
+        let plan = FaultPlan::parse("conn-tear@2").unwrap();
+        assert!(!plan.on_response());
+        assert!(plan.on_response());
+        assert!(!plan.on_response());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "wave-panic",
+            "wave-panic@",
+            "wave-panic@0",
+            "wave-panic~0",
+            "worker-kill@x",
+            "shard-delay=0",
+            "shard-delay=a:5",
+            "conn-tear~3:seed=",
+            "flip-bits@1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` parsed");
+        }
+        // Empty segments and whitespace are tolerated.
+        let plan = FaultPlan::parse(" wave-panic@1 ; ; worker-kill~4 ").unwrap();
+        assert!(plan.is_active());
+    }
+}

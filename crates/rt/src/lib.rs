@@ -23,13 +23,17 @@
 //!   chunk order, so parallel runs are bit-identical to serial runs;
 //! * [`codec`] — the canonical byte-encoding substrate (magic + version
 //!   headers, bounds-checked reads, structured [`codec::DecodeError`]) used
-//!   by proof / key / SRS serialization.
+//!   by proof / key / SRS serialization;
+//! * [`faults`] — the deterministic fault-injection plan (`ZKSPEED_FAULTS`)
+//!   consulted by the proving service's shard workers and the TCP server
+//!   when chaos-testing the stack's failure paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod codec;
+pub mod faults;
 mod json;
 mod keccak;
 pub mod par;

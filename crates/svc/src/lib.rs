@@ -13,7 +13,10 @@
 //! * [`ProvingService`] — the session registry (keyed by circuit digest),
 //!   shard workers that pack queued jobs into `prove_batch` waves on
 //!   disjoint backend pools, and the in-process wire endpoint
-//!   ([`ProvingService::handle_frame`]);
+//!   ([`ProvingService::handle_frame`]). Shard workers run under a
+//!   supervisor: a panicking wave fails only that wave's jobs, the dead
+//!   worker is respawned within a bounded restart budget, and every job
+//!   carries a deadline ([`JobSpec`]) so no waiter blocks forever;
 //! * [`ServiceMetrics`] — queue depth, wave occupancy, per-session latency
 //!   percentiles, proofs/sec and MSM rollups, emitted via
 //!   [`ToJson`](zkspeed_rt::ToJson).
@@ -46,8 +49,11 @@
 mod metrics;
 pub mod queue;
 mod service;
+mod sync;
 pub mod wire;
 
-pub use metrics::{ConnectionMetrics, MsmRollup, ServiceMetrics, SessionMetrics};
-pub use service::{ProvingService, ServiceConfig, ServiceError};
+pub use metrics::{
+    ConnectionMetrics, MsmRollup, ServiceMetrics, SessionMetrics, SupervisionMetrics,
+};
+pub use service::{JobSpec, ProvingService, ServiceConfig, ServiceError};
 pub use wire::{JobState, Priority, RejectCode, Request, Response, KIND_REQUEST, KIND_RESPONSE};

@@ -11,6 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::sync::lock;
+
 use zkspeed_curve::MsmStats;
 use zkspeed_hyperplonk::ProverReport;
 use zkspeed_rt::{JsonValue, ToJson};
@@ -72,6 +74,26 @@ impl MsmRollup {
     }
 }
 
+/// Worker-supervision counters: how often shard workers panicked or died,
+/// and how much of the restart budget the service has consumed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SupervisionMetrics {
+    /// Shard workers currently alive (equals `workers_configured` on a
+    /// healthy service; lower when a shard exhausted its restart budget).
+    pub workers_alive: usize,
+    /// Shard workers the service was configured with (one per shard).
+    pub workers_configured: usize,
+    /// Proving waves that panicked; their jobs were failed individually and
+    /// the worker kept serving.
+    pub wave_panics: u64,
+    /// Shard worker threads that died and were respawned by the
+    /// supervisor.
+    pub worker_restarts: u64,
+    /// Respawns each shard is allowed over the service lifetime; once
+    /// exhausted the shard goes dark and its backlog is failed.
+    pub restart_budget_per_shard: u32,
+}
+
 /// Transport-level connection counters, filled in by a socket transport
 /// (`zkspeed-net`) through the [`crate::ProvingService`] recording hooks.
 /// All zeros for an in-process service that never saw a socket.
@@ -99,6 +121,9 @@ pub(crate) struct MetricsRecorder {
     pub(crate) rejected_draining: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
+    pub(crate) failed_deadline: AtomicU64,
+    pub(crate) wave_panics: AtomicU64,
+    pub(crate) worker_restarts: AtomicU64,
     pub(crate) conn_opened: AtomicU64,
     pub(crate) conn_closed: AtomicU64,
     pub(crate) conn_bad_auth: AtomicU64,
@@ -125,6 +150,9 @@ impl MetricsRecorder {
             rejected_draining: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            failed_deadline: AtomicU64::new(0),
+            wave_panics: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
             conn_opened: AtomicU64::new(0),
             conn_closed: AtomicU64::new(0),
             conn_bad_auth: AtomicU64::new(0),
@@ -144,10 +172,7 @@ impl MetricsRecorder {
     /// budget built nothing) and the registration preprocess wall time that
     /// included the one-time build.
     pub(crate) fn record_precompute(&self, session: [u8; 32], table_bytes: u64, build_ms: f64) {
-        self.precompute
-            .lock()
-            .expect("metrics lock poisoned")
-            .insert(session, (table_bytes, build_ms));
+        lock(&self.precompute).insert(session, (table_bytes, build_ms));
     }
 
     pub(crate) fn record_wave(&self, jobs: usize) {
@@ -163,24 +188,25 @@ impl MetricsRecorder {
         report: &ProverReport,
     ) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        self.rollup
-            .lock()
-            .expect("metrics lock poisoned")
-            .merge_report(report);
-        self.latencies
-            .lock()
-            .expect("metrics lock poisoned")
+        lock(&self.rollup).merge_report(report);
+        lock(&self.latencies)
             .entry(session)
             .or_default()
             .record(latency_ms);
     }
 
+    // Gauges arrive as one argument per source; a parameter struct would
+    // just restate the field list at the single call site.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn snapshot(
         &self,
         queue_depths: [usize; 3],
         peak_queue_depth: usize,
         queue_capacity: usize,
         sessions_registered: usize,
+        workers_alive: usize,
+        workers_configured: usize,
+        restart_budget_per_shard: u32,
     ) -> ServiceMetrics {
         let waves = self.waves.load(Ordering::Relaxed);
         let wave_jobs = self.wave_jobs.load(Ordering::Relaxed);
@@ -191,8 +217,8 @@ impl MetricsRecorder {
             // registered (precompute accounting is recorded at registration),
             // so freshly registered sessions are visible before their first
             // proof.
-            let latencies = self.latencies.lock().expect("metrics lock poisoned");
-            let precompute = self.precompute.lock().expect("metrics lock poisoned");
+            let latencies = lock(&self.latencies);
+            let precompute = lock(&self.precompute);
             let mut digests: Vec<[u8; 32]> =
                 latencies.keys().chain(precompute.keys()).copied().collect();
             digests.sort_unstable();
@@ -230,6 +256,14 @@ impl MetricsRecorder {
             rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
             completed,
             failed: self.failed.load(Ordering::Relaxed),
+            failed_deadline: self.failed_deadline.load(Ordering::Relaxed),
+            supervision: SupervisionMetrics {
+                workers_alive,
+                workers_configured,
+                wave_panics: self.wave_panics.load(Ordering::Relaxed),
+                worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+                restart_budget_per_shard,
+            },
             connections: ConnectionMetrics {
                 open: conn_opened.saturating_sub(conn_closed),
                 total: conn_opened,
@@ -252,7 +286,7 @@ impl MetricsRecorder {
             } else {
                 0.0
             },
-            msm: *self.rollup.lock().expect("metrics lock poisoned"),
+            msm: *lock(&self.rollup),
             sessions,
         }
     }
@@ -308,8 +342,15 @@ pub struct ServiceMetrics {
     pub rejected_draining: u64,
     /// Proofs produced.
     pub completed: u64,
-    /// Jobs whose witness failed the circuit at proving time.
+    /// Jobs whose witness failed the circuit at proving time — including
+    /// jobs failed by an injected or real wave panic, a dead worker, or an
+    /// expired deadline.
     pub failed: u64,
+    /// The subset of `failed` that expired queue-side: their deadline
+    /// passed before a worker ever proved them.
+    pub failed_deadline: u64,
+    /// Worker-supervision counters (panicked waves, respawns, liveness).
+    pub supervision: SupervisionMetrics,
     /// Transport connection counters (all zero without a socket transport).
     pub connections: ConnectionMetrics,
     /// Current queue depth per priority class (high, normal, low), summed
@@ -380,6 +421,35 @@ impl ToJson for ServiceMetrics {
                     ),
                     ("completed".into(), JsonValue::UInt(self.completed)),
                     ("failed".into(), JsonValue::UInt(self.failed)),
+                    (
+                        "failed_deadline".into(),
+                        JsonValue::UInt(self.failed_deadline),
+                    ),
+                ]),
+            ),
+            (
+                "supervision".into(),
+                JsonValue::Object(vec![
+                    (
+                        "workers_alive".into(),
+                        JsonValue::UInt(self.supervision.workers_alive as u64),
+                    ),
+                    (
+                        "workers_configured".into(),
+                        JsonValue::UInt(self.supervision.workers_configured as u64),
+                    ),
+                    (
+                        "wave_panics".into(),
+                        JsonValue::UInt(self.supervision.wave_panics),
+                    ),
+                    (
+                        "worker_restarts".into(),
+                        JsonValue::UInt(self.supervision.worker_restarts),
+                    ),
+                    (
+                        "restart_budget_per_shard".into(),
+                        JsonValue::UInt(self.supervision.restart_budget_per_shard as u64),
+                    ),
                 ]),
             ),
             (
@@ -518,7 +588,7 @@ mod tests {
         rec.record_completion([1u8; 32], 18.0, &report);
         rec.record_completion([2u8; 32], 40.0, &report);
 
-        let snap = rec.snapshot([1, 0, 0], 4, 64, 2);
+        let snap = rec.snapshot([1, 0, 0], 4, 64, 2, 2, 2, 3);
         assert_eq!(snap.completed, 3);
         assert_eq!(snap.waves, 2);
         assert!((snap.mean_wave_occupancy - 1.5).abs() < 1e-9);
@@ -557,7 +627,7 @@ mod tests {
         rec.record_precompute([2u8; 32], 0, 0.0);
         rec.record_completion([1u8; 32], 20.0, &ProverReport::default());
 
-        let snap = rec.snapshot([0, 0, 0], 0, 64, 2);
+        let snap = rec.snapshot([0, 0, 0], 0, 64, 2, 1, 1, 3);
         assert_eq!(snap.sessions.len(), 2);
         assert_eq!(snap.sessions[0].digest, [1u8; 32]);
         assert_eq!(snap.sessions[0].precompute_table_bytes, 4096);

@@ -23,6 +23,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use zkspeed_hyperplonk::Witness;
 
+use crate::sync::{lock, wait};
 use crate::wire::Priority;
 
 /// One queued proof job.
@@ -94,18 +95,18 @@ impl JobQueue {
 
     /// Total jobs queued right now.
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").depth()
+        lock(&self.state).depth()
     }
 
     /// Jobs queued per priority class (high, normal, low).
     pub fn depths(&self) -> [usize; 3] {
-        let state = self.state.lock().expect("queue lock poisoned");
+        let state = lock(&self.state);
         [0, 1, 2].map(|i| state.classes[i].len())
     }
 
     /// The deepest the queue has ever been.
     pub fn peak_depth(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").peak_depth
+        lock(&self.state).peak_depth
     }
 
     /// The capacity bound.
@@ -116,7 +117,7 @@ impl JobQueue {
     /// Enqueues a job, or returns it to the caller if the queue is at
     /// capacity (backpressure) or closed.
     pub fn try_push(&self, job: QueuedJob) -> Result<(), QueuedJob> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = lock(&self.state);
         if state.closed || state.depth() >= self.capacity {
             return Err(job);
         }
@@ -128,9 +129,9 @@ impl JobQueue {
     /// Returns the job to the caller only if the queue closes while
     /// waiting.
     pub fn push_blocking(&self, job: QueuedJob) -> Result<(), QueuedJob> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = lock(&self.state);
         while !state.closed && state.depth() >= self.capacity {
-            state = self.space.wait(state).expect("queue lock poisoned");
+            state = wait(&self.space, state);
         }
         if state.closed {
             return Err(job);
@@ -152,7 +153,7 @@ impl JobQueue {
     /// is empty; returns `None` once the queue is closed **and** drained.
     pub fn pop_wave(&self, max_wave: usize) -> Option<Vec<QueuedJob>> {
         let max_wave = max_wave.max(1);
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = lock(&self.state);
         loop {
             if state.depth() > 0 {
                 let class = self.choose_class(&mut state);
@@ -178,7 +179,7 @@ impl JobQueue {
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).expect("queue lock poisoned");
+            state = wait(&self.ready, state);
         }
     }
 
@@ -213,10 +214,30 @@ impl JobQueue {
     /// Closes the queue: producers are turned away, consumers drain what is
     /// left and then observe `None`.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = lock(&self.state);
         state.closed = true;
         self.ready.notify_all();
         self.space.notify_all();
+    }
+
+    /// Whether [`JobQueue::close`] has been called. Lets producers tell a
+    /// closed queue apart from a merely full one when a push bounces.
+    pub fn is_closed(&self) -> bool {
+        lock(&self.state).closed
+    }
+
+    /// Empties the queue and returns everything that was waiting, most
+    /// urgent class first. Used by worker supervision when a shard's
+    /// restart budget is exhausted: the backlog can never be proved, so the
+    /// supervisor fails each job instead of leaving it queued forever.
+    pub fn drain_all(&self) -> Vec<QueuedJob> {
+        let mut state = lock(&self.state);
+        let mut drained = Vec::with_capacity(state.depth());
+        for class in &mut state.classes {
+            drained.extend(class.drain(..));
+        }
+        self.space.notify_all();
+        drained
     }
 }
 
@@ -343,6 +364,20 @@ mod tests {
         }
         assert!(served.contains(&2000), "normal starved: {served:?}");
         assert!(served.contains(&3000), "low starved: {served:?}");
+    }
+
+    #[test]
+    fn drain_all_empties_every_class_and_frees_space() {
+        let q = JobQueue::new(4, 8);
+        q.try_push(job(0, 1, Priority::High)).unwrap();
+        q.try_push(job(1, 1, Priority::Normal)).unwrap();
+        q.try_push(job(2, 1, Priority::Low)).unwrap();
+        assert!(!q.is_closed());
+        let drained = q.drain_all();
+        assert_eq!(drained.iter().map(|j| j.id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(q.depth(), 0);
+        q.close();
+        assert!(q.is_closed());
     }
 
     #[test]

@@ -22,13 +22,29 @@
 //! out across the shard's pool. Proofs are canonical bytes; identical
 //! (circuit, witness) submissions produce byte-identical proofs regardless
 //! of queue order, priority or wave packing.
+//!
+//! # Supervision and failure
+//!
+//! Each shard worker runs under a supervisor: the wave body executes inside
+//! [`catch_unwind`](std::panic::catch_unwind), so a panicking prover fails
+//! only that wave's jobs (reported as [`ServiceError::JobFailed`] /
+//! `JobFailed` over the wire) and the worker keeps serving. A panic that
+//! escapes the wave guard kills the worker; the supervisor fails its
+//! in-flight jobs and respawns it within a bounded restart budget
+//! ([`ServiceConfig::restart_budget`]). When the budget is exhausted the
+//! shard's queue is closed and its backlog failed, so no waiter blocks on a
+//! job that can never run. Every job additionally carries a deadline
+//! ([`JobSpec`], defaulting to [`ServiceConfig::default_deadline`]):
+//! expired jobs fail without burning prover time, and `wait` / `drain`
+//! never block past it.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use zkspeed_curve::MsmConfig;
 use zkspeed_hyperplonk::{
@@ -37,12 +53,19 @@ use zkspeed_hyperplonk::{
 };
 use zkspeed_pcs::{PrecomputeBudget, Srs};
 use zkspeed_rt::codec::{DecodeError, Reader};
+use zkspeed_rt::faults::{FaultPlan, WaveFault};
 use zkspeed_rt::pool::{backend_with_threads, Backend};
 use zkspeed_rt::ToJson;
 
 use crate::metrics::{MetricsRecorder, ServiceMetrics};
 use crate::queue::{JobQueue, QueuedJob};
+use crate::sync::{lock, wait_timeout};
 use crate::wire::{JobState, Priority, RejectCode, Request, Response};
+
+/// How long waiters poll between predicate re-checks. Bounds the damage of
+/// any missed wakeup: a waiter is never more than one interval behind the
+/// state it is watching (a worker death, a deadline, a drained backlog).
+const WAIT_POLL: Duration = Duration::from_millis(100);
 
 /// Tuning knobs of a [`ProvingService`].
 #[derive(Clone, Debug)]
@@ -67,6 +90,18 @@ pub struct ServiceConfig {
     /// pair with [`MsmSchedule::Precomputed`](zkspeed_curve::MsmSchedule)
     /// in [`ServiceConfig::msm_config`] so the prover consumes the tables.
     pub precompute: PrecomputeBudget,
+    /// Deadline applied to jobs whose [`JobSpec`] does not carry one.
+    /// Measured from acceptance; an expired job fails with
+    /// [`ServiceError::JobFailed`] instead of proving, and waiters give up
+    /// with [`ServiceError::Deadline`].
+    pub default_deadline: Duration,
+    /// How many times a dead shard worker is respawned before the shard is
+    /// written off (queue closed, backlog failed).
+    pub restart_budget: u32,
+    /// Deterministic fault-injection plan consulted by the shard workers
+    /// (and, through [`ProvingService::config`], by transport layers).
+    /// Defaults to the `ZKSPEED_FAULTS` environment spec; inert when unset.
+    pub faults: Arc<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +116,9 @@ impl Default for ServiceConfig {
             starvation_limit: 4,
             msm_config: MsmConfig::default(),
             precompute: PrecomputeBudget::default(),
+            default_deadline: Duration::from_secs(120),
+            restart_budget: 3,
+            faults: Arc::new(FaultPlan::from_env()),
         }
     }
 }
@@ -127,6 +165,57 @@ impl ServiceConfig {
         self.precompute = precompute;
         self
     }
+
+    /// Overrides the default per-job deadline.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = deadline.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Overrides the per-shard worker restart budget.
+    pub fn with_restart_budget(mut self, budget: u32) -> Self {
+        self.restart_budget = budget;
+        self
+    }
+
+    /// Installs an explicit fault-injection plan (tests and benches;
+    /// production configs inherit `ZKSPEED_FAULTS` via `Default`).
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Per-job submission parameters: scheduling class plus an optional
+/// deadline overriding [`ServiceConfig::default_deadline`].
+#[derive(Clone, Copy, Debug)]
+pub struct JobSpec {
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Deadline measured from acceptance; `None` uses the service default.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self::new(Priority::Normal)
+    }
+}
+
+impl JobSpec {
+    /// A spec with the given priority and the service's default deadline.
+    pub fn new(priority: Priority) -> Self {
+        Self {
+            priority,
+            deadline: None,
+        }
+    }
+
+    /// Overrides the deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// Everything that can go wrong talking to the service in-process.
@@ -161,6 +250,10 @@ pub enum ServiceError {
     Draining,
     /// The service is shutting down.
     Shutdown,
+    /// The job's deadline passed before its outcome was delivered. The job
+    /// record stays collectable: a late completion (or the queue-side
+    /// expiry) still resolves it.
+    Deadline,
 }
 
 impl fmt::Display for ServiceError {
@@ -178,6 +271,7 @@ impl fmt::Display for ServiceError {
             ServiceError::JobFailed(msg) => write!(f, "job failed: {msg}"),
             ServiceError::Draining => write!(f, "service is draining, not accepting new work"),
             ServiceError::Shutdown => write!(f, "service is shutting down"),
+            ServiceError::Deadline => write!(f, "job deadline exceeded"),
         }
     }
 }
@@ -208,6 +302,12 @@ struct Session {
 struct Shard {
     queue: JobQueue,
     backend: Arc<dyn Backend>,
+    /// Cleared when the shard's worker exits for good (clean shutdown or
+    /// restart budget exhausted). Waiters consult it so they never block on
+    /// a shard that can no longer make progress.
+    alive: AtomicBool,
+    /// Worker deaths charged against [`ServiceConfig::restart_budget`].
+    restarts: AtomicU32,
 }
 
 /// Job lifecycle under the jobs lock.
@@ -221,7 +321,9 @@ enum JobPhase {
 struct JobEntry {
     phase: JobPhase,
     submitted: Instant,
+    deadline_at: Instant,
     session: [u8; 32],
+    shard: usize,
 }
 
 struct ServiceShared {
@@ -242,6 +344,10 @@ struct ServiceShared {
     /// submissions are rejected while accepted jobs run to completion.
     draining: AtomicBool,
     metrics: MetricsRecorder,
+    /// Shard worker join handles. Lives in the shared state (not the
+    /// service handle) because the supervisor pushes replacement workers
+    /// from inside a dying worker thread.
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A running proving service. Dropping it (or calling
@@ -249,7 +355,6 @@ struct ServiceShared {
 /// and joins the shard workers.
 pub struct ProvingService {
     shared: Arc<ServiceShared>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl fmt::Debug for ProvingService {
@@ -269,6 +374,8 @@ impl ProvingService {
             .map(|_| Shard {
                 queue: JobQueue::new(config.queue_capacity, config.starvation_limit),
                 backend: backend_with_threads(config.threads_per_shard),
+                alive: AtomicBool::new(true),
+                restarts: AtomicU32::new(0),
             })
             .collect();
         let shared = Arc::new(ServiceShared {
@@ -283,17 +390,12 @@ impl ProvingService {
             next_job_id: AtomicU64::new(1),
             draining: AtomicBool::new(false),
             metrics: MetricsRecorder::new(),
+            worker_handles: Mutex::new(Vec::new()),
         });
-        let workers = (0..shared.config.shards.max(1))
-            .map(|shard| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("zkspeed-svc-shard-{shard}"))
-                    .spawn(move || shard_loop(&shared, shard))
-                    .expect("failed to spawn shard worker")
-            })
-            .collect();
-        Self { shared, workers }
+        for shard in 0..shared.shards.len() {
+            spawn_worker(&shared, shard);
+        }
+        Self { shared }
     }
 
     /// The universal SRS sessions are preprocessed against.
@@ -335,18 +437,8 @@ impl ProvingService {
         // One registration at a time: preprocessing commits eight MLE
         // tables (seconds at μ=14), and racing duplicates would each pay it
         // and burn a shard slot for the discarded copy.
-        let _registering = self
-            .shared
-            .registration
-            .lock()
-            .expect("registration lock poisoned");
-        if self
-            .shared
-            .sessions
-            .lock()
-            .expect("sessions lock poisoned")
-            .contains_key(&digest)
-        {
+        let _registering = lock(&self.shared.registration);
+        if lock(&self.shared.sessions).contains_key(&digest) {
             return Ok(digest);
         }
         let shard =
@@ -378,12 +470,7 @@ impl ProvingService {
             num_vars,
             shard,
         });
-        self.shared
-            .sessions
-            .lock()
-            .expect("sessions lock poisoned")
-            .entry(digest)
-            .or_insert(session);
+        lock(&self.shared.sessions).entry(digest).or_insert(session);
         Ok(digest)
     }
 
@@ -407,10 +494,7 @@ impl ProvingService {
     /// The verifying key of a registered session (for clients that verify
     /// streamed proofs).
     pub fn verifying_key(&self, digest: &[u8; 32]) -> Option<Arc<VerifyingKey>> {
-        self.shared
-            .sessions
-            .lock()
-            .expect("sessions lock poisoned")
+        lock(&self.shared.sessions)
             .get(digest)
             .map(|s| Arc::clone(&s.vk))
     }
@@ -429,7 +513,24 @@ impl ProvingService {
         witness: Witness,
         priority: Priority,
     ) -> Result<u64, ServiceError> {
-        self.submit_inner(digest, witness, priority, false)
+        self.try_submit_spec(digest, witness, JobSpec::new(priority))
+    }
+
+    /// [`ProvingService::try_submit`] with a full [`JobSpec`] (priority plus
+    /// an optional per-job deadline).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProvingService::try_submit`]; additionally
+    /// [`ServiceError::Shutdown`] when the session's shard has been written
+    /// off (worker restart budget exhausted).
+    pub fn try_submit_spec(
+        &self,
+        digest: &[u8; 32],
+        witness: Witness,
+        spec: JobSpec,
+    ) -> Result<u64, ServiceError> {
+        self.submit_inner(digest, witness, spec, false)
     }
 
     /// Submits a job, **parking** the calling thread until queue capacity
@@ -445,14 +546,28 @@ impl ProvingService {
         witness: Witness,
         priority: Priority,
     ) -> Result<u64, ServiceError> {
-        self.submit_inner(digest, witness, priority, true)
+        self.submit_spec(digest, witness, JobSpec::new(priority))
+    }
+
+    /// [`ProvingService::submit`] with a full [`JobSpec`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ProvingService::submit`].
+    pub fn submit_spec(
+        &self,
+        digest: &[u8; 32],
+        witness: Witness,
+        spec: JobSpec,
+    ) -> Result<u64, ServiceError> {
+        self.submit_inner(digest, witness, spec, true)
     }
 
     fn submit_inner(
         &self,
         digest: &[u8; 32],
         witness: Witness,
-        priority: Priority,
+        spec: JobSpec,
         park: bool,
     ) -> Result<u64, ServiceError> {
         if self.is_draining() {
@@ -463,7 +578,7 @@ impl ProvingService {
             return Err(ServiceError::Draining);
         }
         let session = {
-            let sessions = self.shared.sessions.lock().expect("sessions lock poisoned");
+            let sessions = lock(&self.shared.sessions);
             Arc::clone(sessions.get(digest).ok_or_else(|| {
                 self.shared
                     .metrics
@@ -487,15 +602,22 @@ impl ProvingService {
             id,
             session: *digest,
             witness: Arc::new(witness),
-            priority,
+            priority: spec.priority,
         };
+        let submitted = Instant::now();
+        let deadline = spec
+            .deadline
+            .unwrap_or(self.shared.config.default_deadline)
+            .max(Duration::from_millis(1));
         // The entry must exist before the worker can complete it.
-        self.shared.jobs.lock().expect("jobs lock poisoned").insert(
+        lock(&self.shared.jobs).insert(
             id,
             JobEntry {
                 phase: JobPhase::Queued,
-                submitted: Instant::now(),
+                submitted,
+                deadline_at: submitted + deadline,
                 session: *digest,
+                shard: session.shard,
             },
         );
         let queue = &self.shared.shards[session.shard].queue;
@@ -505,12 +627,8 @@ impl ProvingService {
             queue.try_push(job)
         };
         if pushed.is_err() {
-            self.shared
-                .jobs
-                .lock()
-                .expect("jobs lock poisoned")
-                .remove(&id);
-            return if park {
+            lock(&self.shared.jobs).remove(&id);
+            return if park || queue.is_closed() {
                 Err(ServiceError::Shutdown)
             } else {
                 self.shared
@@ -531,7 +649,7 @@ impl ProvingService {
     /// including ids whose terminal outcome was already delivered through
     /// [`ProvingService::wait`] or the wire protocol.
     pub fn status(&self, job: u64) -> Option<JobState> {
-        let jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
+        let jobs = lock(&self.shared.jobs);
         jobs.get(&job).map(|entry| match entry.phase {
             JobPhase::Queued => JobState::Queued,
             JobPhase::Running => JobState::Running,
@@ -552,13 +670,16 @@ impl ProvingService {
     /// # Errors
     ///
     /// Returns [`ServiceError::UnknownJob`] for unknown (or
-    /// already-delivered) ids or [`ServiceError::JobFailed`] if the
-    /// witness failed the circuit.
+    /// already-delivered) ids, [`ServiceError::JobFailed`] if the job
+    /// failed (bad witness, panicked wave, dead worker), or
+    /// [`ServiceError::Deadline`] once the job's deadline passes — the
+    /// record is left in place for a late collection.
     pub fn wait(&self, job: u64) -> Result<Arc<Vec<u8>>, ServiceError> {
-        let mut jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
+        let mut jobs = lock(&self.shared.jobs);
         loop {
-            if let Some(entry) = jobs.get(&job) {
-                if matches!(entry.phase, JobPhase::Done(_) | JobPhase::Failed(_)) {
+            let deadline_at = match jobs.get(&job) {
+                None => return Err(ServiceError::UnknownJob),
+                Some(entry) if matches!(entry.phase, JobPhase::Done(_) | JobPhase::Failed(_)) => {
                     let entry = jobs.remove(&job).expect("entry present");
                     return match entry.phase {
                         JobPhase::Done(proof) => Ok(proof),
@@ -566,10 +687,58 @@ impl ProvingService {
                         _ => unreachable!("terminal phase matched above"),
                     };
                 }
-            } else {
-                return Err(ServiceError::UnknownJob);
+                Some(entry) => entry.deadline_at,
+            };
+            let now = Instant::now();
+            if deadline_at <= now {
+                return Err(ServiceError::Deadline);
             }
-            jobs = self.shared.job_done.wait(jobs).expect("jobs lock poisoned");
+            // Bounded wait: a missed wakeup (or a worker death) delays the
+            // deadline/terminal-phase re-check by at most one poll interval.
+            let timeout = (deadline_at - now).min(WAIT_POLL);
+            jobs = wait_timeout(&self.shared.job_done, jobs, timeout);
+        }
+    }
+
+    /// Blocks until **any** of the given jobs reaches a terminal outcome,
+    /// consumes that record and returns `(id, outcome)`; the other jobs
+    /// keep running and stay collectable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownJob`] when none of the ids is known
+    /// (or the slice is empty), or [`ServiceError::Deadline`] once every
+    /// known job's deadline has passed.
+    #[allow(clippy::type_complexity)]
+    pub fn wait_any(
+        &self,
+        ids: &[u64],
+    ) -> Result<(u64, Result<Arc<Vec<u8>>, ServiceError>), ServiceError> {
+        let mut jobs = lock(&self.shared.jobs);
+        loop {
+            let mut latest: Option<Instant> = None;
+            for &id in ids {
+                let Some(entry) = jobs.get(&id) else { continue };
+                if matches!(entry.phase, JobPhase::Done(_) | JobPhase::Failed(_)) {
+                    let entry = jobs.remove(&id).expect("entry present");
+                    let outcome = match entry.phase {
+                        JobPhase::Done(proof) => Ok(proof),
+                        JobPhase::Failed(msg) => Err(ServiceError::JobFailed(msg)),
+                        _ => unreachable!("terminal phase matched above"),
+                    };
+                    return Ok((id, outcome));
+                }
+                latest = Some(latest.map_or(entry.deadline_at, |l| l.max(entry.deadline_at)));
+            }
+            let Some(latest) = latest else {
+                return Err(ServiceError::UnknownJob);
+            };
+            let now = Instant::now();
+            if latest <= now {
+                return Err(ServiceError::Deadline);
+            }
+            let timeout = (latest - now).min(WAIT_POLL);
+            jobs = wait_timeout(&self.shared.job_done, jobs, timeout);
         }
     }
 
@@ -587,15 +756,22 @@ impl ProvingService {
             peak = peak.max(shard.queue.peak_depth());
             capacity += shard.queue.capacity();
         }
-        let sessions = self
+        let sessions = lock(&self.shared.sessions).len();
+        let workers_alive = self
             .shared
-            .sessions
-            .lock()
-            .expect("sessions lock poisoned")
-            .len();
-        self.shared
-            .metrics
-            .snapshot(depths, peak, capacity, sessions)
+            .shards
+            .iter()
+            .filter(|s| s.alive.load(Ordering::SeqCst))
+            .count();
+        self.shared.metrics.snapshot(
+            depths,
+            peak,
+            capacity,
+            sessions,
+            workers_alive,
+            self.shared.shards.len(),
+            self.shared.config.restart_budget,
+        )
     }
 
     /// The number of scheduler shards.
@@ -620,13 +796,34 @@ impl ProvingService {
     /// [`ProvingService::begin_drain`] — otherwise new submissions can keep
     /// the backlog alive indefinitely. Completed-but-uncollected outcomes
     /// (`Done`/`Failed` entries awaiting delivery) do not block the drain.
+    ///
+    /// A pending job whose shard worker has died for good (restart budget
+    /// exhausted or clean exit) is failed here rather than waited on, so a
+    /// drain never blocks on a shard that cannot make progress.
     pub fn drain(&self) {
-        let mut jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
-        while jobs
-            .values()
-            .any(|entry| matches!(entry.phase, JobPhase::Queued | JobPhase::Running))
-        {
-            jobs = self.shared.job_done.wait(jobs).expect("jobs lock poisoned");
+        let mut jobs = lock(&self.shared.jobs);
+        loop {
+            let mut pending = false;
+            let mut failed_here = false;
+            for entry in jobs.values_mut() {
+                if !matches!(entry.phase, JobPhase::Queued | JobPhase::Running) {
+                    continue;
+                }
+                if self.shared.shards[entry.shard].alive.load(Ordering::SeqCst) {
+                    pending = true;
+                } else {
+                    entry.phase = JobPhase::Failed("shard worker is dead".into());
+                    self.shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    failed_here = true;
+                }
+            }
+            if failed_here {
+                self.shared.job_done.notify_all();
+            }
+            if !pending {
+                return;
+            }
+            jobs = wait_timeout(&self.shared.job_done, jobs, WAIT_POLL);
         }
     }
 
@@ -727,17 +924,24 @@ impl ProvingService {
             Request::SubmitJob {
                 circuit,
                 priority,
+                deadline_ms,
                 witness,
             } => {
                 let witness = match Witness::from_bytes(&witness) {
                     Ok(witness) => witness,
                     Err(e) => return reject(RejectCode::Malformed, &e),
                 };
-                match self.try_submit(&circuit, witness, priority) {
+                let mut spec = JobSpec::new(priority);
+                if deadline_ms > 0 {
+                    spec = spec.with_deadline(Duration::from_millis(deadline_ms));
+                }
+                match self.try_submit_spec(&circuit, witness, spec) {
                     Ok(job) => Response::JobAccepted { job },
                     Err(e @ ServiceError::QueueFull) => reject(RejectCode::QueueFull, &e),
                     Err(e @ ServiceError::UnknownCircuit) => reject(RejectCode::UnknownCircuit, &e),
-                    Err(e @ ServiceError::Draining) => reject(RejectCode::Draining, &e),
+                    Err(e @ (ServiceError::Draining | ServiceError::Shutdown)) => {
+                        reject(RejectCode::Draining, &e)
+                    }
                     Err(e) => reject(RejectCode::WitnessMismatch, &e),
                 }
             }
@@ -747,7 +951,7 @@ impl ProvingService {
                 // delivery (see [`ProvingService::wait`]) so the jobs map
                 // stays bounded over a long-running service's lifetime.
                 let taken = {
-                    let mut jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
+                    let mut jobs = lock(&self.shared.jobs);
                     match jobs.get(&job) {
                         None => return reject(RejectCode::UnknownJob, &ServiceError::UnknownJob),
                         Some(entry) if matches!(entry.phase, JobPhase::Queued) => {
@@ -772,10 +976,7 @@ impl ProvingService {
                         job,
                         proof: Arc::try_unwrap(proof).unwrap_or_else(|arc| (*arc).clone()),
                     },
-                    JobPhase::Failed(_) => Response::Status {
-                        job,
-                        state: JobState::Failed,
-                    },
+                    JobPhase::Failed(reason) => Response::JobFailed { job, reason },
                     _ => unreachable!("non-terminal phases matched above"),
                 }
             }
@@ -796,8 +997,19 @@ impl ProvingService {
         for shard in &self.shared.shards {
             shard.queue.close();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // A dying worker can push a replacement handle while we join, so
+        // keep taking the handle list until it stays empty. Joins happen
+        // outside the lock: the supervisor needs it to register the
+        // replacement we are about to join.
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                std::mem::take(&mut *lock(&self.shared.worker_handles));
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -815,40 +1027,184 @@ fn reject(code: RejectCode, err: &dyn fmt::Display) -> Response {
     }
 }
 
-/// One shard's worker loop: pop a wave, prove it, publish the proofs.
+/// Spawns (or respawns) one shard's supervised worker thread and registers
+/// its join handle.
+fn spawn_worker(shared: &Arc<ServiceShared>, shard_idx: usize) {
+    let worker = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("zkspeed-svc-shard-{shard_idx}"))
+        .spawn(move || {
+            // `AssertUnwindSafe` is sound for the same reason the poison
+            // recovery in [`crate::sync`] is: everything the loop mutates
+            // under shared locks is updated in single consistent steps.
+            let outcome =
+                std::panic::catch_unwind(AssertUnwindSafe(|| shard_loop(&worker, shard_idx)));
+            match outcome {
+                Ok(()) => {
+                    // Clean exit: the queue closed and the backlog drained.
+                    worker.shards[shard_idx]
+                        .alive
+                        .store(false, Ordering::SeqCst);
+                    worker.job_done.notify_all();
+                }
+                Err(payload) => handle_worker_death(&worker, shard_idx, payload.as_ref()),
+            }
+        })
+        .expect("failed to spawn shard worker");
+    lock(&shared.worker_handles).push(handle);
+}
+
+/// Supervision path for a worker whose panic escaped the per-wave guard:
+/// fail its in-flight jobs, then respawn it (within the restart budget) or
+/// write the shard off (close the queue, fail the backlog).
+fn handle_worker_death(
+    shared: &Arc<ServiceShared>,
+    shard_idx: usize,
+    payload: &(dyn std::any::Any + Send),
+) {
+    let reason = panic_message(payload);
+    {
+        // Only this shard's jobs can be `Running` under a dead worker: a
+        // shard runs one wave at a time and entries record their shard.
+        let mut jobs = lock(&shared.jobs);
+        for entry in jobs.values_mut() {
+            if entry.shard == shard_idx && matches!(entry.phase, JobPhase::Running) {
+                entry.phase = JobPhase::Failed(format!("shard worker died: {reason}"));
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    shared.job_done.notify_all();
+    let shard = &shared.shards[shard_idx];
+    let deaths = shard.restarts.fetch_add(1, Ordering::SeqCst);
+    if !shard.queue.is_closed() && deaths < shared.config.restart_budget {
+        shared
+            .metrics
+            .worker_restarts
+            .fetch_add(1, Ordering::Relaxed);
+        spawn_worker(shared, shard_idx);
+        return;
+    }
+    // Budget exhausted (or shutting down): the backlog can never prove.
+    shard.alive.store(false, Ordering::SeqCst);
+    shard.queue.close();
+    let backlog = shard.queue.drain_all();
+    if !backlog.is_empty() {
+        let mut jobs = lock(&shared.jobs);
+        for job in backlog {
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            if let Some(entry) = jobs.get_mut(&job.id) {
+                entry.phase = JobPhase::Failed("shard worker restart budget exhausted".into());
+            }
+        }
+    }
+    shared.job_done.notify_all();
+}
+
+/// Best-effort human-readable panic payload (panics carry `&str` or
+/// `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// One shard's worker loop: pop a wave, consult the fault plan, prove the
+/// wave inside a panic guard, publish the outcomes.
 fn shard_loop(shared: &ServiceShared, shard_idx: usize) {
     let shard = &shared.shards[shard_idx];
     while let Some(wave) = shard.queue.pop_wave(shared.config.wave_size) {
-        run_wave(shared, shard, wave);
+        // Mark the wave running before any fault can fire, so an injected
+        // death has exactly this wave in flight to fail.
+        {
+            let mut jobs = lock(&shared.jobs);
+            for job in &wave {
+                if let Some(entry) = jobs.get_mut(&job.id) {
+                    entry.phase = JobPhase::Running;
+                }
+            }
+        }
+        let (fault, delay) = shared.config.faults.on_wave(shard_idx);
+        if let Some(delay) = delay {
+            std::thread::sleep(delay);
+        }
+        if matches!(fault, WaveFault::KillWorker) {
+            // Deliberately outside the wave guard: kills the worker so the
+            // supervisor's respawn path runs.
+            panic!("injected worker kill (shard {shard_idx})");
+        }
+        let ids: Vec<u64> = wave.iter().map(|j| j.id).collect();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if matches!(fault, WaveFault::Panic) {
+                panic!("injected wave fault (shard {shard_idx})");
+            }
+            run_wave(shared, shard, wave);
+        }));
+        if let Err(payload) = outcome {
+            let reason = panic_message(payload.as_ref());
+            shared.metrics.wave_panics.fetch_add(1, Ordering::Relaxed);
+            let mut jobs = lock(&shared.jobs);
+            for id in ids {
+                if let Some(entry) = jobs.get_mut(&id) {
+                    if matches!(entry.phase, JobPhase::Running) {
+                        entry.phase = JobPhase::Failed(format!("wave panicked: {reason}"));
+                        shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            drop(jobs);
+            shared.job_done.notify_all();
+        }
     }
 }
 
 fn run_wave(shared: &ServiceShared, shard: &Shard, wave: Vec<QueuedJob>) {
     let session = {
-        let sessions = shared.sessions.lock().expect("sessions lock poisoned");
+        let sessions = lock(&shared.sessions);
         Arc::clone(
             sessions
                 .get(&wave[0].session)
                 .expect("queued job references a registered session"),
         )
     };
+    // Jobs whose deadline passed while queued fail without burning prover
+    // time; the rest proceed.
+    let mut live = Vec::with_capacity(wave.len());
+    let mut expired_any = false;
     {
-        let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
-        for job in &wave {
-            if let Some(entry) = jobs.get_mut(&job.id) {
-                entry.phase = JobPhase::Running;
+        let mut jobs = lock(&shared.jobs);
+        let now = Instant::now();
+        for job in wave {
+            match jobs.get_mut(&job.id) {
+                Some(entry) if entry.deadline_at <= now => {
+                    entry.phase = JobPhase::Failed("deadline exceeded before proving".into());
+                    shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .metrics
+                        .failed_deadline
+                        .fetch_add(1, Ordering::Relaxed);
+                    expired_any = true;
+                }
+                _ => live.push(job),
             }
         }
     }
+    if expired_any {
+        shared.job_done.notify_all();
+    }
     // Witnesses that fail the circuit are failed individually so one bad
     // submission cannot poison its wave-mates.
-    let mut valid = Vec::with_capacity(wave.len());
-    for job in wave {
+    let mut valid = Vec::with_capacity(live.len());
+    for job in live {
         match session.pk.circuit.check_witness(&job.witness) {
             Ok(()) => valid.push(job),
             Err(e) => {
                 shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+                let mut jobs = lock(&shared.jobs);
                 if let Some(entry) = jobs.get_mut(&job.id) {
                     entry.phase = JobPhase::Failed(e.to_string());
                 }
@@ -868,7 +1224,7 @@ fn run_wave(shared: &ServiceShared, shard: &Shard, wave: Vec<QueuedJob>) {
         shared.config.msm_config,
     )
     .expect("wave witnesses were validated");
-    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    let mut jobs = lock(&shared.jobs);
     for (job, (proof, report)) in valid.iter().zip(proved) {
         let bytes = Arc::new(proof.to_bytes());
         if let Some(entry) = jobs.get_mut(&job.id) {
@@ -879,5 +1235,6 @@ fn run_wave(shared: &ServiceShared, shard: &Shard, wave: Vec<QueuedJob>) {
             entry.phase = JobPhase::Done(bytes);
         }
     }
+    drop(jobs);
     shared.job_done.notify_all();
 }

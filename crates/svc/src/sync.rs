@@ -1,0 +1,39 @@
+//! Poison-recovering lock helpers shared by the service internals.
+//!
+//! A shard worker that panics mid-wave poisons every mutex it held. Before
+//! worker supervision, the service treated poison as unrecoverable and
+//! `expect`ed on every `lock()`, so one panicked thread cascaded panics
+//! into every later `submit` / `status` / `metrics` call. The supervisor
+//! now converts a panicked wave into per-job failures and keeps serving,
+//! which is only sound if the data the panicking thread guarded stays
+//! usable: every structure under these locks (job maps, queue state,
+//! metric counters) is updated in single already-consistent steps, so the
+//! recovery here — take the guard out of the [`PoisonError`] — cannot
+//! observe a half-applied update.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Locks a mutex, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock`].
+pub(crate) fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with the same poison recovery as [`lock`].
+/// Drops the (unused here) timeout result: callers re-check their predicate
+/// and their own deadline on every wakeup anyway.
+pub(crate) fn wait_timeout<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> MutexGuard<'a, T> {
+    condvar
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+        .0
+}

@@ -12,7 +12,7 @@
 //! | request tag | message | body |
 //! |---|---|---|
 //! | 1 | `SubmitCircuit` | `u32` len + circuit artifact |
-//! | 2 | `SubmitJob` | 32-byte circuit digest, `u8` priority, `u32` len + witness artifact |
+//! | 2 | `SubmitJob` | 32-byte circuit digest, `u8` priority, `u64` deadline ms (0 = server default), `u32` len + witness artifact |
 //! | 3 | `JobStatus` | `u64` job id |
 //! | 4 | `Metrics` | (empty) |
 //! | 5 | `Hello` | `u32` len + auth token bytes |
@@ -28,6 +28,7 @@
 //! | 6 | `Metrics` | `u32` len + UTF-8 JSON |
 //! | 7 | `HelloOk` | `u16` protocol version, `u32` len + UTF-8 server id |
 //! | 8 | `ShuttingDown` | (empty) |
+//! | 9 | `JobFailed` | `u64` job id, `u32` len + UTF-8 failure reason |
 //!
 //! The same encode/decode pair serves the in-process endpoint
 //! ([`crate::ProvingService::handle_frame`]) and the `zkspeed-net` socket
@@ -176,6 +177,10 @@ pub enum Request {
         circuit: [u8; 32],
         /// Scheduling class.
         priority: Priority,
+        /// Per-job deadline in milliseconds from acceptance; `0` asks for
+        /// the server's configured default. An expired job fails with a
+        /// `JobFailed` instead of proving.
+        deadline_ms: u64,
         /// Canonical witness artifact bytes.
         witness: Vec<u8>,
     },
@@ -259,6 +264,16 @@ pub enum Response {
     },
     /// The server acknowledged a `Shutdown` request and began draining.
     ShuttingDown,
+    /// The job ran (or expired) and will never produce a proof. Terminal
+    /// and consumed on delivery, like `ProofReady`. Fatal for the job —
+    /// clients must not retry the same witness expecting a different
+    /// outcome unless the reason names a transient cause (a worker crash).
+    JobFailed {
+        /// The failed job id.
+        job: u64,
+        /// Human-readable failure reason from the server.
+        reason: String,
+    },
 }
 
 const RESP_CIRCUIT_REGISTERED: u8 = 1;
@@ -269,6 +284,7 @@ const RESP_PROOF_READY: u8 = 5;
 const RESP_METRICS: u8 = 6;
 const RESP_HELLO_OK: u8 = 7;
 const RESP_SHUTTING_DOWN: u8 = 8;
+const RESP_JOB_FAILED: u8 = 9;
 
 fn write_blob(out: &mut Vec<u8>, blob: &[u8]) {
     out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
@@ -305,11 +321,13 @@ impl Request {
             Request::SubmitJob {
                 circuit,
                 priority,
+                deadline_ms,
                 witness,
             } => {
                 out.push(REQ_SUBMIT_JOB);
                 out.extend_from_slice(circuit);
                 out.push(*priority as u8);
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
                 write_blob(&mut out, witness);
             }
             Request::JobStatus { job } => {
@@ -349,10 +367,12 @@ impl Request {
                     Priority::from_u8(reader.u8()?).ok_or(DecodeError::InvalidValue {
                         what: "job priority",
                     })?;
+                let deadline_ms = reader.u64()?;
                 let witness = read_blob(&mut reader, "embedded witness blob")?;
                 Request::SubmitJob {
                     circuit,
                     priority,
+                    deadline_ms,
                     witness,
                 }
             }
@@ -414,6 +434,11 @@ impl Response {
                 write_blob(&mut out, server.as_bytes());
             }
             Response::ShuttingDown => out.push(RESP_SHUTTING_DOWN),
+            Response::JobFailed { job, reason } => {
+                out.push(RESP_JOB_FAILED);
+                out.extend_from_slice(&job.to_le_bytes());
+                write_blob(&mut out, reason.as_bytes());
+            }
         }
         out
     }
@@ -464,6 +489,10 @@ impl Response {
                 server: read_string(&mut reader, "server id")?,
             },
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            RESP_JOB_FAILED => Response::JobFailed {
+                job: reader.u64()?,
+                reason: read_string(&mut reader, "job failure reason")?,
+            },
             _ => {
                 return Err(DecodeError::InvalidValue {
                     what: "response message tag",
@@ -487,6 +516,7 @@ mod tests {
             Request::SubmitJob {
                 circuit: [7u8; 32],
                 priority: Priority::Low,
+                deadline_ms: 30_000,
                 witness: vec![9; 40],
             },
             Request::JobStatus { job: 0xdead_beef },
@@ -528,6 +558,14 @@ mod tests {
             Response::Rejected {
                 code: RejectCode::Draining,
                 detail: "service is draining".into(),
+            },
+            Response::JobFailed {
+                job: 42,
+                reason: "constraint violated at row 3".into(),
+            },
+            Response::Status {
+                job: 43,
+                state: JobState::Failed,
             },
         ]
     }
@@ -653,15 +691,28 @@ mod tests {
     }
 
     #[test]
-    fn version_1_frames_are_rejected_cleanly() {
-        // Encodings carry the bumped codec version; a v1 frame (as an older
-        // client would send) must fail with UnsupportedVersion, never
-        // misparse.
-        let mut old = Request::Metrics.to_bytes();
-        old[4..6].copy_from_slice(&1u16.to_le_bytes());
-        assert!(matches!(
-            Request::from_bytes(&old),
-            Err(DecodeError::UnsupportedVersion { found: 1 })
-        ));
+    fn stale_version_frames_are_rejected_cleanly() {
+        // Encodings carry the bumped codec version; v1 and v2 frames (as an
+        // older client would send) must fail with UnsupportedVersion, never
+        // misparse — v2 SubmitJob bodies lack the deadline field and would
+        // otherwise shift every later byte.
+        for stale in [1u16, 2] {
+            let mut old = Request::Metrics.to_bytes();
+            old[4..6].copy_from_slice(&stale.to_le_bytes());
+            assert!(matches!(
+                Request::from_bytes(&old),
+                Err(DecodeError::UnsupportedVersion { found }) if found == stale
+            ));
+            let mut old = Response::JobFailed {
+                job: 9,
+                reason: "gone".into(),
+            }
+            .to_bytes();
+            old[4..6].copy_from_slice(&stale.to_le_bytes());
+            assert!(matches!(
+                Response::from_bytes(&old),
+                Err(DecodeError::UnsupportedVersion { found }) if found == stale
+            ));
+        }
     }
 }

@@ -60,6 +60,52 @@ trap - EXIT
 echo ">> checking the scraped metrics report the jobs"
 grep -q '"completed": 4' "${WORKDIR}/scraped-metrics.json"
 grep -q '"connections"' "${WORKDIR}/scraped-metrics.json"
+grep -q '"supervision"' "${WORKDIR}/scraped-metrics.json"
 test -f "${WORKDIR}/final-metrics.json"
+
+echo ">> crash-recovery leg: SIGKILL the server mid-submit"
+# A fault-injected serve (every wave on shard 0 sleeps 5 s, exercising the
+# ZKSPEED_FAULTS env gate) is killed while a client waits on its proof. The
+# client must exit nonzero with a transport error — promptly, not hang.
+ZKSPEED_FAULTS="shard-delay=0:5000" \
+  "${ZK}" serve --srs "${WORKDIR}/srs.bin" --addr 127.0.0.1:0 \
+  --auth-token "${TOKEN}" --ready-file "${WORKDIR}/addr2.txt" --shards 1 \
+  >"${WORKDIR}/serve-crash.log" 2>&1 &
+CRASH_PID=$!
+trap 'kill -9 "${CRASH_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  [ -f "${WORKDIR}/addr2.txt" ] && break
+  sleep 0.1
+done
+ADDR2="$(cat "${WORKDIR}/addr2.txt")"
+echo ">> crash server ready at ${ADDR2}"
+
+"${ZK}" submit --addr "${ADDR2}" --auth-token "${TOKEN}" \
+  --circuit "${WORKDIR}/circuit.bin" --witness "${WORKDIR}/witness.bin" \
+  --jobs 1 --wait-ms 60000 >"${WORKDIR}/client-crash.log" 2>&1 &
+CLIENT_CRASH=$!
+sleep 2   # let the client register + submit; the wave is stuck in its delay
+kill -9 "${CRASH_PID}"
+trap - EXIT
+
+# `wait` surfaces the client's exit code; the timeout guard turns a hung
+# client into a test failure instead of a wedged CI job.
+CLIENT_RC=0
+for _ in $(seq 1 300); do
+  kill -0 "${CLIENT_CRASH}" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "${CLIENT_CRASH}" 2>/dev/null; then
+  kill -9 "${CLIENT_CRASH}" 2>/dev/null || true
+  echo "!! client hung after server SIGKILL"
+  exit 1
+fi
+wait "${CLIENT_CRASH}" || CLIENT_RC=$?
+if [ "${CLIENT_RC}" -eq 0 ]; then
+  echo "!! client reported success against a SIGKILLed server"
+  exit 1
+fi
+grep -qi "failed" "${WORKDIR}/client-crash.log"
+echo ">> client exited rc=${CLIENT_RC} with a transport error, as expected"
 
 echo ">> net smoke OK (artifacts in ${WORKDIR})"

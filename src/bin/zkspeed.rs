@@ -28,7 +28,7 @@ use zkspeed::rt::rngs::StdRng;
 use zkspeed::rt::SeedableRng;
 use zkspeed::svc::{Priority, ProvingService, ServiceConfig};
 use zkspeed::ProofSystem;
-use zkspeed_net::{ClientConfig, NetClient, NetServer, ServerConfig};
+use zkspeed_net::{ClientConfig, NetClient, NetError, NetServer, ServerConfig};
 
 const USAGE: &str = "zkspeed — operator CLI for the zkSpeed proving stack
 
@@ -58,10 +58,18 @@ SUBCOMMANDS:
 
   submit   --addr HOST:PORT --circuit FILE --witness FILE [--auth-token T]
            [--jobs N] [--priority high|normal|low] [--proof-out FILE]
-           [--wait-ms N] [--metrics] [--metrics-out FILE] [--shutdown]
+           [--wait-ms N] [--deadline-ms N] [--metrics] [--metrics-out FILE]
+           [--shutdown]
            Register the circuit, submit N jobs, wait for every proof.
-           --metrics scrapes the server's ServiceMetrics JSON afterwards;
-           --shutdown asks the server to drain when done.
+           --deadline-ms sets a per-job server-side deadline (0 = server
+           default); --metrics scrapes the server's ServiceMetrics JSON
+           afterwards; --shutdown asks the server to drain when done.
+
+EXIT CODES:
+  0  success
+  1  usage, I/O or transport error
+  2  a job failed on the server (JobFailed)
+  3  --wait-ms elapsed before the job finished
 ";
 
 fn main() -> ExitCode {
@@ -70,25 +78,40 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let result = match cmd.as_str() {
-        "setup" => cmd_setup(rest),
-        "compile" => cmd_compile(rest),
-        "prove" => cmd_prove(rest),
-        "verify" => cmd_verify(rest),
-        "serve" => cmd_serve(rest),
+    let result: Result<(), CmdError> = match cmd.as_str() {
+        "setup" => cmd_setup(rest).map_err(CmdError::from),
+        "compile" => cmd_compile(rest).map_err(CmdError::from),
+        "prove" => cmd_prove(rest).map_err(CmdError::from),
+        "verify" => cmd_verify(rest).map_err(CmdError::from),
+        "serve" => cmd_serve(rest).map_err(CmdError::from),
         "submit" => cmd_submit(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown subcommand `{other}` (try `zkspeed help`)")),
+        other => Err(CmdError::from(format!(
+            "unknown subcommand `{other}` (try `zkspeed help`)"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("zkspeed {cmd}: {e}");
-            ExitCode::FAILURE
+            eprintln!("zkspeed {cmd}: {}", e.msg);
+            ExitCode::from(e.code)
         }
+    }
+}
+
+/// A failed subcommand: message plus process exit code, so scripts can tell
+/// a failed job (2) or an expired wait (3) from plumbing errors (1).
+struct CmdError {
+    msg: String,
+    code: u8,
+}
+
+impl From<String> for CmdError {
+    fn from(msg: String) -> Self {
+        Self { msg, code: 1 }
     }
 }
 
@@ -317,7 +340,7 @@ fn parse_priority(s: &str) -> Result<Priority, String> {
     }
 }
 
-fn cmd_submit(args: &[String]) -> Result<(), String> {
+fn cmd_submit(args: &[String]) -> Result<(), CmdError> {
     let flags = Flags::parse(args)?;
     let addr = flags.require("addr")?;
     let token = flags.get("auth-token").unwrap_or("");
@@ -331,7 +354,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
 
     if let (None, None) = (flags.get("circuit"), flags.get("witness")) {
         // Metrics-scrape / shutdown-only invocations need no artifacts.
-        return finish_submit(&flags, &mut client, 0);
+        return Ok(finish_submit(&flags, &mut client, 0)?);
     }
 
     let circuit_bytes = read_file(flags.require("circuit")?, "circuit")?;
@@ -339,6 +362,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let jobs: usize = flags.parse_num("jobs", 1)?;
     let priority = parse_priority(flags.get("priority").unwrap_or("normal"))?;
     let wait_ms: u64 = flags.parse_num("wait-ms", 120_000)?;
+    let deadline_ms: u64 = flags.parse_num("deadline-ms", 0)?;
 
     let (digest, num_vars) = client
         .register_circuit(&circuit_bytes)
@@ -346,14 +370,21 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     println!("submit: registered μ={num_vars} circuit {}", hex(&digest));
 
     let ids: Vec<u64> = (0..jobs)
-        .map(|_| client.submit(digest, priority, &witness_bytes))
+        .map(|_| client.submit_with_deadline(digest, priority, &witness_bytes, deadline_ms))
         .collect::<Result<_, _>>()
         .map_err(|e| format!("submit failed: {e}"))?;
     let mut first_proof: Option<Vec<u8>> = None;
     for id in ids {
         let proof = client
             .wait(id, Duration::from_millis(wait_ms))
-            .map_err(|e| format!("job {id} failed: {e}"))?;
+            .map_err(|e| CmdError {
+                code: match &e {
+                    NetError::JobFailed { .. } => 2,
+                    NetError::TimedOut => 3,
+                    _ => 1,
+                },
+                msg: format!("job {id} failed: {e}"),
+            })?;
         println!("submit: job {id} proof ready ({} bytes)", proof.len());
         first_proof.get_or_insert(proof);
     }
@@ -361,7 +392,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         write_file(path, proof, "proof")?;
         println!("submit: proof -> {path}");
     }
-    finish_submit(&flags, &mut client, jobs)
+    Ok(finish_submit(&flags, &mut client, jobs)?)
 }
 
 fn finish_submit(flags: &Flags, client: &mut NetClient, jobs: usize) -> Result<(), String> {

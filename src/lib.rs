@@ -146,5 +146,5 @@ pub mod prelude {
     pub use zkspeed_rt::pool::{Backend, Serial, ThreadPool};
     pub use zkspeed_rt::rngs::StdRng;
     pub use zkspeed_rt::{SeedableRng, ToJson};
-    pub use zkspeed_svc::{Priority, ProvingService, ServiceConfig, ServiceError};
+    pub use zkspeed_svc::{JobSpec, Priority, ProvingService, ServiceConfig, ServiceError};
 }

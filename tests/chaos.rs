@@ -1,0 +1,311 @@
+//! Chaos suite (ISSUE 8 acceptance criteria): deterministic fault
+//! injection against the proving service and its TCP transport. An
+//! injected wave panic fails only that wave's jobs and is reported as
+//! `JobFailed` over the wire; a killed shard worker is respawned within
+//! its restart budget and later proofs are byte-identical to a fault-free
+//! run; no `wait` or `drain` blocks past its deadline when a worker dies.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zkspeed::hyperplonk::{mock_circuit, Circuit, SparsityProfile, Witness};
+use zkspeed::net::{ClientConfig, NetClient, NetError, NetServer, ServerConfig};
+use zkspeed::pcs::Srs;
+use zkspeed::prelude::*;
+use zkspeed::rt::faults::FaultPlan;
+
+const MU: usize = 4;
+const TOKEN: &[u8] = b"chaos-token";
+
+/// One shared tiny SRS: chaos scenarios exercise scheduling and failure
+/// paths, not prover scale.
+fn tiny_srs() -> Arc<Srs> {
+    use std::sync::OnceLock;
+    static SRS: OnceLock<Arc<Srs>> = OnceLock::new();
+    SRS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xc4a0_5001);
+        Arc::new(Srs::try_setup(MU, &mut rng).expect("tiny setup fits"))
+    })
+    .clone()
+}
+
+fn instance(seed: u64) -> (Circuit, Witness) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    mock_circuit(MU, SparsityProfile::paper_default(), &mut rng)
+}
+
+/// A single-shard service with the given fault plan, wave size 1 so every
+/// job is its own wave and `@K` ordinals map 1:1 onto jobs.
+fn faulty_service(spec: &str) -> ProvingService {
+    faulty_service_with(spec, |c| c)
+}
+
+fn faulty_service_with(
+    spec: &str,
+    tweak: impl FnOnce(ServiceConfig) -> ServiceConfig,
+) -> ProvingService {
+    let config = ServiceConfig::default()
+        .with_shards(1)
+        .with_wave_size(1)
+        .with_faults(Arc::new(FaultPlan::parse(spec).expect("valid spec")));
+    ProvingService::start(tiny_srs(), tweak(config))
+}
+
+/// The proof the same (circuit, witness) yields on a fault-free service —
+/// the byte-identical baseline every recovery scenario compares against.
+fn fault_free_proof(circuit: &Circuit, witness: &Witness) -> Vec<u8> {
+    let svc = faulty_service("");
+    let digest = svc.register_circuit(circuit.clone()).expect("fits");
+    let job = svc
+        .submit(&digest, witness.clone(), Priority::Normal)
+        .expect("accepted");
+    svc.wait(job).expect("fault-free run proves").to_vec()
+}
+
+#[test]
+fn wave_panic_fails_only_that_wave_and_worker_survives() {
+    let (circuit, witness) = instance(1);
+    let baseline = fault_free_proof(&circuit, &witness);
+
+    let svc = faulty_service("wave-panic@1");
+    let digest = svc.register_circuit(circuit).expect("fits");
+    let doomed = svc
+        .submit(&digest, witness.clone(), Priority::Normal)
+        .expect("accepted");
+    match svc.wait(doomed) {
+        Err(ServiceError::JobFailed(reason)) => {
+            assert!(
+                reason.contains("injected wave fault"),
+                "reason should carry the panic message, got `{reason}`"
+            );
+        }
+        other => panic!("expected JobFailed, got {other:?}"),
+    }
+
+    // The same worker thread serves the next wave: no restart consumed,
+    // and the recovery proof is byte-identical to the fault-free run.
+    let job = svc
+        .submit(&digest, witness, Priority::Normal)
+        .expect("accepted");
+    let proof = svc.wait(job).expect("wave 2 proves");
+    assert_eq!(*proof, baseline, "post-panic proof must match fault-free");
+
+    let metrics = svc.metrics();
+    assert_eq!(metrics.supervision.wave_panics, 1);
+    assert_eq!(metrics.supervision.worker_restarts, 0);
+    assert_eq!(metrics.supervision.workers_alive, 1);
+    assert_eq!(metrics.failed, 1);
+    assert_eq!(metrics.completed, 1);
+}
+
+#[test]
+fn killed_worker_is_respawned_and_recovery_proof_is_byte_identical() {
+    let (circuit, witness) = instance(2);
+    let baseline = fault_free_proof(&circuit, &witness);
+
+    let svc = faulty_service("worker-kill@1");
+    let digest = svc.register_circuit(circuit).expect("fits");
+    let doomed = svc
+        .submit(&digest, witness.clone(), Priority::Normal)
+        .expect("accepted");
+    match svc.wait(doomed) {
+        Err(ServiceError::JobFailed(reason)) => {
+            assert!(
+                reason.contains("shard worker died"),
+                "reason should name the worker death, got `{reason}`"
+            );
+        }
+        other => panic!("expected JobFailed, got {other:?}"),
+    }
+
+    // The respawned worker proves the next job byte-identically. Its wave
+    // ordinal is the shard's second, so `worker-kill@1` stays quiet.
+    let job = svc
+        .submit(&digest, witness, Priority::Normal)
+        .expect("accepted");
+    let proof = svc.wait(job).expect("respawned worker proves");
+    assert_eq!(*proof, baseline, "post-respawn proof must match fault-free");
+
+    let metrics = svc.metrics();
+    assert_eq!(metrics.supervision.worker_restarts, 1);
+    assert_eq!(metrics.supervision.workers_alive, 1);
+    assert_eq!(metrics.supervision.wave_panics, 0);
+}
+
+#[test]
+fn restart_budget_exhaustion_fails_backlog_and_drain_stays_bounded() {
+    let (circuit, witness) = instance(3);
+    // Budget 1: the first kill respawns the worker, the second writes the
+    // shard off.
+    let svc = faulty_service_with("worker-kill@1;worker-kill@2", |c| c.with_restart_budget(1));
+    let digest = svc.register_circuit(circuit).expect("fits");
+
+    let a = svc
+        .submit(&digest, witness.clone(), Priority::Normal)
+        .expect("accepted");
+    let b = svc
+        .submit(&digest, witness.clone(), Priority::Normal)
+        .expect("accepted");
+    assert!(matches!(svc.wait(a), Err(ServiceError::JobFailed(_))));
+    assert!(matches!(svc.wait(b), Err(ServiceError::JobFailed(_))));
+
+    // The shard is written off: its queue is closed, so new work bounces
+    // with Shutdown (not QueueFull), and the supervision gauge shows no
+    // live worker. The worker death is asynchronous; poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if svc.metrics().supervision.workers_alive == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "worker never died");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(matches!(
+        svc.try_submit(&digest, witness, Priority::Normal),
+        Err(ServiceError::Shutdown)
+    ));
+
+    // drain() must return promptly even though the shard can never make
+    // progress again.
+    let (tx, rx) = mpsc::channel();
+    let svc = Arc::new(svc);
+    let drainer = Arc::clone(&svc);
+    std::thread::spawn(move || {
+        drainer.drain();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("drain blocked on a dead shard");
+
+    let metrics = svc.metrics();
+    assert_eq!(metrics.supervision.worker_restarts, 1);
+    assert_eq!(
+        metrics.supervision.restart_budget_per_shard, 1,
+        "snapshot should surface the configured budget"
+    );
+}
+
+#[test]
+fn deadlines_bound_waits_under_a_saturated_shard() {
+    let (circuit, witness) = instance(4);
+    // Every wave on shard 0 sleeps 300 ms, so a queued job with a ~50 ms
+    // deadline can never start in time.
+    let svc = faulty_service("shard-delay=0:300");
+    let digest = svc.register_circuit(circuit).expect("fits");
+
+    let slow = svc
+        .submit(&digest, witness.clone(), Priority::Normal)
+        .expect("accepted");
+    let hurried = svc
+        .try_submit_spec(
+            &digest,
+            witness,
+            JobSpec::new(Priority::Normal).with_deadline(Duration::from_millis(50)),
+        )
+        .expect("accepted");
+
+    // The waiter gives up at the deadline — well before the shard's delay
+    // schedule could deliver the second proof.
+    let started = Instant::now();
+    assert!(matches!(svc.wait(hurried), Err(ServiceError::Deadline)));
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline wait not bounded: {:?}",
+        started.elapsed()
+    );
+
+    // The first job (default deadline) still proves despite the delays.
+    assert!(svc.wait(slow).is_ok());
+
+    // Queue-side expiry: by the time the worker pops the hurried job its
+    // deadline has passed, so it fails without proving.
+    svc.begin_drain();
+    svc.drain();
+    let metrics = svc.metrics();
+    assert!(
+        metrics.failed_deadline >= 1,
+        "expired job should be counted: {metrics:?}"
+    );
+}
+
+// --- TCP scenarios -------------------------------------------------------
+
+fn faulty_server(spec: &str) -> NetServer {
+    let service = ProvingService::start(
+        tiny_srs(),
+        ServiceConfig::default()
+            .with_shards(1)
+            .with_wave_size(1)
+            .with_faults(Arc::new(FaultPlan::parse(spec).expect("valid spec"))),
+    );
+    NetServer::bind(
+        service,
+        ServerConfig::new("127.0.0.1:0").with_auth_token(TOKEN),
+    )
+    .expect("bind loopback")
+}
+
+#[test]
+fn wave_panic_reaches_the_client_as_job_failed_and_recovery_verifies() {
+    let (circuit, witness) = instance(5);
+    let baseline = fault_free_proof(&circuit, &witness);
+
+    let server = faulty_server("wave-panic@1");
+    let mut client = NetClient::connect(server.local_addr(), TOKEN, ClientConfig::default())
+        .expect("connect + auth");
+    let (digest, _) = client
+        .register_circuit(&circuit.to_bytes())
+        .expect("register");
+
+    let doomed = client
+        .submit(digest, Priority::Normal, &witness.to_bytes())
+        .expect("accepted");
+    match client.wait(doomed, Duration::from_secs(60)) {
+        Err(NetError::JobFailed { job, reason }) => {
+            assert_eq!(job, doomed);
+            assert!(
+                reason.contains("injected wave fault"),
+                "wire reason should carry the panic message, got `{reason}`"
+            );
+        }
+        other => panic!("expected JobFailed over the wire, got {other:?}"),
+    }
+
+    // Recovery over the same connection: byte-identical proof.
+    let job = client
+        .submit(digest, Priority::Normal, &witness.to_bytes())
+        .expect("accepted");
+    let proof = client.wait(job, Duration::from_secs(60)).expect("proves");
+    assert_eq!(proof, baseline, "post-panic wire proof must match");
+    server.shutdown();
+}
+
+#[test]
+fn torn_response_surfaces_as_transport_error_without_hanging() {
+    let (circuit, _witness) = instance(6);
+    // Response ordinals count post-handshake sends: the register response
+    // is #1, so `conn-tear@1` tears it mid-frame.
+    let server = faulty_server("conn-tear@1");
+    let config = ClientConfig::default().with_io_timeout(Duration::from_secs(2));
+    let mut client =
+        NetClient::connect(server.local_addr(), TOKEN, config).expect("connect + auth");
+
+    let started = Instant::now();
+    let err = client
+        .register_circuit(&circuit.to_bytes())
+        .expect_err("torn frame must not yield a response");
+    assert!(
+        matches!(
+            err,
+            NetError::Io(_) | NetError::Decode(_) | NetError::Disconnected
+        ),
+        "expected a transport error, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "torn response must not hang: {:?}",
+        started.elapsed()
+    );
+    server.shutdown();
+}

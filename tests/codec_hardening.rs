@@ -61,6 +61,7 @@ fn request_and_response_frames_survive_corruption_sweep() {
         Request::SubmitJob {
             circuit: circuit.digest(),
             priority: Priority::Normal,
+            deadline_ms: 45_000,
             witness: witness.to_bytes(),
         },
         Request::JobStatus { job: 7 },
@@ -80,11 +81,53 @@ fn request_and_response_frames_survive_corruption_sweep() {
             job: 7,
             proof: vec![0x5a; 64],
         },
+        Response::JobFailed {
+            job: 11,
+            reason: "wave panicked: injected wave fault (shard 0)".into(),
+        },
     ];
     for response in &responses {
         sweep(&response.to_bytes(), "response", &|b| {
             Response::from_bytes(b).map(|_| ())
         });
+    }
+}
+
+#[test]
+fn stale_wire_versions_are_rejected_not_misparsed() {
+    // The v3 codec added a deadline field to SubmitJob and the JobFailed
+    // response. A v1 or v2 frame replayed at the current decoder must fail
+    // with UnsupportedVersion — a misparse would silently read the old
+    // SubmitJob layout with the witness length where the deadline now sits.
+    let (circuit, witness) = tiny_instance();
+    let samples = [
+        Request::SubmitJob {
+            circuit: circuit.digest(),
+            priority: Priority::Normal,
+            deadline_ms: 0,
+            witness: witness.to_bytes(),
+        }
+        .to_bytes(),
+        Response::JobFailed {
+            job: 3,
+            reason: "deadline exceeded before proving".into(),
+        }
+        .to_bytes(),
+    ];
+    for (i, pristine) in samples.iter().enumerate() {
+        for stale in [1u16, 2] {
+            let mut old = pristine.clone();
+            old[4..6].copy_from_slice(&stale.to_le_bytes());
+            let err = if i == 0 {
+                Request::from_bytes(&old).map(|_| ()).unwrap_err()
+            } else {
+                Response::from_bytes(&old).map(|_| ()).unwrap_err()
+            };
+            assert!(
+                matches!(err, DecodeError::UnsupportedVersion { found } if found == stale),
+                "stale v{stale} sample {i}: {err:?}"
+            );
+        }
     }
 }
 
@@ -153,6 +196,7 @@ fn service_answers_corrupt_frames_without_panicking() {
         Request::SubmitJob {
             circuit: digest,
             priority: Priority::High,
+            deadline_ms: 1_000,
             witness: witness.to_bytes(),
         }
         .to_frame(),

@@ -282,6 +282,7 @@ fn wire_protocol_full_cycle() {
         &Request::SubmitJob {
             circuit: digest,
             priority: Priority::High,
+            deadline_ms: 0,
             witness: witness.to_bytes(),
         },
     );
@@ -401,6 +402,7 @@ fn wire_protocol_rejects_garbage_and_unknowns() {
         &Request::SubmitJob {
             circuit: [9u8; 32],
             priority: Priority::Normal,
+            deadline_ms: 0,
             witness: workload_instances().swap_remove(0).1.to_bytes(),
         },
     );

@@ -23,6 +23,13 @@
 //! restart counters land in
 //! `target/bench-history/service-fault-metrics.json`.
 //!
+//! The `serve/skewed-resubmit/cache-{off,on}` pair measures the session
+//! lifecycle machinery under skewed load: a session-capacity-bounded
+//! store (LRU eviction live) serving identical resubmissions of one hot
+//! session, with and without the proof cache. The cache-on service's
+//! metrics — session lifecycle counters, proof-cache hit/miss/bytes —
+//! are persisted to `target/bench-history/service-session-metrics.json`.
+//!
 //! [`ServiceMetrics`]: zkspeed_svc::ServiceMetrics
 
 use std::sync::Arc;
@@ -228,6 +235,70 @@ fn main() {
             session.precompute_table_bytes,
             session.precompute_build_ms
         );
+    }
+    // Skewed-resubmission scenario: a fleet-shaped store (session capacity
+    // below the registered count, so LRU eviction is live) serving a hot
+    // session whose clients resubmit identical (circuit, witness) pairs —
+    // the workload the proof cache targets. `cache-off` proves every
+    // submission; `cache-on` proves once and answers the rest from the
+    // cache, so the throughput ratio is the cache's win.
+    for (label, cache_bytes) in [("cache-off", 0u64), ("cache-on", 1u64 << 20)] {
+        let skew_config = ServiceConfig::default()
+            .with_shards(1)
+            .with_threads_per_shard(threads.max(1))
+            .with_wave_size(4)
+            .with_session_capacity(2)
+            .with_proof_cache_bytes(cache_bytes);
+        let skew_svc = ProvingService::start(Arc::clone(&repeat_srs), skew_config);
+        let mut skew_rng = StdRng::seed_from_u64(36);
+        // Three registered sessions against a capacity of two: the first
+        // is LRU-evicted, so the persisted metrics show the lifecycle
+        // machinery working. The hot session is the last registered (never
+        // the eviction victim).
+        let mut hot = None;
+        for spec in WorkloadSpec::test_suite() {
+            let (circuit, witness) = spec.build(&mut skew_rng);
+            let digest = skew_svc
+                .register_circuit(circuit)
+                .expect("workload fits μ=14 SRS");
+            hot = Some((digest, witness));
+        }
+        let (hot_digest, hot_witness) = hot.expect("suite is non-empty");
+        h.bench(format!("serve/skewed-resubmit/{label}"), || {
+            let ids: Vec<u64> = (0..12)
+                .map(|_| {
+                    skew_svc
+                        .submit(&hot_digest, hot_witness.clone(), Priority::Normal)
+                        .expect("parking submit succeeds")
+                })
+                .collect();
+            for id in ids {
+                skew_svc.wait(id).expect("job completes");
+            }
+        });
+        let m = skew_svc.metrics();
+        println!(
+            "skewed-resubmit {label}: {} submitted, {} proved, cache {} hits / {} misses, \
+             {} sessions evicted",
+            m.submitted,
+            m.completed,
+            m.proof_cache.hits,
+            m.proof_cache.misses,
+            m.lifecycle.evictions
+        );
+        if cache_bytes > 0 {
+            if let Some(dir) = history_dir() {
+                let path = dir.join("service-session-metrics.json");
+                let written = std::fs::create_dir_all(&dir)
+                    .and_then(|()| std::fs::write(&path, m.to_json().pretty().as_bytes()));
+                match written {
+                    Ok(()) => println!("session metrics: wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("session metrics: could not write {}: {e}", path.display())
+                    }
+                }
+            }
+        }
     }
     // Fault-injected scenario: ~1 in 8 waves panics (deterministic seed),
     // wave size 1 so the rate maps directly onto jobs. Measures serving

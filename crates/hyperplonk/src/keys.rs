@@ -157,6 +157,18 @@ pub fn try_preprocess_with_budget_on(
             circuit_num_vars: circuit.num_vars(),
         });
     }
+    // A smaller circuit preprocesses against the prefix view of the shared
+    // SRS: the same Arc-shared point levels, scoped to the circuit's μ.
+    // Commitments and proofs are byte-identical to an exact-size setup with
+    // the matching τ suffix, and any precomputed commit tables below cover
+    // the session's own levels instead of the full SRS's.
+    let prefix_view;
+    let srs = if circuit.num_vars() < srs.num_vars() {
+        prefix_view = srs.prefix(circuit.num_vars());
+        &prefix_view
+    } else {
+        srs
+    };
     let sigmas = circuit.sigma_mles();
     // Eight independent MSMs: one job each (the MSMs themselves stay serial
     // inside their job so eight workers split the level evenly). Results are
@@ -285,6 +297,26 @@ mod tests {
         assert_eq!(pk.sigma_commitments, pk_plain.sigma_commitments);
         assert_eq!(vk.selector_commitments, vk_plain.selector_commitments);
         assert_eq!(vk.sigma_commitments, vk_plain.sigma_commitments);
+    }
+
+    #[test]
+    fn undersized_circuits_preprocess_against_the_srs_prefix() {
+        let mut r = rng();
+        let full = Srs::setup(6, &mut r);
+        let (circuit, _) = mock_circuit(4, SparsityProfile::paper_default(), &mut r);
+        let (pk, vk) = try_preprocess(circuit.clone(), &full).expect("circuit fits");
+        // The keys hold the 4-variable view, not the 6-variable SRS …
+        assert_eq!(pk.srs.num_vars(), 4);
+        assert_eq!(vk.srs.num_vars(), 4);
+        // … and the commitments equal both a direct commit against the full
+        // SRS (level sharing) and an exact-size preprocess over the view.
+        assert_eq!(
+            vk.selector_commitments[0],
+            commit(&full, &circuit.selectors()[0])
+        );
+        let (_, vk_exact) = try_preprocess(circuit, &full.prefix(4)).unwrap();
+        assert_eq!(vk.selector_commitments, vk_exact.selector_commitments);
+        assert_eq!(vk.sigma_commitments, vk_exact.sigma_commitments);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use zkspeed_rt::codec::FrameReader;
-use zkspeed_svc::{JobState, Priority, Request, Response};
+use zkspeed_svc::{JobState, Priority, Request, Response, SessionRow};
 
 use crate::error::NetError;
 
@@ -316,6 +316,20 @@ impl NetClient {
     pub fn metrics(&mut self) -> Result<String, NetError> {
         match self.request(&Request::Metrics)? {
             Response::Metrics { json } => Ok(json),
+            Response::Rejected { code, detail } => Err(NetError::Rejected { code, detail }),
+            other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the server's session listing (digest, `μ`, lifecycle state,
+    /// shard, resident bytes, jobs completed per session).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] / [`NetError::Decode`] on transport failure.
+    pub fn sessions(&mut self) -> Result<Vec<SessionRow>, NetError> {
+        match self.request(&Request::ListSessions)? {
+            Response::SessionList { sessions } => Ok(sessions),
             Response::Rejected { code, detail } => Err(NetError::Rejected { code, detail }),
             other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
         }

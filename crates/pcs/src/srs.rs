@@ -263,6 +263,36 @@ impl Srs {
         &self.tau
     }
 
+    /// A cheap `num_vars`-variable view of this SRS, sharing the point
+    /// tables instead of rerunning setup.
+    ///
+    /// The full SRS's level `k` basis encodes `eq` over the τ-suffix of
+    /// length `μ − k`; the `ν`-variable prefix SRS's level `j` needs `eq`
+    /// over a suffix of length `ν − j` — which is exactly the full SRS's
+    /// level `μ − ν + j`. The view therefore reuses the `Arc`-shared levels
+    /// `μ − ν ..= μ` (and the matching τ suffix) verbatim: commitments,
+    /// openings and trapdoor verification against the prefix produce the
+    /// same group elements as against the full SRS, so one largest setup
+    /// serves every smaller circuit byte-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds this SRS's size.
+    pub fn prefix(&self, num_vars: usize) -> Srs {
+        assert!(
+            num_vars <= self.num_vars,
+            "prefix of {num_vars} variables exceeds the SRS's {}",
+            self.num_vars
+        );
+        let skip = self.num_vars - num_vars;
+        Srs {
+            num_vars,
+            g: self.g,
+            lagrange_bases: self.lagrange_bases[skip..].to_vec(),
+            tau: self.tau[skip..].to_vec(),
+        }
+    }
+
     /// Total number of G1 points stored in the SRS.
     pub fn size_in_points(&self) -> usize {
         self.lagrange_bases.iter().map(|b| b.len()).sum()
@@ -451,6 +481,75 @@ mod tests {
                 assert_eq!(srs.lagrange_basis(level), base.lagrange_basis(level));
             }
         }
+    }
+
+    #[test]
+    fn prefix_levels_match_a_direct_suffix_setup_and_share_points() {
+        let tau: Vec<Fr> = (0..5).map(|i| Fr::from_u64(7 * i as u64 + 3)).collect();
+        let full = Srs::setup_with_tau(5, tau.clone());
+        for nu in 0..=5usize {
+            let view = full.prefix(nu);
+            assert_eq!(view.num_vars(), nu);
+            assert_eq!(view.generator(), full.generator());
+            assert_eq!(view.trapdoor(), &tau[5 - nu..]);
+            let direct = Srs::setup_with_tau(nu, tau[5 - nu..].to_vec());
+            for level in 0..=nu {
+                assert_eq!(
+                    view.lagrange_basis(level),
+                    direct.lagrange_basis(level),
+                    "prefix ν={nu} level {level}"
+                );
+                // The view shares the full SRS's point tables (no copy).
+                assert!(Arc::ptr_eq(
+                    view.shared_lagrange_basis(level),
+                    full.shared_lagrange_basis(5 - nu + level)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the SRS")]
+    fn prefix_rejects_oversized_views() {
+        let srs = Srs::setup_with_tau(2, vec![Fr::from_u64(1), Fr::from_u64(2)]);
+        let _ = srs.prefix(3);
+    }
+
+    #[test]
+    fn commitments_through_a_prefix_view_match_the_full_srs() {
+        use crate::{commit, open, verify_opening};
+        let mut r = rng();
+        let full = Srs::setup(6, &mut r);
+        let view = full.prefix(4);
+        let f = MultilinearPoly::random(4, &mut r);
+        // A 4-variable polynomial commits at level 2 of the full SRS and at
+        // level 0 of the view — the same Lagrange basis either way.
+        let com_full = commit(&full, &f);
+        let com_view = commit(&view, &f);
+        assert_eq!(com_full, com_view);
+        let point: Vec<Fr> = (0..4).map(|_| Fr::random(&mut r)).collect();
+        let (value_full, proof_full, _) = open(&full, &f, &point);
+        let (value_view, proof_view, _) = open(&view, &f, &point);
+        assert_eq!(value_full, value_view);
+        let (mut bytes_full, mut bytes_view) = (Vec::new(), Vec::new());
+        proof_full.write_canonical(&mut bytes_full);
+        proof_view.write_canonical(&mut bytes_view);
+        assert_eq!(bytes_full, bytes_view);
+        // Proofs verify against either SRS.
+        assert!(verify_opening(
+            &view,
+            &com_view,
+            &point,
+            value_view,
+            &proof_view
+        ));
+        assert!(verify_opening(
+            &full,
+            &com_full,
+            &point,
+            value_full,
+            &proof_view
+        ));
     }
 
     #[test]

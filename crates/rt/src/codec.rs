@@ -37,7 +37,11 @@ pub const MAGIC: [u8; 4] = *b"zksp";
 ///   and a per-job deadline field on `SubmitJob`. Version-1 and version-2
 ///   artifacts decode to a clean [`DecodeError::UnsupportedVersion`], never
 ///   a misparse.
-pub const VERSION: u16 = 3;
+/// * **4** — session lifecycle: the `ListSessions` request, the
+///   `SessionList` response (per-session μ / state / shard / resident
+///   bytes), and the `SessionEvicted` reject code. Earlier versions decode
+///   to a clean [`DecodeError::UnsupportedVersion`], never a misparse.
+pub const VERSION: u16 = 4;
 
 /// The registry of artifact kind tags (byte 6 of the canonical header).
 ///

@@ -16,7 +16,13 @@
 //!   ([`ProvingService::handle_frame`]). Shard workers run under a
 //!   supervisor: a panicking wave fails only that wave's jobs, the dead
 //!   worker is respawned within a bounded restart budget, and every job
-//!   carries a deadline ([`JobSpec`]) so no waiter blocks forever;
+//!   carries a deadline ([`JobSpec`]) so no waiter blocks forever. Session
+//!   lifecycle is fleet-scale: LRU eviction bounds the provisioned working
+//!   set ([`ServiceConfig::session_capacity`]), evicted sessions
+//!   transparently re-provision on re-registration, a bounded proof cache
+//!   answers identical resubmissions without proving
+//!   ([`ServiceConfig::proof_cache_bytes`]), and a p99-driven rebalancer
+//!   moves hot sessions off overloaded shards;
 //! * [`ServiceMetrics`] — queue depth, wave occupancy, per-session latency
 //!   percentiles, proofs/sec and MSM rollups, emitted via
 //!   [`ToJson`](zkspeed_rt::ToJson).
@@ -49,11 +55,16 @@
 mod metrics;
 pub mod queue;
 mod service;
+mod store;
 mod sync;
 pub mod wire;
 
 pub use metrics::{
-    ConnectionMetrics, MsmRollup, ServiceMetrics, SessionMetrics, SupervisionMetrics,
+    ConnectionMetrics, MsmRollup, ProofCacheMetrics, RebalanceMetrics, ServiceMetrics,
+    SessionLifecycleMetrics, SessionMetrics, SupervisionMetrics,
 };
 pub use service::{JobSpec, ProvingService, ServiceConfig, ServiceError};
-pub use wire::{JobState, Priority, RejectCode, Request, Response, KIND_REQUEST, KIND_RESPONSE};
+pub use store::{SessionInfo, SessionState};
+pub use wire::{
+    JobState, Priority, RejectCode, Request, Response, SessionRow, KIND_REQUEST, KIND_RESPONSE,
+};

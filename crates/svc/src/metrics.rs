@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::store::{SessionInfo, SessionState};
 use crate::sync::lock;
 
 use zkspeed_curve::MsmStats;
@@ -112,6 +113,73 @@ pub struct ConnectionMetrics {
     pub idle_timeouts: u64,
 }
 
+/// Session-lifecycle counters from the [`crate::store::SessionStore`]:
+/// how many sessions are provisioned vs evicted, and how often the LRU
+/// budget forced an eviction or a resubmitted circuit re-provisioned one.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionLifecycleMetrics {
+    /// Sessions currently provisioned (proving key resident).
+    pub active: usize,
+    /// Sessions evicted but remembered (verifying key + digest retained).
+    pub evicted: usize,
+    /// Configured active-session capacity (0 = unlimited).
+    pub capacity: usize,
+    /// Sessions evicted by the LRU capacity/byte budget (lifetime).
+    pub evictions: u64,
+    /// Evicted sessions transparently re-provisioned by a resubmitted
+    /// `SubmitCircuit` (lifetime).
+    pub reprovisions: u64,
+    /// Job submissions rejected because their session was evicted.
+    pub rejected_evicted: u64,
+}
+
+/// Proof-cache counters and gauges (all zero while the cache is disabled).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProofCacheMetrics {
+    /// Submissions answered from the cache without queueing.
+    pub hits: u64,
+    /// Cache lookups that missed (the job proceeded to the queue).
+    pub misses: u64,
+    /// Proofs inserted after a completed wave.
+    pub insertions: u64,
+    /// Entries LRU-evicted under the byte bound.
+    pub evictions: u64,
+    /// Entries resident right now.
+    pub entries: usize,
+    /// Proof bytes resident right now.
+    pub bytes: u64,
+    /// Configured byte bound (0 = disabled).
+    pub capacity_bytes: u64,
+}
+
+/// Shard-rebalancing counters: how often the p99-driven pass ran and how
+/// many sessions it moved off an overloaded shard.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RebalanceMetrics {
+    /// Rebalance passes executed (periodic or explicit).
+    pub passes: u64,
+    /// Sessions reassigned to a less-loaded shard.
+    pub moves: u64,
+}
+
+/// Point-in-time gauges the service hands to [`MetricsRecorder::snapshot`]
+/// alongside the recorder's own counters.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SnapshotGauges {
+    pub(crate) queue_depths: [usize; 3],
+    pub(crate) peak_queue_depth: usize,
+    pub(crate) queue_capacity: usize,
+    pub(crate) sessions_registered: usize,
+    pub(crate) workers_alive: usize,
+    pub(crate) workers_configured: usize,
+    pub(crate) restart_budget_per_shard: u32,
+    pub(crate) lifecycle: SessionLifecycleMetrics,
+    pub(crate) proof_cache: ProofCacheMetrics,
+    /// Lifecycle rows from the session store, merged into the per-session
+    /// metrics by digest.
+    pub(crate) store_sessions: Vec<SessionInfo>,
+}
+
 /// The live recorder owned by the service.
 pub(crate) struct MetricsRecorder {
     started: Instant,
@@ -129,6 +197,8 @@ pub(crate) struct MetricsRecorder {
     pub(crate) conn_bad_auth: AtomicU64,
     pub(crate) conn_over_capacity: AtomicU64,
     pub(crate) conn_idle_timeouts: AtomicU64,
+    pub(crate) rebalance_passes: AtomicU64,
+    pub(crate) rebalance_moves: AtomicU64,
     waves: AtomicU64,
     wave_jobs: AtomicU64,
     max_wave: AtomicU64,
@@ -158,6 +228,8 @@ impl MetricsRecorder {
             conn_bad_auth: AtomicU64::new(0),
             conn_over_capacity: AtomicU64::new(0),
             conn_idle_timeouts: AtomicU64::new(0),
+            rebalance_passes: AtomicU64::new(0),
+            rebalance_moves: AtomicU64::new(0),
             waves: AtomicU64::new(0),
             wave_jobs: AtomicU64::new(0),
             max_wave: AtomicU64::new(0),
@@ -195,32 +267,47 @@ impl MetricsRecorder {
             .record(latency_ms);
     }
 
-    // Gauges arrive as one argument per source; a parameter struct would
-    // just restate the field list at the single call site.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn snapshot(
-        &self,
-        queue_depths: [usize; 3],
-        peak_queue_depth: usize,
-        queue_capacity: usize,
-        sessions_registered: usize,
-        workers_alive: usize,
-        workers_configured: usize,
-        restart_budget_per_shard: u32,
-    ) -> ServiceMetrics {
+    /// Per-session completion totals (for the wire session listing).
+    pub(crate) fn completions_by_session(&self) -> HashMap<[u8; 32], u64> {
+        lock(&self.latencies)
+            .iter()
+            .map(|(digest, samples)| (*digest, samples.total))
+            .collect()
+    }
+
+    /// A copy of every session's latency sample window (for the p99-driven
+    /// rebalancer; windows are bounded at [`MAX_LATENCY_SAMPLES`]).
+    pub(crate) fn latency_samples(&self) -> HashMap<[u8; 32], Vec<f64>> {
+        lock(&self.latencies)
+            .iter()
+            .map(|(digest, samples)| (*digest, samples.samples.clone()))
+            .collect()
+    }
+
+    pub(crate) fn snapshot(&self, gauges: SnapshotGauges) -> ServiceMetrics {
         let waves = self.waves.load(Ordering::Relaxed);
         let wave_jobs = self.wave_jobs.load(Ordering::Relaxed);
         let completed = self.completed.load(Ordering::Relaxed);
         let uptime = self.started.elapsed().as_secs_f64();
         let sessions = {
-            // A session appears once it has either completed a job or been
-            // registered (precompute accounting is recorded at registration),
-            // so freshly registered sessions are visible before their first
-            // proof.
+            // Union-merge across three sources: a session appears once it
+            // has completed a job (latency window), been registered
+            // (precompute accounting) or is known to the session store —
+            // and it keeps its historical latency/table-bytes row after
+            // eviction, because neither recorder map is ever cleared.
             let latencies = lock(&self.latencies);
             let precompute = lock(&self.precompute);
-            let mut digests: Vec<[u8; 32]> =
-                latencies.keys().chain(precompute.keys()).copied().collect();
+            let store: HashMap<[u8; 32], &SessionInfo> = gauges
+                .store_sessions
+                .iter()
+                .map(|info| (info.digest, info))
+                .collect();
+            let mut digests: Vec<[u8; 32]> = latencies
+                .keys()
+                .chain(precompute.keys())
+                .copied()
+                .chain(store.keys().copied())
+                .collect();
             digests.sort_unstable();
             digests.dedup();
             digests
@@ -233,8 +320,13 @@ impl MetricsRecorder {
                         .map(|samples| (samples.total, samples.samples.clone()))
                         .unwrap_or((0, Vec::new()));
                     sorted.sort_by(|a, b| a.total_cmp(b));
+                    let info = store.get(&digest);
                     SessionMetrics {
                         digest,
+                        num_vars: info.map_or(0, |i| i.num_vars),
+                        state: info.map(|i| i.state),
+                        shard: info.map(|i| i.shard),
+                        resident_bytes: info.map_or(0, |i| i.resident_bytes),
                         jobs_completed,
                         p50_ms: percentile(&sorted, 0.50),
                         p99_ms: percentile(&sorted, 0.99),
@@ -245,6 +337,18 @@ impl MetricsRecorder {
                 })
                 .collect()
         };
+        let SnapshotGauges {
+            queue_depths,
+            peak_queue_depth,
+            queue_capacity,
+            sessions_registered,
+            workers_alive,
+            workers_configured,
+            restart_budget_per_shard,
+            lifecycle,
+            proof_cache,
+            ..
+        } = gauges;
         let conn_opened = self.conn_opened.load(Ordering::Relaxed);
         let conn_closed = self.conn_closed.load(Ordering::Relaxed);
         ServiceMetrics {
@@ -270,6 +374,12 @@ impl MetricsRecorder {
                 rejected_bad_auth: self.conn_bad_auth.load(Ordering::Relaxed),
                 rejected_over_capacity: self.conn_over_capacity.load(Ordering::Relaxed),
                 idle_timeouts: self.conn_idle_timeouts.load(Ordering::Relaxed),
+            },
+            lifecycle,
+            proof_cache,
+            rebalance: RebalanceMetrics {
+                passes: self.rebalance_passes.load(Ordering::Relaxed),
+                moves: self.rebalance_moves.load(Ordering::Relaxed),
             },
             queue_depths,
             peak_queue_depth,
@@ -306,6 +416,15 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 pub struct SessionMetrics {
     /// The session's circuit digest.
     pub digest: [u8; 32],
+    /// The session circuit's `μ` (0 when the session store did not
+    /// contribute a row, e.g. in recorder-only unit tests).
+    pub num_vars: usize,
+    /// Lifecycle state from the session store; `None` when unknown.
+    pub state: Option<SessionState>,
+    /// The session's shard assignment; `None` when unknown.
+    pub shard: Option<usize>,
+    /// Estimated resident proving-key bytes (0 once evicted).
+    pub resident_bytes: u64,
     /// Proofs completed for this session (lifetime, not window-bounded).
     pub jobs_completed: u64,
     /// Median submit→proof latency over the sliding sample window (ms).
@@ -353,6 +472,12 @@ pub struct ServiceMetrics {
     pub supervision: SupervisionMetrics,
     /// Transport connection counters (all zero without a socket transport).
     pub connections: ConnectionMetrics,
+    /// Session-lifecycle counters (active/evicted sessions, LRU activity).
+    pub lifecycle: SessionLifecycleMetrics,
+    /// Proof-cache counters and gauges (all zero while disabled).
+    pub proof_cache: ProofCacheMetrics,
+    /// Shard-rebalancing counters.
+    pub rebalance: RebalanceMetrics,
     /// Current queue depth per priority class (high, normal, low), summed
     /// over shards.
     pub queue_depths: [usize; 3],
@@ -472,6 +597,66 @@ impl ToJson for ServiceMetrics {
                 ]),
             ),
             (
+                "session_lifecycle".into(),
+                JsonValue::Object(vec![
+                    (
+                        "active".into(),
+                        JsonValue::UInt(self.lifecycle.active as u64),
+                    ),
+                    (
+                        "evicted".into(),
+                        JsonValue::UInt(self.lifecycle.evicted as u64),
+                    ),
+                    (
+                        "capacity".into(),
+                        JsonValue::UInt(self.lifecycle.capacity as u64),
+                    ),
+                    (
+                        "evictions".into(),
+                        JsonValue::UInt(self.lifecycle.evictions),
+                    ),
+                    (
+                        "reprovisions".into(),
+                        JsonValue::UInt(self.lifecycle.reprovisions),
+                    ),
+                    (
+                        "rejected_evicted".into(),
+                        JsonValue::UInt(self.lifecycle.rejected_evicted),
+                    ),
+                ]),
+            ),
+            (
+                "proof_cache".into(),
+                JsonValue::Object(vec![
+                    ("hits".into(), JsonValue::UInt(self.proof_cache.hits)),
+                    ("misses".into(), JsonValue::UInt(self.proof_cache.misses)),
+                    (
+                        "insertions".into(),
+                        JsonValue::UInt(self.proof_cache.insertions),
+                    ),
+                    (
+                        "evictions".into(),
+                        JsonValue::UInt(self.proof_cache.evictions),
+                    ),
+                    (
+                        "entries".into(),
+                        JsonValue::UInt(self.proof_cache.entries as u64),
+                    ),
+                    ("bytes".into(), JsonValue::UInt(self.proof_cache.bytes)),
+                    (
+                        "capacity_bytes".into(),
+                        JsonValue::UInt(self.proof_cache.capacity_bytes),
+                    ),
+                ]),
+            ),
+            (
+                "rebalance".into(),
+                JsonValue::Object(vec![
+                    ("passes".into(), JsonValue::UInt(self.rebalance.passes)),
+                    ("moves".into(), JsonValue::UInt(self.rebalance.moves)),
+                ]),
+            ),
+            (
                 "queue".into(),
                 JsonValue::Object(vec![
                     (
@@ -539,6 +724,15 @@ impl ToJson for ServiceMetrics {
                         .map(|s| {
                             JsonValue::Object(vec![
                                 ("digest".into(), JsonValue::Str(hex(&s.digest[..8]))),
+                                ("num_vars".into(), JsonValue::UInt(s.num_vars as u64)),
+                                (
+                                    "state".into(),
+                                    JsonValue::Str(
+                                        s.state.map_or("unknown", |st| st.label()).into(),
+                                    ),
+                                ),
+                                ("shard".into(), JsonValue::UInt(s.shard.unwrap_or(0) as u64)),
+                                ("resident_bytes".into(), JsonValue::UInt(s.resident_bytes)),
                                 ("jobs_completed".into(), JsonValue::UInt(s.jobs_completed)),
                                 ("p50_ms".into(), JsonValue::Float(s.p50_ms)),
                                 ("p99_ms".into(), JsonValue::Float(s.p99_ms)),
@@ -564,6 +758,27 @@ impl ToJson for ServiceMetrics {
 mod tests {
     use super::*;
 
+    fn gauges(
+        queue_depths: [usize; 3],
+        peak_queue_depth: usize,
+        queue_capacity: usize,
+        sessions_registered: usize,
+        workers_alive: usize,
+        workers_configured: usize,
+        restart_budget_per_shard: u32,
+    ) -> SnapshotGauges {
+        SnapshotGauges {
+            queue_depths,
+            peak_queue_depth,
+            queue_capacity,
+            sessions_registered,
+            workers_alive,
+            workers_configured,
+            restart_budget_per_shard,
+            ..SnapshotGauges::default()
+        }
+    }
+
     #[test]
     fn percentile_is_nearest_rank() {
         let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
@@ -588,7 +803,7 @@ mod tests {
         rec.record_completion([1u8; 32], 18.0, &report);
         rec.record_completion([2u8; 32], 40.0, &report);
 
-        let snap = rec.snapshot([1, 0, 0], 4, 64, 2, 2, 2, 3);
+        let snap = rec.snapshot(gauges([1, 0, 0], 4, 64, 2, 2, 2, 3));
         assert_eq!(snap.completed, 3);
         assert_eq!(snap.waves, 2);
         assert!((snap.mean_wave_occupancy - 1.5).abs() < 1e-9);
@@ -627,7 +842,7 @@ mod tests {
         rec.record_precompute([2u8; 32], 0, 0.0);
         rec.record_completion([1u8; 32], 20.0, &ProverReport::default());
 
-        let snap = rec.snapshot([0, 0, 0], 0, 64, 2, 1, 1, 3);
+        let snap = rec.snapshot(gauges([0, 0, 0], 0, 64, 2, 1, 1, 3));
         assert_eq!(snap.sessions.len(), 2);
         assert_eq!(snap.sessions[0].digest, [1u8; 32]);
         assert_eq!(snap.sessions[0].precompute_table_bytes, 4096);
@@ -641,6 +856,49 @@ mod tests {
         let json = snap.to_json().render();
         assert!(json.contains("precompute_table_bytes"));
         assert!(json.contains("precompute_build_ms"));
+    }
+
+    #[test]
+    fn evicted_sessions_keep_their_historical_rows() {
+        let rec = MetricsRecorder::new();
+        rec.record_precompute([1u8; 32], 2048, 3.0);
+        rec.record_completion([1u8; 32], 25.0, &ProverReport::default());
+        // The store reports the session as evicted: its latency and
+        // precompute history must survive in the merged row, alongside the
+        // lifecycle state. A store-only session (never proved) also appears.
+        let mut g = gauges([0, 0, 0], 0, 64, 2, 1, 1, 3);
+        g.store_sessions = vec![
+            SessionInfo {
+                digest: [1u8; 32],
+                num_vars: 6,
+                state: SessionState::Evicted,
+                shard: 1,
+                resident_bytes: 0,
+            },
+            SessionInfo {
+                digest: [5u8; 32],
+                num_vars: 4,
+                state: SessionState::Active,
+                shard: 0,
+                resident_bytes: 777,
+            },
+        ];
+        g.lifecycle.evictions = 1;
+        let snap = rec.snapshot(g);
+        assert_eq!(snap.sessions.len(), 2);
+        assert_eq!(snap.sessions[0].digest, [1u8; 32]);
+        assert_eq!(snap.sessions[0].state, Some(SessionState::Evicted));
+        assert_eq!(snap.sessions[0].num_vars, 6);
+        assert_eq!(snap.sessions[0].jobs_completed, 1);
+        assert_eq!(snap.sessions[0].precompute_table_bytes, 2048);
+        assert_eq!(snap.sessions[0].p50_ms, 25.0);
+        assert_eq!(snap.sessions[1].state, Some(SessionState::Active));
+        assert_eq!(snap.sessions[1].resident_bytes, 777);
+        assert_eq!(snap.lifecycle.evictions, 1);
+        let json = snap.to_json().render();
+        for key in ["session_lifecycle", "proof_cache", "rebalance", "evicted"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

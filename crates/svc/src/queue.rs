@@ -21,7 +21,7 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
-use zkspeed_hyperplonk::Witness;
+use zkspeed_hyperplonk::{ProvingKey, Witness};
 
 use crate::sync::{lock, wait};
 use crate::wire::Priority;
@@ -33,8 +33,15 @@ pub struct QueuedJob {
     pub id: u64,
     /// Digest of the session (registered circuit) this job proves against.
     pub session: [u8; 32],
+    /// The session's proving key, pinned at submission. A queued job proves
+    /// with the key it was accepted under even if the session store evicts
+    /// or rebalances the session while the job waits.
+    pub pk: Arc<ProvingKey>,
     /// The decoded witness assignment.
     pub witness: Arc<Witness>,
+    /// Digest of the canonical witness bytes (all zeros when the proof
+    /// cache is disabled and no digest was computed).
+    pub witness_digest: [u8; 32],
     /// Scheduling class.
     pub priority: Priority,
 }
@@ -247,12 +254,32 @@ mod tests {
     use zkspeed_field::Fr;
     use zkspeed_poly::MultilinearPoly;
 
+    /// One shared tiny proving key: queue tests exercise scheduling order,
+    /// not proving, so every job can pin the same key.
+    fn tiny_pk() -> Arc<ProvingKey> {
+        use std::sync::OnceLock;
+        use zkspeed_hyperplonk::{try_preprocess, Circuit, GateSelectors};
+        use zkspeed_pcs::Srs;
+        use zkspeed_rt::SeedableRng;
+        static PK: OnceLock<Arc<ProvingKey>> = OnceLock::new();
+        PK.get_or_init(|| {
+            let mut rng = zkspeed_rt::rngs::StdRng::seed_from_u64(0x9_0b);
+            let srs = Srs::try_setup(1, &mut rng).expect("tiny setup");
+            let circuit = Circuit::with_identity_wiring(&vec![GateSelectors::addition(); 2]);
+            let (pk, _) = try_preprocess(circuit, &srs).expect("fits");
+            Arc::new(pk)
+        })
+        .clone()
+    }
+
     fn job(id: u64, session: u8, priority: Priority) -> QueuedJob {
         let column = || MultilinearPoly::new(vec![Fr::zero(), Fr::zero()]);
         QueuedJob {
             id,
             session: [session; 32],
+            pk: tiny_pk(),
             witness: Arc::new(Witness::new(column(), column(), column())),
+            witness_digest: [0u8; 32],
             priority,
         }
     }

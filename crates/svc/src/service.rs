@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 use zkspeed_curve::MsmConfig;
 use zkspeed_hyperplonk::{
     prove_batch_with_reports_msm_on, try_preprocess_with_budget_on, Circuit, PreprocessError,
-    ProvingKey, VerifyingKey, Witness,
+    VerifyingKey, Witness,
 };
 use zkspeed_pcs::{PrecomputeBudget, Srs};
 use zkspeed_rt::codec::{DecodeError, Reader};
@@ -57,10 +57,13 @@ use zkspeed_rt::faults::{FaultPlan, WaveFault};
 use zkspeed_rt::pool::{backend_with_threads, Backend};
 use zkspeed_rt::ToJson;
 
-use crate::metrics::{MetricsRecorder, ServiceMetrics};
+use crate::metrics::{
+    MetricsRecorder, ProofCacheMetrics, ServiceMetrics, SessionLifecycleMetrics, SnapshotGauges,
+};
 use crate::queue::{JobQueue, QueuedJob};
+use crate::store::{ProofCache, SessionState, SessionStore};
 use crate::sync::{lock, wait_timeout};
-use crate::wire::{JobState, Priority, RejectCode, Request, Response};
+use crate::wire::{JobState, Priority, RejectCode, Request, Response, SessionRow};
 
 /// How long waiters poll between predicate re-checks. Bounds the damage of
 /// any missed wakeup: a waiter is never more than one interval behind the
@@ -102,6 +105,21 @@ pub struct ServiceConfig {
     /// (and, through [`ProvingService::config`], by transport layers).
     /// Defaults to the `ZKSPEED_FAULTS` environment spec; inert when unset.
     pub faults: Arc<FaultPlan>,
+    /// Maximum **active** (provisioned) sessions; least-recently-used
+    /// sessions beyond it are evicted (proving key dropped, verifying key
+    /// retained). 0 = unlimited (the default).
+    pub session_capacity: usize,
+    /// Byte budget over the summed resident proving-key bytes of active
+    /// sessions; LRU eviction keeps the total under it. 0 = unlimited.
+    pub session_byte_budget: u64,
+    /// Proof-cache byte budget: identical `(circuit, witness)`
+    /// resubmissions answer from the cache without queueing. 0 disables the
+    /// cache (the default) — every submission proves.
+    pub proof_cache_bytes: u64,
+    /// Interval between p99-driven shard rebalance passes; `None` (the
+    /// default) disables the background rebalancer. Tests can drive passes
+    /// deterministically through [`ProvingService::rebalance_now`].
+    pub rebalance_interval: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -119,6 +137,10 @@ impl Default for ServiceConfig {
             default_deadline: Duration::from_secs(120),
             restart_budget: 3,
             faults: Arc::new(FaultPlan::from_env()),
+            session_capacity: 0,
+            session_byte_budget: 0,
+            proof_cache_bytes: 0,
+            rebalance_interval: None,
         }
     }
 }
@@ -184,6 +206,30 @@ impl ServiceConfig {
         self.faults = faults;
         self
     }
+
+    /// Bounds the number of active sessions (0 = unlimited).
+    pub fn with_session_capacity(mut self, capacity: usize) -> Self {
+        self.session_capacity = capacity;
+        self
+    }
+
+    /// Bounds the summed resident bytes of active sessions (0 = unlimited).
+    pub fn with_session_byte_budget(mut self, bytes: u64) -> Self {
+        self.session_byte_budget = bytes;
+        self
+    }
+
+    /// Enables the proof cache with the given byte budget (0 disables it).
+    pub fn with_proof_cache_bytes(mut self, bytes: u64) -> Self {
+        self.proof_cache_bytes = bytes;
+        self
+    }
+
+    /// Enables the background p99-driven shard rebalancer.
+    pub fn with_rebalance_interval(mut self, interval: Duration) -> Self {
+        self.rebalance_interval = Some(interval.max(Duration::from_millis(1)));
+        self
+    }
 }
 
 /// Per-job submission parameters: scheduling class plus an optional
@@ -245,6 +291,10 @@ pub enum ServiceError {
         /// The prover's error message.
         String,
     ),
+    /// The session was evicted from the store: its proving key is gone.
+    /// Re-register the circuit (`SubmitCircuit` with the same bytes) to
+    /// re-provision it, then resubmit.
+    SessionEvicted,
     /// The service is draining: in-flight jobs finish, new work is turned
     /// away.
     Draining,
@@ -269,6 +319,10 @@ impl fmt::Display for ServiceError {
             ServiceError::Decode(e) => write!(f, "decode failed: {e}"),
             ServiceError::Preprocess(e) => write!(f, "preprocess failed: {e}"),
             ServiceError::JobFailed(msg) => write!(f, "job failed: {msg}"),
+            ServiceError::SessionEvicted => write!(
+                f,
+                "session was evicted; re-register the circuit to re-provision it"
+            ),
             ServiceError::Draining => write!(f, "service is draining, not accepting new work"),
             ServiceError::Shutdown => write!(f, "service is shutting down"),
             ServiceError::Deadline => write!(f, "job deadline exceeded"),
@@ -288,14 +342,6 @@ impl From<PreprocessError> for ServiceError {
     fn from(e: PreprocessError) -> Self {
         ServiceError::Preprocess(e)
     }
-}
-
-/// A registered circuit: preprocessed keys plus its shard assignment.
-struct Session {
-    pk: Arc<ProvingKey>,
-    vk: Arc<VerifyingKey>,
-    num_vars: usize,
-    shard: usize,
 }
 
 /// One scheduler shard: a bounded queue plus a dedicated backend pool.
@@ -330,7 +376,12 @@ struct ServiceShared {
     srs: Arc<Srs>,
     config: ServiceConfig,
     shards: Vec<Shard>,
-    sessions: Mutex<HashMap<[u8; 32], Arc<Session>>>,
+    /// Session lifecycle: active/evicted state, LRU eviction, shard
+    /// assignments.
+    store: SessionStore,
+    /// Bounded proof cache keyed by `(circuit digest, witness digest)`;
+    /// inert unless [`ServiceConfig::proof_cache_bytes`] is set.
+    proof_cache: ProofCache,
     /// Serializes registrations so concurrent submissions of the same
     /// circuit preprocess once (and never burn a round-robin shard slot on
     /// a discarded duplicate). Held only on the registration path — job
@@ -348,6 +399,10 @@ struct ServiceShared {
     /// service handle) because the supervisor pushes replacement workers
     /// from inside a dying worker thread.
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Set by shutdown; the background rebalancer exits on the next wake.
+    rebalance_stop: Mutex<bool>,
+    rebalance_wake: Condvar,
+    rebalance_handle: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// A running proving service. Dropping it (or calling
@@ -382,7 +437,8 @@ impl ProvingService {
             srs,
             config: config.clone(),
             shards,
-            sessions: Mutex::new(HashMap::new()),
+            store: SessionStore::new(config.session_capacity, config.session_byte_budget),
+            proof_cache: ProofCache::new(config.proof_cache_bytes),
             registration: Mutex::new(()),
             next_shard: AtomicU64::new(0),
             jobs: Mutex::new(HashMap::new()),
@@ -391,9 +447,15 @@ impl ProvingService {
             draining: AtomicBool::new(false),
             metrics: MetricsRecorder::new(),
             worker_handles: Mutex::new(Vec::new()),
+            rebalance_stop: Mutex::new(false),
+            rebalance_wake: Condvar::new(),
+            rebalance_handle: Mutex::new(None),
         });
         for shard in 0..shared.shards.len() {
             spawn_worker(&shared, shard);
+        }
+        if let Some(interval) = config.rebalance_interval {
+            spawn_rebalancer(&shared, interval);
         }
         Self { shared }
     }
@@ -438,11 +500,15 @@ impl ProvingService {
         // tables (seconds at μ=14), and racing duplicates would each pay it
         // and burn a shard slot for the discarded copy.
         let _registering = lock(&self.shared.registration);
-        if lock(&self.shared.sessions).contains_key(&digest) {
+        if self.shared.store.state(&digest) == Some(SessionState::Active) {
             return Ok(digest);
         }
-        let shard =
-            (self.shared.next_shard.fetch_add(1, Ordering::Relaxed) as usize) % self.shard_count();
+        // An evicted session re-provisions on its original shard so its
+        // queued-but-unproven history and latency windows stay coherent;
+        // brand-new sessions are placed round-robin.
+        let shard = self.shared.store.shard_of(&digest).unwrap_or_else(|| {
+            (self.shared.next_shard.fetch_add(1, Ordering::Relaxed) as usize) % self.shard_count()
+        });
         let num_vars = circuit.num_vars();
         let backend = &self.shared.shards[shard].backend;
         let preprocess_started = Instant::now();
@@ -464,13 +530,17 @@ impl ProvingService {
         self.shared
             .metrics
             .record_precompute(digest, table_bytes, build_ms);
-        let session = Arc::new(Session {
-            pk: Arc::new(pk),
-            vk: Arc::new(vk),
+        // Resident estimate: the eight circuit MLE tables (32-byte field
+        // elements over 2^μ rows each) plus any precomputed commit tables.
+        let resident_bytes = table_bytes + 8 * 32 * (1u64 << num_vars);
+        self.shared.store.insert_active(
+            digest,
+            Arc::new(pk),
+            Arc::new(vk),
             num_vars,
             shard,
-        });
-        lock(&self.shared.sessions).entry(digest).or_insert(session);
+            resident_bytes,
+        );
         Ok(digest)
     }
 
@@ -492,11 +562,10 @@ impl ProvingService {
     }
 
     /// The verifying key of a registered session (for clients that verify
-    /// streamed proofs).
+    /// streamed proofs). Retained across eviction: proofs of an evicted
+    /// session stay verifiable.
     pub fn verifying_key(&self, digest: &[u8; 32]) -> Option<Arc<VerifyingKey>> {
-        lock(&self.shared.sessions)
-            .get(digest)
-            .map(|s| Arc::clone(&s.vk))
+        self.shared.store.verifying_key(digest)
     }
 
     /// Submits a job, **rejecting** with [`ServiceError::QueueFull`] when
@@ -577,15 +646,23 @@ impl ProvingService {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(ServiceError::Draining);
         }
-        let session = {
-            let sessions = lock(&self.shared.sessions);
-            Arc::clone(sessions.get(digest).ok_or_else(|| {
-                self.shared
-                    .metrics
-                    .rejected_invalid
-                    .fetch_add(1, Ordering::Relaxed);
-                ServiceError::UnknownCircuit
-            })?)
+        let Some(session) = self.shared.store.get_active(digest) else {
+            return Err(match self.shared.store.state(digest) {
+                Some(SessionState::Evicted) => {
+                    self.shared
+                        .store
+                        .rejected_evicted
+                        .fetch_add(1, Ordering::Relaxed);
+                    ServiceError::SessionEvicted
+                }
+                _ => {
+                    self.shared
+                        .metrics
+                        .rejected_invalid
+                        .fetch_add(1, Ordering::Relaxed);
+                    ServiceError::UnknownCircuit
+                }
+            });
         };
         if witness.num_vars() != session.num_vars {
             self.shared
@@ -597,18 +674,49 @@ impl ProvingService {
                 found: witness.num_vars(),
             });
         }
-        let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
-        let job = QueuedJob {
-            id,
-            session: *digest,
-            witness: Arc::new(witness),
-            priority: spec.priority,
+        // The witness digest keys the proof cache; computed only when the
+        // cache is on (canonical encodings round-trip byte-identically, so
+        // hashing `to_bytes` equals hashing the client's submitted blob).
+        let witness_digest = if self.shared.proof_cache.enabled() {
+            zkspeed_rt::Sha3_256::digest(&witness.to_bytes())
+        } else {
+            [0u8; 32]
         };
+        let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
         let submitted = Instant::now();
         let deadline = spec
             .deadline
             .unwrap_or(self.shared.config.default_deadline)
             .max(Duration::from_millis(1));
+        if let Some(proof) = self.shared.proof_cache.get(digest, &witness_digest) {
+            // Cache hit: the job is born terminal — collectable through
+            // `wait` / `JobStatus` like any other, but never queued and
+            // never counted as a completion (it burned no prover time).
+            lock(&self.shared.jobs).insert(
+                id,
+                JobEntry {
+                    phase: JobPhase::Done(proof),
+                    submitted,
+                    deadline_at: submitted + deadline,
+                    session: *digest,
+                    shard: session.shard,
+                },
+            );
+            self.shared
+                .metrics
+                .submitted
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared.job_done.notify_all();
+            return Ok(id);
+        }
+        let job = QueuedJob {
+            id,
+            session: *digest,
+            witness: Arc::new(witness),
+            priority: spec.priority,
+            pk: Arc::clone(&session.pk),
+            witness_digest,
+        };
         // The entry must exist before the worker can complete it.
         lock(&self.shared.jobs).insert(
             id,
@@ -756,27 +864,57 @@ impl ProvingService {
             peak = peak.max(shard.queue.peak_depth());
             capacity += shard.queue.capacity();
         }
-        let sessions = lock(&self.shared.sessions).len();
         let workers_alive = self
             .shared
             .shards
             .iter()
             .filter(|s| s.alive.load(Ordering::SeqCst))
             .count();
-        self.shared.metrics.snapshot(
-            depths,
-            peak,
-            capacity,
-            sessions,
+        let store = &self.shared.store;
+        let cache = &self.shared.proof_cache;
+        let (cache_entries, cache_bytes) = cache.usage();
+        let active = store.active_count();
+        let total = store.total_count();
+        self.shared.metrics.snapshot(SnapshotGauges {
+            queue_depths: depths,
+            peak_queue_depth: peak,
+            queue_capacity: capacity,
+            sessions_registered: total,
             workers_alive,
-            self.shared.shards.len(),
-            self.shared.config.restart_budget,
-        )
+            workers_configured: self.shared.shards.len(),
+            restart_budget_per_shard: self.shared.config.restart_budget,
+            lifecycle: SessionLifecycleMetrics {
+                active,
+                evicted: total - active,
+                capacity: store.capacity(),
+                evictions: store.evictions.load(Ordering::Relaxed),
+                reprovisions: store.reprovisions.load(Ordering::Relaxed),
+                rejected_evicted: store.rejected_evicted.load(Ordering::Relaxed),
+            },
+            proof_cache: ProofCacheMetrics {
+                hits: cache.hits.load(Ordering::Relaxed),
+                misses: cache.misses.load(Ordering::Relaxed),
+                insertions: cache.insertions.load(Ordering::Relaxed),
+                evictions: cache.evictions.load(Ordering::Relaxed),
+                entries: cache_entries,
+                bytes: cache_bytes,
+                capacity_bytes: cache.capacity_bytes(),
+            },
+            store_sessions: store.snapshot(),
+        })
     }
 
     /// The number of scheduler shards.
     pub fn shard_count(&self) -> usize {
         self.shared.shards.len()
+    }
+
+    /// Runs one p99-driven rebalance pass synchronously (the background
+    /// rebalancer runs the same pass on its interval). Returns the number
+    /// of sessions moved (0 or 1 — passes move at most one session so
+    /// latency windows re-settle between moves).
+    pub fn rebalance_now(&self) -> usize {
+        rebalance_pass(&self.shared)
     }
 
     /// Flips the service into drain mode: every subsequent registration or
@@ -939,6 +1077,7 @@ impl ProvingService {
                     Ok(job) => Response::JobAccepted { job },
                     Err(e @ ServiceError::QueueFull) => reject(RejectCode::QueueFull, &e),
                     Err(e @ ServiceError::UnknownCircuit) => reject(RejectCode::UnknownCircuit, &e),
+                    Err(e @ ServiceError::SessionEvicted) => reject(RejectCode::SessionEvicted, &e),
                     Err(e @ (ServiceError::Draining | ServiceError::Shutdown)) => {
                         reject(RejectCode::Draining, &e)
                     }
@@ -983,6 +1122,24 @@ impl ProvingService {
             Request::Metrics => Response::Metrics {
                 json: self.metrics().to_json().pretty(),
             },
+            Request::ListSessions => {
+                let completions = self.shared.metrics.completions_by_session();
+                let sessions = self
+                    .shared
+                    .store
+                    .snapshot()
+                    .into_iter()
+                    .map(|info| SessionRow {
+                        digest: info.digest,
+                        num_vars: info.num_vars as u32,
+                        state: info.state,
+                        shard: info.shard as u32,
+                        resident_bytes: info.resident_bytes,
+                        jobs_completed: completions.get(&info.digest).copied().unwrap_or(0),
+                    })
+                    .collect();
+                Response::SessionList { sessions }
+            }
         }
     }
 
@@ -994,6 +1151,11 @@ impl ProvingService {
     }
 
     fn shutdown_in_place(&mut self) {
+        *lock(&self.shared.rebalance_stop) = true;
+        self.shared.rebalance_wake.notify_all();
+        if let Some(handle) = lock(&self.shared.rebalance_handle).take() {
+            let _ = handle.join();
+        }
         for shard in &self.shared.shards {
             shard.queue.close();
         }
@@ -1162,15 +1324,108 @@ fn shard_loop(shared: &ServiceShared, shard_idx: usize) {
     }
 }
 
-fn run_wave(shared: &ServiceShared, shard: &Shard, wave: Vec<QueuedJob>) {
-    let session = {
-        let sessions = lock(&shared.sessions);
-        Arc::clone(
-            sessions
-                .get(&wave[0].session)
-                .expect("queued job references a registered session"),
-        )
+/// Spawns the background rebalance thread: one [`rebalance_pass`] per
+/// interval until shutdown raises the stop flag.
+fn spawn_rebalancer(shared: &Arc<ServiceShared>, interval: Duration) {
+    let worker = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name("zkspeed-svc-rebalance".into())
+        .spawn(move || loop {
+            {
+                let stopped = lock(&worker.rebalance_stop);
+                let (stopped, _) = worker
+                    .rebalance_wake
+                    .wait_timeout(stopped, interval)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                if *stopped {
+                    return;
+                }
+            }
+            rebalance_pass(&worker);
+        })
+        .expect("failed to spawn rebalance thread");
+    *lock(&shared.rebalance_handle) = Some(handle);
+}
+
+/// One p99-driven rebalance pass: when the worst shard's p99 latency
+/// exceeds 1.25× the best shard's, the hottest session (most latency
+/// samples in the window) moves off the worst shard. Safe against
+/// in-flight waves — queued jobs carry their proving key and finish on the
+/// shard they queued on; only *future* submissions follow the new
+/// assignment. Returns the number of sessions moved (0 or 1, so latency
+/// windows re-settle between moves).
+fn rebalance_pass(shared: &ServiceShared) -> usize {
+    shared
+        .metrics
+        .rebalance_passes
+        .fetch_add(1, Ordering::Relaxed);
+    let shard_count = shared.shards.len();
+    if shard_count < 2 {
+        return 0;
+    }
+    let sessions = shared.store.snapshot();
+    let samples = shared.metrics.latency_samples();
+    // Merge each session's latency window into its shard's.
+    let mut per_shard: Vec<Vec<f64>> = vec![Vec::new(); shard_count];
+    let mut active_per_shard = vec![0usize; shard_count];
+    for info in &sessions {
+        if info.state != SessionState::Active || info.shard >= shard_count {
+            continue;
+        }
+        active_per_shard[info.shard] += 1;
+        if let Some(window) = samples.get(&info.digest) {
+            per_shard[info.shard].extend_from_slice(window);
+        }
+    }
+    let p99 = |window: &mut Vec<f64>| -> f64 {
+        if window.is_empty() {
+            return 0.0;
+        }
+        window.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        window[((window.len() - 1) as f64 * 0.99).round() as usize]
     };
+    let p99s: Vec<f64> = per_shard.iter_mut().map(p99).collect();
+    let alive = |idx: usize| shared.shards[idx].alive.load(Ordering::SeqCst);
+    // Only a shard hosting at least two active sessions can shed one; a
+    // single hot session has nowhere better to be.
+    let Some(worst) = (0..shard_count)
+        .filter(|&i| active_per_shard[i] >= 2 && p99s[i] > 0.0)
+        .max_by(|&a, &b| p99s[a].partial_cmp(&p99s[b]).expect("finite"))
+    else {
+        return 0;
+    };
+    let Some(best) = (0..shard_count)
+        .filter(|&i| i != worst && alive(i))
+        .min_by(|&a, &b| p99s[a].partial_cmp(&p99s[b]).expect("finite"))
+    else {
+        return 0;
+    };
+    if p99s[worst] <= p99s[best] * 1.25 {
+        return 0;
+    }
+    // The hottest session (largest latency window) drives the worst
+    // shard's tail; moving it sheds the most load in one step.
+    let hottest = sessions
+        .iter()
+        .filter(|info| info.state == SessionState::Active && info.shard == worst)
+        .max_by_key(|info| samples.get(&info.digest).map_or(0, |w| w.len()));
+    let Some(hottest) = hottest else { return 0 };
+    if !shared.store.set_shard(&hottest.digest, best) {
+        return 0;
+    }
+    shared
+        .metrics
+        .rebalance_moves
+        .fetch_add(1, Ordering::Relaxed);
+    1
+}
+
+fn run_wave(shared: &ServiceShared, shard: &Shard, wave: Vec<QueuedJob>) {
+    // Every queued job carries its own `Arc<ProvingKey>` (pinned at
+    // submission), so a wave proves correctly even if the store evicted or
+    // rebalanced its session after the jobs were queued. A wave holds jobs
+    // of exactly one session, so the first job's key serves the batch.
+    let pk = Arc::clone(&wave[0].pk);
     // Jobs whose deadline passed while queued fail without burning prover
     // time; the rest proceed.
     let mut live = Vec::with_capacity(wave.len());
@@ -1200,7 +1455,7 @@ fn run_wave(shared: &ServiceShared, shard: &Shard, wave: Vec<QueuedJob>) {
     // submission cannot poison its wave-mates.
     let mut valid = Vec::with_capacity(live.len());
     for job in live {
-        match session.pk.circuit.check_witness(&job.witness) {
+        match pk.circuit.check_witness(&job.witness) {
             Ok(()) => valid.push(job),
             Err(e) => {
                 shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
@@ -1217,16 +1472,17 @@ fn run_wave(shared: &ServiceShared, shard: &Shard, wave: Vec<QueuedJob>) {
     }
     shared.metrics.record_wave(valid.len());
     let witnesses: Vec<Witness> = valid.iter().map(|j| j.witness.as_ref().clone()).collect();
-    let proved = prove_batch_with_reports_msm_on(
-        &session.pk,
-        &witnesses,
-        &shard.backend,
-        shared.config.msm_config,
-    )
-    .expect("wave witnesses were validated");
+    let proved =
+        prove_batch_with_reports_msm_on(&pk, &witnesses, &shard.backend, shared.config.msm_config)
+            .expect("wave witnesses were validated");
     let mut jobs = lock(&shared.jobs);
     for (job, (proof, report)) in valid.iter().zip(proved) {
         let bytes = Arc::new(proof.to_bytes());
+        if shared.proof_cache.enabled() {
+            shared
+                .proof_cache
+                .insert(job.session, job.witness_digest, Arc::clone(&bytes));
+        }
         if let Some(entry) = jobs.get_mut(&job.id) {
             let latency_ms = entry.submitted.elapsed().as_secs_f64() * 1e3;
             shared

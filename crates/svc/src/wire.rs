@@ -17,6 +17,7 @@
 //! | 4 | `Metrics` | (empty) |
 //! | 5 | `Hello` | `u32` len + auth token bytes |
 //! | 6 | `Shutdown` | (empty) |
+//! | 7 | `ListSessions` | (empty) |
 //!
 //! | response tag | message | body |
 //! |---|---|---|
@@ -29,6 +30,7 @@
 //! | 7 | `HelloOk` | `u16` protocol version, `u32` len + UTF-8 server id |
 //! | 8 | `ShuttingDown` | (empty) |
 //! | 9 | `JobFailed` | `u64` job id, `u32` len + UTF-8 failure reason |
+//! | 10 | `SessionList` | `u32` count, then per session: 32-byte digest, `u32` num_vars, `u8` state, `u32` shard, `u64` resident bytes, `u64` jobs completed |
 //!
 //! The same encode/decode pair serves the in-process endpoint
 //! ([`crate::ProvingService::handle_frame`]) and the `zkspeed-net` socket
@@ -40,6 +42,8 @@
 //! `Rejected`/[`RejectCode::Draining`] while in-flight jobs finish.
 
 use zkspeed_rt::codec::{self, DecodeError, Kind, Reader};
+
+use crate::store::SessionState;
 
 /// Artifact kind tag of an encoded [`Request`].
 pub const KIND_REQUEST: u8 = Kind::Request as u8;
@@ -104,11 +108,16 @@ pub enum RejectCode {
     /// after this response. Retry later (connection-level backpressure,
     /// the tier above [`RejectCode::QueueFull`]).
     OverCapacity = 9,
+    /// The referenced session was evicted by the server's session budget:
+    /// its proving key is gone. Not retryable as-is — re-register the
+    /// circuit (`SubmitCircuit`) to re-provision the session, then
+    /// resubmit the job.
+    SessionEvicted = 10,
 }
 
 impl RejectCode {
     /// Every code, in tag order.
-    pub const ALL: [RejectCode; 9] = [
+    pub const ALL: [RejectCode; 10] = [
         RejectCode::QueueFull,
         RejectCode::UnknownCircuit,
         RejectCode::Malformed,
@@ -118,6 +127,7 @@ impl RejectCode {
         RejectCode::BadAuth,
         RejectCode::Draining,
         RejectCode::OverCapacity,
+        RejectCode::SessionEvicted,
     ];
 
     /// Decodes a reject-code tag byte.
@@ -203,6 +213,9 @@ pub enum Request {
     /// finish in-flight jobs, flush pending `ProofReady` responses, then
     /// exit. Answered with `ShuttingDown`.
     Shutdown,
+    /// Lists every session the server knows about (active and evicted),
+    /// answered with `SessionList`.
+    ListSessions,
 }
 
 const REQ_SUBMIT_CIRCUIT: u8 = 1;
@@ -211,6 +224,24 @@ const REQ_JOB_STATUS: u8 = 3;
 const REQ_METRICS: u8 = 4;
 const REQ_HELLO: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
+const REQ_LIST_SESSIONS: u8 = 7;
+
+/// One session row of a `SessionList` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionRow {
+    /// The session's circuit digest.
+    pub digest: [u8; 32],
+    /// The circuit's `μ`.
+    pub num_vars: u32,
+    /// Lifecycle state (active / evicted).
+    pub state: SessionState,
+    /// The shard the session's jobs queue on.
+    pub shard: u32,
+    /// Estimated resident proving-key bytes (0 once evicted).
+    pub resident_bytes: u64,
+    /// Proofs completed for this session over the server's lifetime.
+    pub jobs_completed: u64,
+}
 
 /// A service-to-client message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -274,6 +305,11 @@ pub enum Response {
         /// Human-readable failure reason from the server.
         reason: String,
     },
+    /// Every session the server knows about, ordered by digest.
+    SessionList {
+        /// One row per session (active and evicted).
+        sessions: Vec<SessionRow>,
+    },
 }
 
 const RESP_CIRCUIT_REGISTERED: u8 = 1;
@@ -285,6 +321,7 @@ const RESP_METRICS: u8 = 6;
 const RESP_HELLO_OK: u8 = 7;
 const RESP_SHUTTING_DOWN: u8 = 8;
 const RESP_JOB_FAILED: u8 = 9;
+const RESP_SESSION_LIST: u8 = 10;
 
 fn write_blob(out: &mut Vec<u8>, blob: &[u8]) {
     out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
@@ -340,6 +377,7 @@ impl Request {
                 write_blob(&mut out, token);
             }
             Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::ListSessions => out.push(REQ_LIST_SESSIONS),
         }
         out
     }
@@ -382,6 +420,7 @@ impl Request {
                 token: read_blob(&mut reader, "auth token blob")?,
             },
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_LIST_SESSIONS => Request::ListSessions,
             _ => {
                 return Err(DecodeError::InvalidValue {
                     what: "request message tag",
@@ -439,6 +478,18 @@ impl Response {
                 out.extend_from_slice(&job.to_le_bytes());
                 write_blob(&mut out, reason.as_bytes());
             }
+            Response::SessionList { sessions } => {
+                out.push(RESP_SESSION_LIST);
+                out.extend_from_slice(&(sessions.len() as u32).to_le_bytes());
+                for row in sessions {
+                    out.extend_from_slice(&row.digest);
+                    out.extend_from_slice(&row.num_vars.to_le_bytes());
+                    out.push(row.state as u8);
+                    out.extend_from_slice(&row.shard.to_le_bytes());
+                    out.extend_from_slice(&row.resident_bytes.to_le_bytes());
+                    out.extend_from_slice(&row.jobs_completed.to_le_bytes());
+                }
+            }
         }
         out
     }
@@ -493,6 +544,31 @@ impl Response {
                 job: reader.u64()?,
                 reason: read_string(&mut reader, "job failure reason")?,
             },
+            RESP_SESSION_LIST => {
+                // Each row is 32 + 4 + 1 + 4 + 8 + 8 = 57 bytes.
+                let count = reader.count(57, "session list")?;
+                let mut sessions = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let digest = read_digest(&mut reader)?;
+                    let num_vars = reader.u32()?;
+                    let state =
+                        SessionState::from_u8(reader.u8()?).ok_or(DecodeError::InvalidValue {
+                            what: "session state",
+                        })?;
+                    let shard = reader.u32()?;
+                    let resident_bytes = reader.u64()?;
+                    let jobs_completed = reader.u64()?;
+                    sessions.push(SessionRow {
+                        digest,
+                        num_vars,
+                        state,
+                        shard,
+                        resident_bytes,
+                        jobs_completed,
+                    });
+                }
+                Response::SessionList { sessions }
+            }
             _ => {
                 return Err(DecodeError::InvalidValue {
                     what: "response message tag",
@@ -525,6 +601,7 @@ mod tests {
                 token: b"secret-token".to_vec(),
             },
             Request::Shutdown,
+            Request::ListSessions,
         ]
     }
 
@@ -566,6 +643,31 @@ mod tests {
             Response::Status {
                 job: 43,
                 state: JobState::Failed,
+            },
+            Response::SessionList { sessions: vec![] },
+            Response::SessionList {
+                sessions: vec![
+                    SessionRow {
+                        digest: [7u8; 32],
+                        num_vars: 14,
+                        state: SessionState::Active,
+                        shard: 0,
+                        resident_bytes: 1 << 20,
+                        jobs_completed: 12,
+                    },
+                    SessionRow {
+                        digest: [9u8; 32],
+                        num_vars: 10,
+                        state: SessionState::Evicted,
+                        shard: 1,
+                        resident_bytes: 0,
+                        jobs_completed: 3,
+                    },
+                ],
+            },
+            Response::Rejected {
+                code: RejectCode::SessionEvicted,
+                detail: "session evicted; re-register the circuit".into(),
             },
         ]
     }
@@ -663,7 +765,7 @@ mod tests {
     fn enums_reject_unknown_tags() {
         assert_eq!(Priority::from_u8(9), None);
         assert_eq!(RejectCode::from_u8(0), None);
-        assert_eq!(RejectCode::from_u8(10), None);
+        assert_eq!(RejectCode::from_u8(11), None);
         assert_eq!(JobState::from_u8(17), None);
         for p in Priority::ALL {
             assert_eq!(Priority::from_u8(p as u8), Some(p));
@@ -685,6 +787,7 @@ mod tests {
             RejectCode::Unsupported,
             RejectCode::BadAuth,
             RejectCode::Draining,
+            RejectCode::SessionEvicted,
         ] {
             assert!(!fatal.is_retryable(), "{fatal:?} must not be retryable");
         }
@@ -692,11 +795,11 @@ mod tests {
 
     #[test]
     fn stale_version_frames_are_rejected_cleanly() {
-        // Encodings carry the bumped codec version; v1 and v2 frames (as an
+        // Encodings carry the bumped codec version; v1..v3 frames (as an
         // older client would send) must fail with UnsupportedVersion, never
         // misparse — v2 SubmitJob bodies lack the deadline field and would
         // otherwise shift every later byte.
-        for stale in [1u16, 2] {
+        for stale in [1u16, 2, 3] {
             let mut old = Request::Metrics.to_bytes();
             old[4..6].copy_from_slice(&stale.to_le_bytes());
             assert!(matches!(

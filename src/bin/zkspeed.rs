@@ -10,6 +10,7 @@
 //! | `verify`  | verify a proof against a circuit, offline, file-based |
 //! | `serve`   | host a `ProvingService` on a TCP socket |
 //! | `submit`  | drive a remote server: register, submit, collect, scrape metrics |
+//! | `sessions`| list a remote server's sessions (state, μ, shard, bytes) |
 //!
 //! Every artifact on disk is a canonical encoding (magic + version header),
 //! so files produced here interoperate with the library APIs and the wire
@@ -51,10 +52,16 @@ SUBCOMMANDS:
 
   serve    --srs FILE [--addr HOST:PORT] [--auth-token T] [--ready-file FILE]
            [--max-connections N] [--idle-timeout-ms N] [--drain-grace-ms N]
-           [--shards N] [--metrics-out FILE]
+           [--shards N] [--session-capacity N] [--session-byte-budget N]
+           [--proof-cache-bytes N] [--rebalance-interval-ms N]
+           [--metrics-out FILE]
            Host a ProvingService over TCP. With --addr 127.0.0.1:0 the bound
            address goes to --ready-file (and stdout). Runs until a client
            sends Shutdown, then drains gracefully and writes final metrics.
+           --session-capacity / --session-byte-budget bound the provisioned
+           session working set (LRU eviction; 0 = unlimited);
+           --proof-cache-bytes enables the resubmission proof cache;
+           --rebalance-interval-ms enables the p99-driven shard rebalancer.
 
   submit   --addr HOST:PORT --circuit FILE --witness FILE [--auth-token T]
            [--jobs N] [--priority high|normal|low] [--proof-out FILE]
@@ -64,6 +71,10 @@ SUBCOMMANDS:
            --deadline-ms sets a per-job server-side deadline (0 = server
            default); --metrics scrapes the server's ServiceMetrics JSON
            afterwards; --shutdown asks the server to drain when done.
+
+  sessions --addr HOST:PORT [--auth-token T]
+           List the server's sessions: digest, μ, lifecycle state
+           (active/evicted), shard, resident bytes, jobs completed.
 
 EXIT CODES:
   0  success
@@ -85,6 +96,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(rest).map_err(CmdError::from),
         "serve" => cmd_serve(rest).map_err(CmdError::from),
         "submit" => cmd_submit(rest),
+        "sessions" => cmd_sessions(rest).map_err(CmdError::from),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -289,6 +301,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if flags.get("shards").is_some() {
         config = config.with_shards(flags.parse_num("shards", default_shards)?);
     }
+    config = config
+        .with_session_capacity(flags.parse_num("session-capacity", 0)?)
+        .with_session_byte_budget(flags.parse_num("session-byte-budget", 0)?)
+        .with_proof_cache_bytes(flags.parse_num("proof-cache-bytes", 0)?);
+    let rebalance_ms: u64 = flags.parse_num("rebalance-interval-ms", 0)?;
+    if rebalance_ms > 0 {
+        config = config.with_rebalance_interval(Duration::from_millis(rebalance_ms));
+    }
     let service = ProvingService::start(Arc::new(srs), config);
 
     let server_config = ServerConfig::new(flags.get("addr").unwrap_or("127.0.0.1:0"))
@@ -393,6 +413,37 @@ fn cmd_submit(args: &[String]) -> Result<(), CmdError> {
         println!("submit: proof -> {path}");
     }
     Ok(finish_submit(&flags, &mut client, jobs)?)
+}
+
+fn cmd_sessions(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let token = flags.get("auth-token").unwrap_or("");
+    let mut client = NetClient::connect(addr, token.as_bytes(), ClientConfig::default())
+        .map_err(|e| format!("connect to {addr} failed: {e}"))?;
+    let sessions = client
+        .sessions()
+        .map_err(|e| format!("session listing failed: {e}"))?;
+    println!(
+        "sessions: {} known ({} active)",
+        sessions.len(),
+        sessions
+            .iter()
+            .filter(|s| s.state == zkspeed::svc::SessionState::Active)
+            .count()
+    );
+    for s in &sessions {
+        println!(
+            "  {}  μ={:<2} {:<7} shard={} resident={}B completed={}",
+            hex(&s.digest),
+            s.num_vars,
+            s.state.label(),
+            s.shard,
+            s.resident_bytes,
+            s.jobs_completed
+        );
+    }
+    Ok(())
 }
 
 fn finish_submit(flags: &Flags, client: &mut NetClient, jobs: usize) -> Result<(), String> {

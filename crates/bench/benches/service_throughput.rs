@@ -23,6 +23,12 @@
 //! restart counters land in
 //! `target/bench-history/service-fault-metrics.json`.
 //!
+//! The `serve/repeat-4jobs/trace-{off,on}` pair measures the structured
+//! tracing tax: the `trace-on` service records the full span tree of every
+//! job (queue wait, wave, protocol steps, MSM passes) and its phase-level
+//! latency histograms land in
+//! `target/bench-history/service-trace-phases.json`.
+//!
 //! The `serve/skewed-resubmit/cache-{off,on}` pair measures the session
 //! lifecycle machinery under skewed load: a session-capacity-bounded
 //! store (LRU eviction live) serving identical resubmissions of one hot
@@ -234,6 +240,92 @@ fn main() {
             m.proofs_per_second,
             session.precompute_table_bytes,
             session.precompute_build_ms
+        );
+    }
+    // Tracing-overhead scenario: the same repeat-4jobs shape with the span
+    // recorder off and on. The `trace-on` run records a full span tree per
+    // job (queue wait, wave, the five protocol steps, per-MSM passes); the
+    // median ratio against `trace-off` is the tracing tax, which the
+    // acceptance criteria pin under 2%. The traced service's phase
+    // histograms land in `service-trace-phases.json` so CI tracks the
+    // step-level latency profile run over run.
+    let mut trace_medians = [0u128; 2];
+    for (idx, label) in ["trace-off", "trace-on"].into_iter().enumerate() {
+        let sink = zkspeed_rt::trace::TraceSink::enabled();
+        let mut trace_config = ServiceConfig::default()
+            .with_shards(1)
+            .with_threads_per_shard(threads.max(1))
+            .with_wave_size(4);
+        if idx == 1 {
+            trace_config = trace_config.with_trace(sink.clone());
+        }
+        let trace_svc = ProvingService::start(Arc::clone(&repeat_srs), trace_config);
+        let digest = trace_svc
+            .register_circuit(repeat_circuit.clone())
+            .expect("workload fits μ=14 SRS");
+        h.bench(format!("serve/repeat-4jobs/{label}"), || {
+            let ids: Vec<u64> = (0..4)
+                .map(|_| {
+                    trace_svc
+                        .submit(&digest, repeat_witness.clone(), Priority::Normal)
+                        .expect("parking submit succeeds")
+                })
+                .collect();
+            for id in ids {
+                trace_svc.wait(id).expect("job completes");
+            }
+        });
+        trace_medians[idx] = h.last_median_ns().unwrap_or(0);
+        if idx == 1 {
+            let m = trace_svc.metrics();
+            println!(
+                "trace-on: {} events recorded ({} dropped), prove_total count {}",
+                sink.event_count(),
+                sink.dropped_events(),
+                m.phases.prove_total.count()
+            );
+            if let Some(dir) = history_dir() {
+                let path = dir.join("service-trace-phases.json");
+                let doc = zkspeed_rt::JsonValue::Object(vec![
+                    (
+                        "phases".into(),
+                        zkspeed_rt::JsonValue::Object(
+                            m.phases
+                                .named()
+                                .iter()
+                                .map(|(name, hist)| (name.to_string(), hist.to_json()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "queue_wait_ms".into(),
+                        zkspeed_rt::JsonValue::Object(
+                            ["high", "normal", "low"]
+                                .iter()
+                                .zip(m.queue_waits.iter())
+                                .map(|(class, hist)| (class.to_string(), hist.to_json()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "trace_events".into(),
+                        zkspeed_rt::JsonValue::UInt(sink.event_count() as u64),
+                    ),
+                ]);
+                let written = std::fs::create_dir_all(&dir)
+                    .and_then(|()| std::fs::write(&path, doc.pretty().as_bytes()));
+                match written {
+                    Ok(()) => println!("trace phases: wrote {}", path.display()),
+                    Err(e) => eprintln!("trace phases: could not write {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+    if trace_medians[0] > 0 && trace_medians[1] > 0 {
+        let overhead = trace_medians[1] as f64 / trace_medians[0] as f64 - 1.0;
+        println!(
+            "trace overhead: {:+.2}% median wall time (acceptance target < 2%)",
+            overhead * 100.0
         );
     }
     // Skewed-resubmission scenario: a fleet-shaped store (session capacity

@@ -68,10 +68,10 @@ pub use mock::{mock_circuit, NamedWorkload, SparsityProfile, NAMED_WORKLOADS};
 pub use profile::{profile_kernels, KernelProfile, BYTES_PER_FIELD_ELEMENT, BYTES_PER_G1_POINT};
 pub use proof::{query_groups, BatchEvaluations, PolyLabel, Proof, QueryGroup};
 pub use prover::{
-    prove_batch_msm_on, prove_batch_on, prove_batch_with_reports_msm_on, prove_on,
-    prove_unchecked_msm_on, prove_unchecked_on, prove_with_report_msm_on, prove_with_report_on,
-    ProtocolStep, ProveError, ProverReport, GATE_SUMCHECK_DEGREE, OPENCHECK_DEGREE,
-    PERM_SUMCHECK_DEGREE,
+    prove_batch_msm_on, prove_batch_on, prove_batch_with_reports_msm_on,
+    prove_batch_with_reports_traced_on, prove_on, prove_unchecked_msm_on, prove_unchecked_on,
+    prove_unchecked_traced_on, prove_with_report_msm_on, prove_with_report_on, ProtocolStep,
+    ProveError, ProverReport, GATE_SUMCHECK_DEGREE, OPENCHECK_DEGREE, PERM_SUMCHECK_DEGREE,
 };
 pub use serialize::{KIND_CIRCUIT, KIND_PROOF, KIND_VERIFYING_KEY, KIND_WITNESS};
 pub use stats::{CircuitStats, ColumnStats, GateKindCounts};

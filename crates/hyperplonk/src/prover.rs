@@ -24,7 +24,8 @@ use zkspeed_field::Fr;
 use zkspeed_pcs::{commit_sparse_with_tables_on, commit_with_tables_on, open_with_tables_on};
 use zkspeed_poly::{fraction_mle, product_mle, split_even_odd, MultilinearPoly, VirtualPolynomial};
 use zkspeed_rt::pool::{self, Backend, Serial};
-use zkspeed_sumcheck::{prove_on as sumcheck_prove_on, prove_zerocheck_on};
+use zkspeed_rt::trace::TraceSink;
+use zkspeed_sumcheck::{prove_traced_on as sumcheck_prove_traced_on, prove_zerocheck_traced_on};
 use zkspeed_transcript::Transcript;
 
 use crate::circuit::{SatisfactionError, Witness};
@@ -230,6 +231,37 @@ pub fn prove_batch_with_reports_msm_on(
     backend: &Arc<dyn Backend>,
     msm: MsmConfig,
 ) -> Result<Vec<(Proof, ProverReport)>, ProveError> {
+    prove_batch_with_reports_traced_on(pk, witnesses, backend, msm, &TraceSink::disabled(), &[])
+}
+
+/// [`prove_batch_with_reports_msm_on`] with phase-level tracing: every
+/// protocol step, SumCheck round and MSM pass of every proof records a span
+/// into `trace`, tagged with the corresponding id from `job_ids` (pass an
+/// empty slice to tag all proofs with job id 0). Tracing observes wall time
+/// only — it never touches the transcript or the work schedule — so proofs
+/// are bit-identical with tracing on or off.
+///
+/// # Errors
+///
+/// Returns [`ProveError::UnsatisfiedWitness`] for the first invalid witness
+/// (no proving work is started in that case).
+///
+/// # Panics
+///
+/// Panics if `job_ids` is non-empty and shorter than `witnesses`.
+pub fn prove_batch_with_reports_traced_on(
+    pk: &ProvingKey,
+    witnesses: &[Witness],
+    backend: &Arc<dyn Backend>,
+    msm: MsmConfig,
+    trace: &TraceSink,
+    job_ids: &[u64],
+) -> Result<Vec<(Proof, ProverReport)>, ProveError> {
+    assert!(
+        job_ids.is_empty() || job_ids.len() >= witnesses.len(),
+        "job_ids must be empty or cover every witness"
+    );
+    let job_id = |i: usize| -> u64 { job_ids.get(i).copied().unwrap_or(0) };
     for witness in witnesses {
         pk.circuit
             .check_witness(witness)
@@ -238,7 +270,8 @@ pub fn prove_batch_with_reports_msm_on(
     if witnesses.len() <= 1 || backend.threads() == 1 {
         return Ok(witnesses
             .iter()
-            .map(|w| prove_unchecked_msm_on(pk, w, backend, msm))
+            .enumerate()
+            .map(|(i, w)| prove_unchecked_traced_on(pk, w, backend, msm, trace, job_id(i)))
             .collect());
     }
     // One job per proof; each job still hands its inner MSM / SumCheck work
@@ -247,10 +280,19 @@ pub fn prove_batch_with_reports_msm_on(
     // order so profiling counters match a serial batch.
     let job_pk = pk.clone();
     let job_witnesses = witnesses.to_vec();
+    let job_tags: Vec<u64> = (0..witnesses.len()).map(job_id).collect();
+    let job_trace = trace.clone();
     let inner = Arc::clone(backend);
     let proofs = pool::map_indices_on(&**backend, witnesses.len(), move |i| {
         zkspeed_field::measure_modmuls(|| {
-            prove_unchecked_msm_on(&job_pk, &job_witnesses[i], &inner, msm)
+            prove_unchecked_traced_on(
+                &job_pk,
+                &job_witnesses[i],
+                &inner,
+                msm,
+                &job_trace,
+                job_tags[i],
+            )
         })
     });
     Ok(proofs
@@ -281,6 +323,19 @@ pub fn prove_unchecked_msm_on(
     backend: &Arc<dyn Backend>,
     msm: MsmConfig,
 ) -> (Proof, ProverReport) {
+    prove_unchecked_traced_on(pk, witness, backend, msm, &TraceSink::disabled(), 0)
+}
+
+/// [`prove_unchecked_msm_on`] with phase-level tracing (see
+/// [`prove_batch_with_reports_traced_on`] for the tracing contract).
+pub fn prove_unchecked_traced_on(
+    pk: &ProvingKey,
+    witness: &Witness,
+    backend: &Arc<dyn Backend>,
+    msm: MsmConfig,
+    trace: &TraceSink,
+    job: u64,
+) -> (Proof, ProverReport) {
     let mu = pk.circuit.num_vars();
     let mut report = ProverReport {
         num_vars: mu,
@@ -301,10 +356,14 @@ pub fn prove_unchecked_msm_on(
     // are folded into the transcript in column order, so the proof is
     // bit-identical to a serial run.
     let t0 = Instant::now();
+    let step_span = trace.span_with("witness-commit", "prove", &[("job", job)]);
     let job_srs = pk.srs.clone();
     let job_columns = witness.columns.clone();
     let job_tables = pk.commit_tables.clone();
+    let job_trace = trace.clone();
     let column_commitments = pool::map_indices_on(&**backend, 3, move |j| {
+        let _msm_span =
+            job_trace.span_with("msm-witness", "msm", &[("job", job), ("column", j as u64)]);
         zkspeed_field::measure_modmuls(|| {
             commit_sparse_with_tables_on(
                 &Serial,
@@ -330,10 +389,12 @@ pub fn prove_unchecked_msm_on(
         witness_commitments[1],
         witness_commitments[2],
     ];
+    drop(step_span);
     report.step_seconds[0] = t0.elapsed().as_secs_f64();
 
     // ----- Step 2: Gate Identity (ZeroCheck) ------------------------------
     let t1 = Instant::now();
+    let step_span = trace.span_with("gate-identity", "prove", &[("job", job)]);
     let mut f_gate = VirtualPolynomial::new(mu);
     let ql = f_gate.add_mle(pk.circuit.selectors()[0].clone());
     let qr = f_gate.add_mle(pk.circuit.selectors()[1].clone());
@@ -348,18 +409,22 @@ pub fn prove_unchecked_msm_on(
     f_gate.add_term(Fr::one(), vec![qm, w1, w2]);
     f_gate.add_term(-Fr::one(), vec![qo, w3]);
     f_gate.add_term(Fr::one(), vec![qc]);
-    let gate_out = prove_zerocheck_on(&f_gate, &mut transcript, &**backend);
+    let gate_out =
+        prove_zerocheck_traced_on(&f_gate, &mut transcript, &**backend, trace, "gate-round");
     let gate_point = gate_out.sumcheck.point.clone();
+    drop(step_span);
     report.step_seconds[1] = t1.elapsed().as_secs_f64();
 
     // ----- Step 3: Wiring Identity ----------------------------------------
     let t2 = Instant::now();
+    let step_span = trace.span_with("wire-identity", "prove", &[("job", job)]);
     let beta = transcript.challenge_scalar(b"beta");
     let gamma = transcript.challenge_scalar(b"gamma");
     let ids = pk.circuit.identity_mles();
     let sigmas = pk.circuit.sigma_mles();
 
     // Construct N & D: six intermediate MLEs plus their products.
+    let nd_span = trace.span_with("construct-nd", "prove", &[("job", job)]);
     let numerators: Vec<MultilinearPoly> = (0..3)
         .map(|j| MultilinearPoly::from_fn(mu, |i| witness.columns[j][i] + beta * ids[j][i] + gamma))
         .collect();
@@ -374,10 +439,13 @@ pub fn prove_unchecked_msm_on(
     let d_mle = denominators[0]
         .hadamard(&denominators[1])
         .hadamard(&denominators[2]);
+    drop(nd_span);
 
     // FracMLE and Product MLE.
+    let frac_span = trace.span_with("frac-prod-mle", "prove", &[("job", job)]);
     let phi = fraction_mle(&n_mle, &d_mle);
     let pi = product_mle(&phi);
+    drop(frac_span);
 
     // Commit φ and π (dense MSMs on the critical path): two independent
     // jobs, each splitting its windows over half the pool via the shared
@@ -385,8 +453,11 @@ pub fn prove_unchecked_msm_on(
     let job_srs = pk.srs.clone();
     let job_polys = [phi.clone(), pi.clone()];
     let job_tables = pk.commit_tables.clone();
+    let job_trace = trace.clone();
     let inner = Arc::clone(backend);
     let wiring_commitments = pool::map_indices_on(&**backend, 2, move |j| {
+        let _msm_span =
+            job_trace.span_with("msm-wiring", "msm", &[("job", job), ("poly", j as u64)]);
         zkspeed_field::measure_modmuls(|| {
             commit_with_tables_on(&*inner, &job_srs, &job_polys[j], msm, job_tables.as_deref())
         })
@@ -421,12 +492,15 @@ pub fn prove_unchecked_msm_on(
     f_perm.add_term(-Fr::one(), vec![p1_idx, p2_idx]);
     f_perm.add_term(alpha, vec![phi_idx, d_idx[0], d_idx[1], d_idx[2]]);
     f_perm.add_term(-alpha, vec![n_idx[0], n_idx[1], n_idx[2]]);
-    let perm_out = prove_zerocheck_on(&f_perm, &mut transcript, &**backend);
+    let perm_out =
+        prove_zerocheck_traced_on(&f_perm, &mut transcript, &**backend, trace, "perm-round");
     let perm_point = perm_out.sumcheck.point.clone();
+    drop(step_span);
     report.step_seconds[2] = t2.elapsed().as_secs_f64();
 
     // ----- Step 4: Batch Evaluations ---------------------------------------
     let t3 = Instant::now();
+    let step_span = trace.span_with("batch-evaluation", "prove", &[("job", job)]);
     let groups = query_groups(&gate_point, &perm_point);
     let resolve = |label: PolyLabel| -> &MultilinearPoly {
         match label {
@@ -472,10 +546,12 @@ pub fn prove_unchecked_msm_on(
             .collect(),
     };
     transcript.append_scalars(b"batch-evaluations", &evaluations.flatten());
+    drop(step_span);
     report.step_seconds[3] = t3.elapsed().as_secs_f64();
 
     // ----- Step 5: Polynomial Opening --------------------------------------
     let t4 = Instant::now();
+    let step_span = trace.span_with("polynomial-opening", "prove", &[("job", job)]);
     // Per-group linear combinations (MLE Combine) of the queried MLEs. The
     // transcript challenges must be drawn serially in group order, but the
     // combinations themselves fan out one job per group.
@@ -514,7 +590,8 @@ pub fn prove_unchecked_msm_on(
         let k_idx = f_open.add_mle(MultilinearPoly::eq_mle_on(&group.point, &**backend));
         f_open.add_term(*cp, vec![y_idx, k_idx]);
     }
-    let open_out = sumcheck_prove_on(&f_open, &mut transcript, &**backend);
+    let open_out =
+        sumcheck_prove_traced_on(&f_open, &mut transcript, &**backend, trace, "open-round");
     let rho = open_out.point.clone();
 
     // Claimed evaluations of the combined polynomials at ρ: one job each.
@@ -534,14 +611,17 @@ pub fn prove_unchecked_msm_on(
     let d = transcript.challenge_scalars(b"gprime-challenge", groups.len());
     let gprime =
         MultilinearPoly::linear_combination(&d, &combined_polys.iter().collect::<Vec<_>>());
-    let (gprime_value, gprime_opening, open_stats) = open_with_tables_on(
-        &**backend,
-        &pk.srs,
-        &gprime,
-        &rho,
-        msm,
-        pk.commit_tables.as_deref(),
-    );
+    let (gprime_value, gprime_opening, open_stats) = {
+        let _msm_span = trace.span_with("msm-opening", "msm", &[("job", job)]);
+        open_with_tables_on(
+            &**backend,
+            &pk.srs,
+            &gprime,
+            &rho,
+            msm,
+            pk.commit_tables.as_deref(),
+        )
+    };
     report.opening_msm.merge(&open_stats);
     debug_assert_eq!(
         gprime_value,
@@ -550,6 +630,7 @@ pub fn prove_unchecked_msm_on(
             .map(|(di, yi)| *di * *yi)
             .sum::<Fr>()
     );
+    drop(step_span);
     report.step_seconds[4] = t4.elapsed().as_secs_f64();
     report.transcript_hashes = transcript.hash_invocations();
 
@@ -701,6 +782,61 @@ mod tests {
         )
         .expect("valid witness");
         assert_eq!(optimized, reference);
+    }
+
+    #[test]
+    fn tracing_produces_byte_identical_proofs() {
+        let mut r = rng();
+        let mu = 4;
+        let srs = Srs::setup(mu, &mut r);
+        let (circuit, witness) = mock_circuit(mu, SparsityProfile::paper_default(), &mut r);
+        let (pk, _vk) = try_preprocess(circuit, &srs).expect("circuit fits");
+        let witnesses = vec![witness.clone(), witness];
+        let plain = prove_batch_with_reports_msm_on(
+            &pk,
+            &witnesses,
+            &backend(),
+            zkspeed_curve::MsmConfig::default(),
+        )
+        .expect("valid witnesses");
+        let sink = zkspeed_rt::trace::TraceSink::enabled();
+        let traced = prove_batch_with_reports_traced_on(
+            &pk,
+            &witnesses,
+            &backend(),
+            zkspeed_curve::MsmConfig::default(),
+            &sink,
+            &[41, 42],
+        )
+        .expect("valid witnesses");
+        for ((p, _), (t, _)) in plain.iter().zip(traced.iter()) {
+            assert_eq!(
+                p.to_bytes(),
+                t.to_bytes(),
+                "tracing must not perturb the proof"
+            );
+        }
+        // The recording actually covers the span tree: protocol steps,
+        // sumcheck rounds and MSM passes, tagged with the job ids.
+        let events: Vec<_> = sink.threads().into_iter().flat_map(|t| t.events).collect();
+        for name in [
+            "witness-commit",
+            "gate-identity",
+            "wire-identity",
+            "batch-evaluation",
+            "polynomial-opening",
+            "gate-round",
+            "perm-round",
+            "open-round",
+            "msm-witness",
+            "msm-wiring",
+            "msm-opening",
+        ] {
+            assert!(events.iter().any(|e| e.name == name), "missing span {name}");
+        }
+        assert!(events
+            .iter()
+            .any(|e| e.args.as_slice().contains(&("job", 42))));
     }
 
     #[test]

@@ -335,6 +335,22 @@ impl NetClient {
         }
     }
 
+    /// Fetches the server's Chrome trace-event dump as JSON.
+    ///
+    /// The returned string is Perfetto-loadable; when the server runs with
+    /// tracing disabled it is an empty-but-valid `{"traceEvents":[]}` dump.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] / [`NetError::Decode`] on transport failure.
+    pub fn trace(&mut self) -> Result<String, NetError> {
+        match self.request(&Request::GetTrace)? {
+            Response::TraceDump { json } => Ok(json),
+            Response::Rejected { code, detail } => Err(NetError::Rejected { code, detail }),
+            other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
     /// Asks the server to drain gracefully.
     ///
     /// # Errors

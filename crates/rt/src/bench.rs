@@ -174,6 +174,13 @@ impl Harness {
         self.records.push(record);
     }
 
+    /// The median of the most recently recorded benchmark's samples, in
+    /// nanoseconds — lets a suite compare two scenarios it just ran (e.g.
+    /// an on/off overhead pair) from the same measured samples.
+    pub fn last_median_ns(&self) -> Option<u128> {
+        self.records.last().map(BenchRecord::median_ns)
+    }
+
     /// Prints the suite's JSON report to stdout, persists it to the bench
     /// history directory, and consumes the harness.
     pub fn finish(self) {

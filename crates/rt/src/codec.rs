@@ -8,7 +8,7 @@
 //! | bytes | meaning |
 //! |---|---|
 //! | 0–3 | magic `b"zksp"` |
-//! | 4–5 | format version, little-endian `u16` (currently 3) |
+//! | 4–5 | format version, little-endian `u16` (currently 5) |
 //! | 6 | artifact kind tag |
 //! | 7 | reserved, must be zero |
 //!
@@ -41,7 +41,11 @@ pub const MAGIC: [u8; 4] = *b"zksp";
 ///   `SessionList` response (per-session μ / state / shard / resident
 ///   bytes), and the `SessionEvicted` reject code. Earlier versions decode
 ///   to a clean [`DecodeError::UnsupportedVersion`], never a misparse.
-pub const VERSION: u16 = 4;
+/// * **5** — tracing: the `GetTrace` request and the `TraceDump` response
+///   carrying the server's Chrome trace-event JSON. Earlier versions
+///   decode to a clean [`DecodeError::UnsupportedVersion`], never a
+///   misparse.
+pub const VERSION: u16 = 5;
 
 /// The registry of artifact kind tags (byte 6 of the canonical header).
 ///

@@ -26,7 +26,11 @@
 //!   by proof / key / SRS serialization;
 //! * [`faults`] — the deterministic fault-injection plan (`ZKSPEED_FAULTS`)
 //!   consulted by the proving service's shard workers and the TCP server
-//!   when chaos-testing the stack's failure paths.
+//!   when chaos-testing the stack's failure paths;
+//! * [`trace`] — the structured tracing/profiling substrate: a
+//!   thread-aware span recorder ([`trace::TraceSink`]) exporting Chrome
+//!   trace-event JSON, and a mergeable log-bucketed latency
+//!   [`trace::Histogram`] behind the service's phase-level metrics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +43,7 @@ mod keccak;
 pub mod par;
 pub mod pool;
 mod rng;
+pub mod trace;
 
 pub use json::{JsonValue, ToJson};
 pub use keccak::{

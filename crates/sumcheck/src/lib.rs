@@ -52,10 +52,11 @@ mod zerocheck;
 
 pub use error::SumcheckError;
 pub use prover::{
-    prove, prove_on, round_polynomial, round_polynomial_on, ProverOutput, SumcheckProof,
+    prove, prove_on, prove_traced_on, round_polynomial, round_polynomial_on, ProverOutput,
+    SumcheckProof,
 };
 pub use verifier::{interpolate_uniform, verify, SubClaim};
 pub use zerocheck::{
-    mask_with_eq, prove_zerocheck, prove_zerocheck_on, verify_zerocheck, ZerocheckProof,
-    ZerocheckProverOutput, ZerocheckSubClaim,
+    mask_with_eq, prove_zerocheck, prove_zerocheck_on, prove_zerocheck_traced_on, verify_zerocheck,
+    ZerocheckProof, ZerocheckProverOutput, ZerocheckSubClaim,
 };

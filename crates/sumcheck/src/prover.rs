@@ -19,6 +19,7 @@ use zkspeed_field::Fr;
 use zkspeed_poly::VirtualPolynomial;
 use zkspeed_rt::codec::{DecodeError, Reader};
 use zkspeed_rt::pool::{self, Backend};
+use zkspeed_rt::trace::TraceSink;
 use zkspeed_transcript::Transcript;
 
 /// A SumCheck proof: one univariate round polynomial per variable, each given
@@ -119,6 +120,25 @@ pub fn prove_on(
     transcript: &mut Transcript,
     backend: &dyn Backend,
 ) -> ProverOutput {
+    prove_traced_on(poly, transcript, backend, &TraceSink::disabled(), "round")
+}
+
+/// [`prove_on`] with per-round tracing: every round records a `round_label`
+/// span (category `"sumcheck"`, tagged with its round index) into `trace`.
+/// A disabled sink makes this identical to [`prove_on`] — tracing observes
+/// wall time only and never touches the transcript, so the proof is
+/// bit-identical with tracing on or off.
+///
+/// # Panics
+///
+/// Panics if `poly` has no variables or no terms.
+pub fn prove_traced_on(
+    poly: &VirtualPolynomial,
+    transcript: &mut Transcript,
+    backend: &dyn Backend,
+    trace: &TraceSink,
+    round_label: &'static str,
+) -> ProverOutput {
     assert!(
         poly.num_vars() > 0,
         "sumcheck: polynomial must have variables"
@@ -134,7 +154,8 @@ pub fn prove_on(
     let mut round_evaluations = Vec::with_capacity(num_rounds);
     let mut point = Vec::with_capacity(num_rounds);
 
-    for _round in 0..num_rounds {
+    for round in 0..num_rounds {
+        let _round_span = trace.span_with(round_label, "sumcheck", &[("round", round as u64)]);
         let evals = round_polynomial_on(&current, degree, backend);
         transcript.append_scalars(b"sumcheck-round", &evals);
         let challenge = transcript.challenge_scalar(b"sumcheck-challenge");

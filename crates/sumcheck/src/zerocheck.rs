@@ -107,12 +107,39 @@ pub fn prove_zerocheck_on(
     transcript: &mut Transcript,
     backend: &dyn zkspeed_rt::pool::Backend,
 ) -> ZerocheckProverOutput {
-    let challenges = transcript.challenge_scalars(b"zerocheck-r", poly.num_vars());
-    let masked = mask_with(
+    prove_zerocheck_traced_on(
         poly,
-        Arc::new(MultilinearPoly::eq_mle_on(&challenges, backend)),
-    );
-    let sumcheck = crate::prover::prove_on(&masked, transcript, backend);
+        transcript,
+        backend,
+        &zkspeed_rt::trace::TraceSink::disabled(),
+        "round",
+    )
+}
+
+/// [`prove_zerocheck_on`] with per-round tracing: the Build-MLE pass and
+/// every SumCheck round record spans into `trace` (see
+/// [`crate::prove_traced_on`]). Tracing observes wall time only; the proof
+/// is bit-identical with tracing on or off.
+///
+/// # Panics
+///
+/// Panics if `poly` has no variables or no terms.
+pub fn prove_zerocheck_traced_on(
+    poly: &VirtualPolynomial,
+    transcript: &mut Transcript,
+    backend: &dyn zkspeed_rt::pool::Backend,
+    trace: &zkspeed_rt::trace::TraceSink,
+    round_label: &'static str,
+) -> ZerocheckProverOutput {
+    let challenges = transcript.challenge_scalars(b"zerocheck-r", poly.num_vars());
+    let masked = {
+        let _span = trace.span("build-mle", "sumcheck");
+        mask_with(
+            poly,
+            Arc::new(MultilinearPoly::eq_mle_on(&challenges, backend)),
+        )
+    };
+    let sumcheck = crate::prover::prove_traced_on(&masked, transcript, backend, trace, round_label);
     ZerocheckProverOutput {
         sumcheck,
         build_mle_challenges: challenges,

@@ -23,8 +23,9 @@
 //!   answers identical resubmissions without proving
 //!   ([`ServiceConfig::proof_cache_bytes`]), and a p99-driven rebalancer
 //!   moves hot sessions off overloaded shards;
-//! * [`ServiceMetrics`] — queue depth, wave occupancy, per-session latency
-//!   percentiles, proofs/sec and MSM rollups, emitted via
+//! * [`ServiceMetrics`] — queue depth, wave occupancy, per-session and
+//!   per-phase latency histograms ([`PhaseHistograms`]), per-class queue-wait
+//!   histograms, proofs/sec and MSM rollups, emitted via
 //!   [`ToJson`](zkspeed_rt::ToJson).
 //!
 //! # Example
@@ -60,8 +61,8 @@ mod sync;
 pub mod wire;
 
 pub use metrics::{
-    ConnectionMetrics, MsmRollup, ProofCacheMetrics, RebalanceMetrics, ServiceMetrics,
-    SessionLifecycleMetrics, SessionMetrics, SupervisionMetrics,
+    ConnectionMetrics, MsmRollup, PhaseHistograms, ProofCacheMetrics, RebalanceMetrics,
+    ServiceMetrics, SessionLifecycleMetrics, SessionMetrics, SupervisionMetrics,
 };
 pub use service::{JobSpec, ProvingService, ServiceConfig, ServiceError};
 pub use store::{SessionInfo, SessionState};

@@ -1,10 +1,19 @@
 //! Service observability: counters, queue gauges, wave occupancy,
-//! per-session latency percentiles and MSM-statistics rollups, snapshotted
-//! into a [`ServiceMetrics`] document that renders via [`ToJson`].
+//! per-session latency histograms, per-phase prove-time histograms and
+//! MSM-statistics rollups, snapshotted into a [`ServiceMetrics`] document
+//! that renders via [`ToJson`].
 //!
 //! The live side ([`MetricsRecorder`]) is cheap on the serving path —
-//! atomics for counters, one short-held mutex for latency samples and MSM
-//! rollups. Percentiles are computed at snapshot time, not on the hot path.
+//! atomics for counters, one short-held mutex for latency histograms and
+//! MSM rollups. Quantiles are computed at snapshot time, not on the hot
+//! path.
+//!
+//! Latency is tracked in log-bucketed [`Histogram`]s rather than bounded
+//! sample windows: histograms never drop samples, their counts and means
+//! are exact, quantiles carry a bounded (≤ 6.3%) relative error, and —
+//! crucial for the shard rebalancer — merging two sessions' histograms is
+//! bucket-wise addition, so a shard's merged p99 is computed over *every*
+//! completion, not whatever subset survived a sliding window.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,29 +25,49 @@ use crate::sync::lock;
 
 use zkspeed_curve::MsmStats;
 use zkspeed_hyperplonk::ProverReport;
+use zkspeed_rt::trace::Histogram;
 use zkspeed_rt::{JsonValue, ToJson};
 
-/// Per-session latency samples (submit → proof ready), in milliseconds.
-/// Bounded so a long-running service cannot grow without limit; once full,
-/// new samples overwrite the oldest (a sliding window).
-const MAX_LATENCY_SAMPLES: usize = 4096;
-
-#[derive(Default)]
-struct SessionSamples {
-    samples: Vec<f64>,
-    next: usize,
-    total: u64,
+/// Per-phase prove-time histograms (milliseconds), one per protocol step
+/// plus the whole-proof total. Filled from each completion's
+/// [`ProverReport`] step timings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseHistograms {
+    /// Step 1: sparse-MSM witness commits.
+    pub witness_commit: Histogram,
+    /// Step 2: Gate Identity ZeroCheck.
+    pub gate_identity: Histogram,
+    /// Step 3: Wire Identity (N&D, Frac/Prod MLEs, φ/π commits, PermCheck).
+    pub wire_identity: Histogram,
+    /// Step 4: the batched polynomial evaluations.
+    pub batch_evaluation: Histogram,
+    /// Step 5: polynomial opening (MLE Combine, OpenCheck, halving MSMs).
+    pub polynomial_opening: Histogram,
+    /// Whole-proof wall time (sum of the five steps).
+    pub prove_total: Histogram,
 }
 
-impl SessionSamples {
-    fn record(&mut self, ms: f64) {
-        self.total += 1;
-        if self.samples.len() < MAX_LATENCY_SAMPLES {
-            self.samples.push(ms);
-        } else {
-            self.samples[self.next] = ms;
-            self.next = (self.next + 1) % MAX_LATENCY_SAMPLES;
-        }
+impl PhaseHistograms {
+    fn record_report(&mut self, report: &ProverReport) {
+        let ms = |s: f64| s * 1e3;
+        self.witness_commit.record(ms(report.step_seconds[0]));
+        self.gate_identity.record(ms(report.step_seconds[1]));
+        self.wire_identity.record(ms(report.step_seconds[2]));
+        self.batch_evaluation.record(ms(report.step_seconds[3]));
+        self.polynomial_opening.record(ms(report.step_seconds[4]));
+        self.prove_total.record(ms(report.total_seconds()));
+    }
+
+    /// The phases as `(name, histogram)` pairs, in protocol order.
+    pub fn named(&self) -> [(&'static str, &Histogram); 6] {
+        [
+            ("witness_commit", &self.witness_commit),
+            ("gate_identity", &self.gate_identity),
+            ("wire_identity", &self.wire_identity),
+            ("batch_evaluation", &self.batch_evaluation),
+            ("polynomial_opening", &self.polynomial_opening),
+            ("prove_total", &self.prove_total),
+        ]
     }
 }
 
@@ -178,6 +207,9 @@ pub(crate) struct SnapshotGauges {
     /// Lifecycle rows from the session store, merged into the per-session
     /// metrics by digest.
     pub(crate) store_sessions: Vec<SessionInfo>,
+    /// Queue-wait histograms per priority class (high, normal, low),
+    /// merged across shards by the service at snapshot time.
+    pub(crate) queue_waits: [Histogram; 3],
 }
 
 /// The live recorder owned by the service.
@@ -203,7 +235,12 @@ pub(crate) struct MetricsRecorder {
     wave_jobs: AtomicU64,
     max_wave: AtomicU64,
     rollup: Mutex<MsmRollup>,
-    latencies: Mutex<HashMap<[u8; 32], SessionSamples>>,
+    /// Per-session submit→proof latency histograms. Never cleared, so an
+    /// evicted session keeps its historical row; bounded in memory by the
+    /// histogram's logarithmic bucket count, not by dropping samples.
+    latencies: Mutex<HashMap<[u8; 32], Histogram>>,
+    /// Per-phase prove-time histograms across every completion.
+    phases: Mutex<PhaseHistograms>,
     /// Per-session precompute accounting recorded at registration:
     /// `(table_bytes, build_ms)`. Zero bytes means the session registered
     /// without precomputed commit tables.
@@ -235,6 +272,7 @@ impl MetricsRecorder {
             max_wave: AtomicU64::new(0),
             rollup: Mutex::new(MsmRollup::default()),
             latencies: Mutex::new(HashMap::new()),
+            phases: Mutex::new(PhaseHistograms::default()),
             precompute: Mutex::new(HashMap::new()),
         }
     }
@@ -261,6 +299,7 @@ impl MetricsRecorder {
     ) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         lock(&self.rollup).merge_report(report);
+        lock(&self.phases).record_report(report);
         lock(&self.latencies)
             .entry(session)
             .or_default()
@@ -271,16 +310,18 @@ impl MetricsRecorder {
     pub(crate) fn completions_by_session(&self) -> HashMap<[u8; 32], u64> {
         lock(&self.latencies)
             .iter()
-            .map(|(digest, samples)| (*digest, samples.total))
+            .map(|(digest, hist)| (*digest, hist.count()))
             .collect()
     }
 
-    /// A copy of every session's latency sample window (for the p99-driven
-    /// rebalancer; windows are bounded at [`MAX_LATENCY_SAMPLES`]).
-    pub(crate) fn latency_samples(&self) -> HashMap<[u8; 32], Vec<f64>> {
+    /// A copy of every session's latency histogram (for the p99-driven
+    /// rebalancer). Histograms merge losslessly, so a shard's p99 over its
+    /// sessions' merged histograms covers every completion ever recorded —
+    /// not a bounded sample window.
+    pub(crate) fn latency_histograms(&self) -> HashMap<[u8; 32], Histogram> {
         lock(&self.latencies)
             .iter()
-            .map(|(digest, samples)| (*digest, samples.samples.clone()))
+            .map(|(digest, hist)| (*digest, hist.clone()))
             .collect()
     }
 
@@ -291,7 +332,7 @@ impl MetricsRecorder {
         let uptime = self.started.elapsed().as_secs_f64();
         let sessions = {
             // Union-merge across three sources: a session appears once it
-            // has completed a job (latency window), been registered
+            // has completed a job (latency histogram), been registered
             // (precompute accounting) or is known to the session store —
             // and it keeps its historical latency/table-bytes row after
             // eviction, because neither recorder map is ever cleared.
@@ -315,11 +356,7 @@ impl MetricsRecorder {
                 .map(|digest| {
                     let (precompute_table_bytes, precompute_build_ms) =
                         precompute.get(&digest).copied().unwrap_or((0, 0.0));
-                    let (jobs_completed, mut sorted) = latencies
-                        .get(&digest)
-                        .map(|samples| (samples.total, samples.samples.clone()))
-                        .unwrap_or((0, Vec::new()));
-                    sorted.sort_by(|a, b| a.total_cmp(b));
+                    let latency = latencies.get(&digest).cloned().unwrap_or_default();
                     let info = store.get(&digest);
                     SessionMetrics {
                         digest,
@@ -327,10 +364,11 @@ impl MetricsRecorder {
                         state: info.map(|i| i.state),
                         shard: info.map(|i| i.shard),
                         resident_bytes: info.map_or(0, |i| i.resident_bytes),
-                        jobs_completed,
-                        p50_ms: percentile(&sorted, 0.50),
-                        p99_ms: percentile(&sorted, 0.99),
-                        max_ms: sorted.last().copied().unwrap_or(0.0),
+                        jobs_completed: latency.count(),
+                        p50_ms: latency.quantile(0.50),
+                        p99_ms: latency.quantile(0.99),
+                        max_ms: latency.max_ms(),
+                        latency,
                         precompute_table_bytes,
                         precompute_build_ms,
                     }
@@ -347,6 +385,7 @@ impl MetricsRecorder {
             restart_budget_per_shard,
             lifecycle,
             proof_cache,
+            queue_waits,
             ..
         } = gauges;
         let conn_opened = self.conn_opened.load(Ordering::Relaxed);
@@ -384,6 +423,8 @@ impl MetricsRecorder {
             queue_depths,
             peak_queue_depth,
             queue_capacity,
+            queue_waits,
+            phases: lock(&self.phases).clone(),
             waves,
             mean_wave_occupancy: if waves == 0 {
                 0.0
@@ -402,15 +443,6 @@ impl MetricsRecorder {
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted sample list.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
 /// Latency summary of one session.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SessionMetrics {
@@ -425,14 +457,18 @@ pub struct SessionMetrics {
     pub shard: Option<usize>,
     /// Estimated resident proving-key bytes (0 once evicted).
     pub resident_bytes: u64,
-    /// Proofs completed for this session (lifetime, not window-bounded).
+    /// Proofs completed for this session (lifetime; equals the latency
+    /// histogram's exact count).
     pub jobs_completed: u64,
-    /// Median submit→proof latency over the sliding sample window (ms).
+    /// Median submit→proof latency (ms) from the histogram (≤ 6.3% high).
     pub p50_ms: f64,
-    /// 99th-percentile latency over the window (ms).
+    /// 99th-percentile latency (ms) from the histogram (≤ 6.3% high).
     pub p99_ms: f64,
-    /// Worst latency in the window (ms).
+    /// Exact worst latency ever recorded (ms).
     pub max_ms: f64,
+    /// The full submit→proof latency histogram (every completion, never
+    /// sampled or windowed).
+    pub latency: Histogram,
     /// Bytes of precomputed commit tables built for this session at
     /// registration (0 when precomputation was disabled or the budget built
     /// nothing).
@@ -487,6 +523,12 @@ pub struct ServiceMetrics {
     pub peak_queue_depth: usize,
     /// Total queue capacity across shards.
     pub queue_capacity: usize,
+    /// Queue-wait histograms per priority class (high, normal, low),
+    /// merged across shards: how long jobs of each class sat queued before
+    /// their wave was assembled.
+    pub queue_waits: [Histogram; 3],
+    /// Per-phase prove-time histograms across every completed proof.
+    pub phases: PhaseHistograms,
     /// `prove_batch` waves executed.
     pub waves: u64,
     /// Mean jobs per wave (the batching win over one-job-at-a-time).
@@ -679,7 +721,25 @@ impl ToJson for ServiceMetrics {
                         "capacity".into(),
                         JsonValue::UInt(self.queue_capacity as u64),
                     ),
+                    (
+                        "wait_ms".into(),
+                        JsonValue::Object(vec![
+                            ("high".into(), self.queue_waits[0].to_json()),
+                            ("normal".into(), self.queue_waits[1].to_json()),
+                            ("low".into(), self.queue_waits[2].to_json()),
+                        ]),
+                    ),
                 ]),
+            ),
+            (
+                "phases".into(),
+                JsonValue::Object(
+                    self.phases
+                        .named()
+                        .into_iter()
+                        .map(|(name, hist)| (name.to_string(), hist.to_json()))
+                        .collect(),
+                ),
             ),
             (
                 "waves".into(),
@@ -737,6 +797,7 @@ impl ToJson for ServiceMetrics {
                                 ("p50_ms".into(), JsonValue::Float(s.p50_ms)),
                                 ("p99_ms".into(), JsonValue::Float(s.p99_ms)),
                                 ("max_ms".into(), JsonValue::Float(s.max_ms)),
+                                ("latency_ms".into(), s.latency.to_json()),
                                 (
                                     "precompute_table_bytes".into(),
                                     JsonValue::UInt(s.precompute_table_bytes),
@@ -780,16 +841,6 @@ mod tests {
     }
 
     #[test]
-    fn percentile_is_nearest_rank() {
-        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&sorted, 0.50), 50.0);
-        assert_eq!(percentile(&sorted, 0.99), 99.0);
-        assert_eq!(percentile(&sorted, 1.0), 100.0);
-        assert_eq!(percentile(&[7.0], 0.99), 7.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
-    }
-
-    #[test]
     fn recorder_rolls_up_and_snapshots() {
         let rec = MetricsRecorder::new();
         rec.submitted.fetch_add(3, Ordering::Relaxed);
@@ -799,6 +850,7 @@ mod tests {
         report.witness_msm.zeros = 10;
         report.witness_msm.ones = 5;
         report.wiring_msm.bucket_adds = 7;
+        report.step_seconds = [0.010, 0.020, 0.030, 0.001, 0.040];
         rec.record_completion([1u8; 32], 12.0, &report);
         rec.record_completion([1u8; 32], 18.0, &report);
         rec.record_completion([2u8; 32], 40.0, &report);
@@ -814,8 +866,20 @@ mod tests {
         assert_eq!(snap.sessions.len(), 2);
         assert_eq!(snap.sessions[0].digest, [1u8; 32]);
         assert_eq!(snap.sessions[0].jobs_completed, 2);
-        assert_eq!(snap.sessions[0].p50_ms, 12.0);
-        assert_eq!(snap.sessions[0].p99_ms, 18.0);
+        // Histogram quantiles over-report by at most one sub-bucket
+        // (≤ 6.3%) and never exceed the exact maximum.
+        let p50 = snap.sessions[0].p50_ms;
+        assert!((12.0..=12.0 * 1.07).contains(&p50), "p50 {p50}");
+        let p99 = snap.sessions[0].p99_ms;
+        assert!((18.0..=18.0 * 1.07).contains(&p99), "p99 {p99}");
+        assert_eq!(snap.sessions[0].max_ms, 18.0);
+        assert_eq!(snap.sessions[0].latency.count(), 2);
+
+        // The per-phase histograms saw every completion.
+        assert_eq!(snap.phases.prove_total.count(), 3);
+        assert_eq!(snap.phases.witness_commit.count(), 3);
+        let wc = snap.phases.witness_commit.quantile(0.5);
+        assert!((10.0..=10.0 * 1.07).contains(&wc), "witness commit {wc}");
 
         // The JSON document renders with the expected top-level keys.
         let json = snap.to_json().render();
@@ -823,6 +887,10 @@ mod tests {
             "uptime_seconds",
             "jobs",
             "queue",
+            "wait_ms",
+            "phases",
+            "prove_total",
+            "latency_ms",
             "waves",
             "proofs_per_second",
             "msm",
@@ -891,7 +959,8 @@ mod tests {
         assert_eq!(snap.sessions[0].num_vars, 6);
         assert_eq!(snap.sessions[0].jobs_completed, 1);
         assert_eq!(snap.sessions[0].precompute_table_bytes, 2048);
-        assert_eq!(snap.sessions[0].p50_ms, 25.0);
+        let p50 = snap.sessions[0].p50_ms;
+        assert!((25.0..=25.0 * 1.07).contains(&p50), "p50 {p50}");
         assert_eq!(snap.sessions[1].state, Some(SessionState::Active));
         assert_eq!(snap.sessions[1].resident_bytes, 777);
         assert_eq!(snap.lifecycle.evictions, 1);
@@ -902,15 +971,94 @@ mod tests {
     }
 
     #[test]
-    fn latency_window_is_bounded() {
-        let mut samples = SessionSamples::default();
-        for i in 0..(MAX_LATENCY_SAMPLES + 100) {
-            samples.record(i as f64);
+    fn latency_histograms_never_drop_samples() {
+        // The old sliding window capped each session at 4096 samples; the
+        // histogram keeps an exact count (and bounded quantile error) no
+        // matter how many completions a long-running session accumulates.
+        let rec = MetricsRecorder::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            rec.record_completion([9u8; 32], i as f64, &ProverReport::default());
         }
-        assert_eq!(samples.samples.len(), MAX_LATENCY_SAMPLES);
-        assert_eq!(samples.total, (MAX_LATENCY_SAMPLES + 100) as u64);
-        // The oldest samples were overwritten.
-        assert!(samples.samples.contains(&(MAX_LATENCY_SAMPLES as f64)));
-        assert!(!samples.samples.contains(&5.0));
+        let hists = rec.latency_histograms();
+        let hist = hists.get(&[9u8; 32]).expect("session recorded");
+        assert_eq!(hist.count(), n);
+        assert_eq!(hist.max_ms(), (n - 1) as f64);
+        let exact_p99 = 9900.0; // nearest-rank over 0..9999
+        let p99 = hist.quantile(0.99);
+        assert!(
+            p99 >= exact_p99 && p99 <= exact_p99 * 1.07,
+            "p99 {p99} vs exact {exact_p99}"
+        );
+        assert_eq!(
+            rec.completions_by_session().get(&[9u8; 32]).copied(),
+            Some(n)
+        );
+    }
+
+    #[test]
+    fn rebalance_decision_is_exact_at_window_overflow() {
+        // Regression for the sliding-window rebalancer: with per-session
+        // latency capped at the most recent 4096 samples, a slow burst that
+        // scrolled out of the window became invisible and the rebalancer
+        // decided "balanced" even though the shard's true p99 was 50× the
+        // other's. Histograms keep every completion, so the decision
+        // computed from them must match the decision computed from the
+        // exact, uncapped sample lists.
+        let nearest_rank_p99 = |samples: &mut Vec<f64>| -> f64 {
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let rank = (samples.len() as f64 * 0.99).ceil() as usize;
+            samples[rank.saturating_sub(1)]
+        };
+        // Mirrors rebalance_pass's guard: the worst shard must exceed
+        // 1.25× the best shard's p99 for a move to fire.
+        let decide = |p99: [f64; 2]| -> Option<usize> {
+            let (worst, best) = if p99[0] >= p99[1] { (0, 1) } else { (1, 0) };
+            (p99[worst] > p99[best] * 1.25).then_some(worst)
+        };
+
+        let rec = MetricsRecorder::new();
+        let report = ProverReport::default();
+        let mut exact = [Vec::new(), Vec::new()];
+        // Shard 0's session: a 2000-sample slow burst, then 5000 fast
+        // completions — more than enough to scroll the burst past the old
+        // 4096-sample cap. Shard 1's session: uniformly fast.
+        for _ in 0..2000 {
+            rec.record_completion([1u8; 32], 400.0, &report);
+            exact[0].push(400.0);
+        }
+        for _ in 0..5000 {
+            rec.record_completion([1u8; 32], 8.0, &report);
+            exact[0].push(8.0);
+        }
+        for _ in 0..7000 {
+            rec.record_completion([2u8; 32], 8.0, &report);
+            exact[1].push(8.0);
+        }
+
+        // Snapshot the old window's view (most recent 4096, arrival order)
+        // before the p99 helper sorts the sample lists in place.
+        let mut windowed: Vec<f64> = exact[0][exact[0].len() - 4096..].to_vec();
+        let exact_p99s = [
+            nearest_rank_p99(&mut exact[0]),
+            nearest_rank_p99(&mut exact[1]),
+        ];
+        let hists = rec.latency_histograms();
+        let hist_p99s = [
+            hists.get(&[1u8; 32]).expect("session").quantile(0.99),
+            hists.get(&[2u8; 32]).expect("session").quantile(0.99),
+        ];
+        // The exact decision: shard 0 is hot and must shed a session.
+        assert_eq!(decide(exact_p99s), Some(0), "exact p99s {exact_p99s:?}");
+        assert_eq!(
+            decide(hist_p99s),
+            decide(exact_p99s),
+            "histogram p99s {hist_p99s:?} vs exact {exact_p99s:?}"
+        );
+        // Sanity that the regression has teeth: the old bounded window
+        // (most recent 4096 samples) saw only fast completions on shard 0
+        // and would have declined to move anything.
+        let window_p99s = [nearest_rank_p99(&mut windowed), exact_p99s[1]];
+        assert_eq!(decide(window_p99s), None, "windowed p99s {window_p99s:?}");
     }
 }

@@ -20,8 +20,10 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use zkspeed_hyperplonk::{ProvingKey, Witness};
+use zkspeed_rt::trace::Histogram;
 
 use crate::sync::{lock, wait};
 use crate::wire::Priority;
@@ -44,6 +46,9 @@ pub struct QueuedJob {
     pub witness_digest: [u8; 32],
     /// Scheduling class.
     pub priority: Priority,
+    /// When the job entered the queue. Stamped by the constructor; the
+    /// queue measures class wait time from here at wave-pop.
+    pub enqueued_at: Instant,
 }
 
 /// Queue state under the lock.
@@ -51,6 +56,9 @@ struct QueueState {
     classes: [VecDeque<QueuedJob>; 3],
     /// Pops that passed over each non-empty class since it was last served.
     passed_over: [u64; 3],
+    /// Queue-wait latency per class (high, normal, low), recorded at the
+    /// moment each job leaves the queue inside a wave.
+    waits: [Histogram; 3],
     peak_depth: usize,
     closed: bool,
 }
@@ -90,6 +98,7 @@ impl JobQueue {
             state: Mutex::new(QueueState {
                 classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
                 passed_over: [0; 3],
+                waits: [Histogram::new(), Histogram::new(), Histogram::new()],
                 peak_depth: 0,
                 closed: false,
             }),
@@ -119,6 +128,14 @@ impl JobQueue {
     /// The capacity bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Snapshot of the per-class queue-wait histograms (high, normal,
+    /// low). Each job contributes its submit→pop wait, in milliseconds,
+    /// to its class's histogram at the moment its wave is assembled.
+    pub fn wait_histograms(&self) -> [Histogram; 3] {
+        let state = lock(&self.state);
+        state.waits.clone()
     }
 
     /// Enqueues a job, or returns it to the caller if the queue is at
@@ -180,6 +197,12 @@ impl JobQueue {
                 }
                 state.classes[class] = rest;
                 wave.insert(0, first);
+                let now = Instant::now();
+                for job in &wave {
+                    let waited_ms =
+                        now.saturating_duration_since(job.enqueued_at).as_secs_f64() * 1e3;
+                    state.waits[job.priority.index()].record(waited_ms);
+                }
                 self.space.notify_all();
                 return Some(wave);
             }
@@ -281,6 +304,7 @@ mod tests {
             witness: Arc::new(Witness::new(column(), column(), column())),
             witness_digest: [0u8; 32],
             priority,
+            enqueued_at: Instant::now(),
         }
     }
 
@@ -391,6 +415,28 @@ mod tests {
         }
         assert!(served.contains(&2000), "normal starved: {served:?}");
         assert!(served.contains(&3000), "low starved: {served:?}");
+    }
+
+    #[test]
+    fn queue_wait_is_recorded_per_class() {
+        let q = JobQueue::new(16, 8);
+        q.try_push(job(0, 1, Priority::High)).unwrap();
+        q.try_push(job(1, 1, Priority::Normal)).unwrap();
+        q.try_push(job(2, 1, Priority::Normal)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(q.pop_wave(4).unwrap().len(), 1); // the high job
+        assert_eq!(q.pop_wave(4).unwrap().len(), 2); // both normal jobs
+        let waits = q.wait_histograms();
+        assert_eq!(waits[0].count(), 1);
+        assert_eq!(waits[1].count(), 2);
+        assert_eq!(waits[2].count(), 0);
+        // Every popped job waited at least through the sleep.
+        assert!(waits[0].max_ms() >= 4.0, "high wait {}", waits[0].max_ms());
+        assert!(
+            waits[1].mean_ms() >= 4.0,
+            "normal wait {}",
+            waits[1].mean_ms()
+        );
     }
 
     #[test]

@@ -48,13 +48,14 @@ use std::time::{Duration, Instant};
 
 use zkspeed_curve::MsmConfig;
 use zkspeed_hyperplonk::{
-    prove_batch_with_reports_msm_on, try_preprocess_with_budget_on, Circuit, PreprocessError,
+    prove_batch_with_reports_traced_on, try_preprocess_with_budget_on, Circuit, PreprocessError,
     VerifyingKey, Witness,
 };
 use zkspeed_pcs::{PrecomputeBudget, Srs};
 use zkspeed_rt::codec::{DecodeError, Reader};
 use zkspeed_rt::faults::{FaultPlan, WaveFault};
 use zkspeed_rt::pool::{backend_with_threads, Backend};
+use zkspeed_rt::trace::{digest_tag, Histogram, TraceSink};
 use zkspeed_rt::ToJson;
 
 use crate::metrics::{
@@ -120,6 +121,13 @@ pub struct ServiceConfig {
     /// default) disables the background rebalancer. Tests can drive passes
     /// deterministically through [`ProvingService::rebalance_now`].
     pub rebalance_interval: Option<Duration>,
+    /// Structured-tracing sink threaded through the whole job lifecycle
+    /// (submit, queue wait, wave assembly, per-phase proving, MSM passes).
+    /// Disabled by default: every recording call short-circuits on one
+    /// branch. Enable with [`ServiceConfig::with_trace`]; pull the Chrome
+    /// trace-event dump with the wire `GetTrace` request or
+    /// [`ProvingService::trace_json`].
+    pub trace: TraceSink,
 }
 
 impl Default for ServiceConfig {
@@ -141,6 +149,7 @@ impl Default for ServiceConfig {
             session_byte_budget: 0,
             proof_cache_bytes: 0,
             rebalance_interval: None,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -228,6 +237,13 @@ impl ServiceConfig {
     /// Enables the background p99-driven shard rebalancer.
     pub fn with_rebalance_interval(mut self, interval: Duration) -> Self {
         self.rebalance_interval = Some(interval.max(Duration::from_millis(1)));
+        self
+    }
+
+    /// Installs a tracing sink; pass [`TraceSink::enabled`] to record the
+    /// full job lifecycle.
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -391,6 +407,8 @@ struct ServiceShared {
     jobs: Mutex<HashMap<u64, JobEntry>>,
     job_done: Condvar,
     next_job_id: AtomicU64,
+    /// Service-wide wave numbering, tagged onto wave trace spans.
+    next_wave_id: AtomicU64,
     /// Set by [`ProvingService::begin_drain`]: new registrations and
     /// submissions are rejected while accepted jobs run to completion.
     draining: AtomicBool,
@@ -444,6 +462,7 @@ impl ProvingService {
             jobs: Mutex::new(HashMap::new()),
             job_done: Condvar::new(),
             next_job_id: AtomicU64::new(1),
+            next_wave_id: AtomicU64::new(1),
             draining: AtomicBool::new(false),
             metrics: MetricsRecorder::new(),
             worker_handles: Mutex::new(Vec::new()),
@@ -707,6 +726,15 @@ impl ProvingService {
                 .submitted
                 .fetch_add(1, Ordering::Relaxed);
             self.shared.job_done.notify_all();
+            self.shared.config.trace.instant(
+                "cache-hit",
+                "job",
+                &[
+                    ("job", id),
+                    ("session", digest_tag(digest)),
+                    ("shard", session.shard as u64),
+                ],
+            );
             return Ok(id);
         }
         let job = QueuedJob {
@@ -716,6 +744,7 @@ impl ProvingService {
             priority: spec.priority,
             pk: Arc::clone(&session.pk),
             witness_digest,
+            enqueued_at: submitted,
         };
         // The entry must exist before the worker can complete it.
         lock(&self.shared.jobs).insert(
@@ -750,6 +779,16 @@ impl ProvingService {
             .metrics
             .submitted
             .fetch_add(1, Ordering::Relaxed);
+        self.shared.config.trace.instant(
+            "submit",
+            "job",
+            &[
+                ("job", id),
+                ("session", digest_tag(digest)),
+                ("shard", session.shard as u64),
+                ("class", spec.priority.index() as u64),
+            ],
+        );
         Ok(id)
     }
 
@@ -856,6 +895,7 @@ impl ProvingService {
         let mut depths = [0usize; 3];
         let mut peak = 0usize;
         let mut capacity = 0usize;
+        let mut queue_waits: [Histogram; 3] = Default::default();
         for shard in &self.shared.shards {
             let d = shard.queue.depths();
             for (total, class) in depths.iter_mut().zip(d) {
@@ -863,6 +903,9 @@ impl ProvingService {
             }
             peak = peak.max(shard.queue.peak_depth());
             capacity += shard.queue.capacity();
+            for (merged, waits) in queue_waits.iter_mut().zip(shard.queue.wait_histograms()) {
+                merged.merge(&waits);
+            }
         }
         let workers_alive = self
             .shared
@@ -901,7 +944,15 @@ impl ProvingService {
                 capacity_bytes: cache.capacity_bytes(),
             },
             store_sessions: store.snapshot(),
+            queue_waits,
         })
+    }
+
+    /// The current tracing recording as Chrome trace-event JSON (loadable
+    /// in Perfetto / `chrome://tracing`). An empty-but-valid trace when the
+    /// service was started without [`ServiceConfig::with_trace`].
+    pub fn trace_json(&self) -> String {
+        self.shared.config.trace.chrome_trace_json()
     }
 
     /// The number of scheduler shards.
@@ -1140,6 +1191,9 @@ impl ProvingService {
                     .collect();
                 Response::SessionList { sessions }
             }
+            Request::GetTrace => Response::TraceDump {
+                json: self.trace_json(),
+            },
         }
     }
 
@@ -1280,6 +1334,21 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 fn shard_loop(shared: &ServiceShared, shard_idx: usize) {
     let shard = &shared.shards[shard_idx];
     while let Some(wave) = shard.queue.pop_wave(shared.config.wave_size) {
+        // Each job's queue wait was measured from its enqueue instant; the
+        // trace records it as a span that ends at wave assembly.
+        for job in &wave {
+            shared.config.trace.record_complete(
+                "queue-wait",
+                "queue",
+                job.enqueued_at.elapsed(),
+                &[
+                    ("job", job.id),
+                    ("session", digest_tag(&job.session)),
+                    ("shard", shard_idx as u64),
+                    ("class", job.priority.index() as u64),
+                ],
+            );
+        }
         // Mark the wave running before any fault can fire, so an injected
         // death has exactly this wave in flight to fail.
         {
@@ -1304,7 +1373,7 @@ fn shard_loop(shared: &ServiceShared, shard_idx: usize) {
             if matches!(fault, WaveFault::Panic) {
                 panic!("injected wave fault (shard {shard_idx})");
             }
-            run_wave(shared, shard, wave);
+            run_wave(shared, shard, shard_idx, wave);
         }));
         if let Err(payload) = outcome {
             let reason = panic_message(payload.as_ref());
@@ -1348,12 +1417,16 @@ fn spawn_rebalancer(shared: &Arc<ServiceShared>, interval: Duration) {
 }
 
 /// One p99-driven rebalance pass: when the worst shard's p99 latency
-/// exceeds 1.25× the best shard's, the hottest session (most latency
-/// samples in the window) moves off the worst shard. Safe against
-/// in-flight waves — queued jobs carry their proving key and finish on the
-/// shard they queued on; only *future* submissions follow the new
-/// assignment. Returns the number of sessions moved (0 or 1, so latency
-/// windows re-settle between moves).
+/// exceeds 1.25× the best shard's, the hottest session (most completions
+/// recorded) moves off the worst shard. Shard p99s come from merging the
+/// sessions' latency *histograms* — bucket-wise addition over every
+/// completion ever recorded, so the decision is exact (within the
+/// histogram's ≤ 6.3% bucket error) rather than computed over whatever
+/// subset survived a bounded sliding window. Safe against in-flight
+/// waves — queued jobs carry their proving key and finish on the shard
+/// they queued on; only *future* submissions follow the new assignment.
+/// Returns the number of sessions moved (0 or 1, so latency histograms
+/// re-settle between moves).
 fn rebalance_pass(shared: &ServiceShared) -> usize {
     shared
         .metrics
@@ -1364,27 +1437,20 @@ fn rebalance_pass(shared: &ServiceShared) -> usize {
         return 0;
     }
     let sessions = shared.store.snapshot();
-    let samples = shared.metrics.latency_samples();
-    // Merge each session's latency window into its shard's.
-    let mut per_shard: Vec<Vec<f64>> = vec![Vec::new(); shard_count];
+    let histograms = shared.metrics.latency_histograms();
+    // Merge each session's latency histogram into its shard's (lossless).
+    let mut per_shard: Vec<Histogram> = vec![Histogram::new(); shard_count];
     let mut active_per_shard = vec![0usize; shard_count];
     for info in &sessions {
         if info.state != SessionState::Active || info.shard >= shard_count {
             continue;
         }
         active_per_shard[info.shard] += 1;
-        if let Some(window) = samples.get(&info.digest) {
-            per_shard[info.shard].extend_from_slice(window);
+        if let Some(hist) = histograms.get(&info.digest) {
+            per_shard[info.shard].merge(hist);
         }
     }
-    let p99 = |window: &mut Vec<f64>| -> f64 {
-        if window.is_empty() {
-            return 0.0;
-        }
-        window.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        window[((window.len() - 1) as f64 * 0.99).round() as usize]
-    };
-    let p99s: Vec<f64> = per_shard.iter_mut().map(p99).collect();
+    let p99s: Vec<f64> = per_shard.iter().map(|h| h.quantile(0.99)).collect();
     let alive = |idx: usize| shared.shards[idx].alive.load(Ordering::SeqCst);
     // Only a shard hosting at least two active sessions can shed one; a
     // single hot session has nowhere better to be.
@@ -1403,12 +1469,12 @@ fn rebalance_pass(shared: &ServiceShared) -> usize {
     if p99s[worst] <= p99s[best] * 1.25 {
         return 0;
     }
-    // The hottest session (largest latency window) drives the worst
-    // shard's tail; moving it sheds the most load in one step.
+    // The hottest session (most completions) drives the worst shard's
+    // tail; moving it sheds the most load in one step.
     let hottest = sessions
         .iter()
         .filter(|info| info.state == SessionState::Active && info.shard == worst)
-        .max_by_key(|info| samples.get(&info.digest).map_or(0, |w| w.len()));
+        .max_by_key(|info| histograms.get(&info.digest).map_or(0, |h| h.count()));
     let Some(hottest) = hottest else { return 0 };
     if !shared.store.set_shard(&hottest.digest, best) {
         return 0;
@@ -1420,12 +1486,23 @@ fn rebalance_pass(shared: &ServiceShared) -> usize {
     1
 }
 
-fn run_wave(shared: &ServiceShared, shard: &Shard, wave: Vec<QueuedJob>) {
+fn run_wave(shared: &ServiceShared, shard: &Shard, shard_idx: usize, wave: Vec<QueuedJob>) {
     // Every queued job carries its own `Arc<ProvingKey>` (pinned at
     // submission), so a wave proves correctly even if the store evicted or
     // rebalanced its session after the jobs were queued. A wave holds jobs
     // of exactly one session, so the first job's key serves the batch.
     let pk = Arc::clone(&wave[0].pk);
+    let wave_id = shared.next_wave_id.fetch_add(1, Ordering::Relaxed);
+    let _wave_span = shared.config.trace.span_with(
+        "wave",
+        "service",
+        &[
+            ("wave", wave_id),
+            ("session", digest_tag(&wave[0].session)),
+            ("shard", shard_idx as u64),
+            ("jobs", wave.len() as u64),
+        ],
+    );
     // Jobs whose deadline passed while queued fail without burning prover
     // time; the rest proceed.
     let mut live = Vec::with_capacity(wave.len());
@@ -1472,9 +1549,16 @@ fn run_wave(shared: &ServiceShared, shard: &Shard, wave: Vec<QueuedJob>) {
     }
     shared.metrics.record_wave(valid.len());
     let witnesses: Vec<Witness> = valid.iter().map(|j| j.witness.as_ref().clone()).collect();
-    let proved =
-        prove_batch_with_reports_msm_on(&pk, &witnesses, &shard.backend, shared.config.msm_config)
-            .expect("wave witnesses were validated");
+    let job_ids: Vec<u64> = valid.iter().map(|j| j.id).collect();
+    let proved = prove_batch_with_reports_traced_on(
+        &pk,
+        &witnesses,
+        &shard.backend,
+        shared.config.msm_config,
+        &shared.config.trace,
+        &job_ids,
+    )
+    .expect("wave witnesses were validated");
     let mut jobs = lock(&shared.jobs);
     for (job, (proof, report)) in valid.iter().zip(proved) {
         let bytes = Arc::new(proof.to_bytes());

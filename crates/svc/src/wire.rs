@@ -18,6 +18,7 @@
 //! | 5 | `Hello` | `u32` len + auth token bytes |
 //! | 6 | `Shutdown` | (empty) |
 //! | 7 | `ListSessions` | (empty) |
+//! | 8 | `GetTrace` | (empty) |
 //!
 //! | response tag | message | body |
 //! |---|---|---|
@@ -31,6 +32,7 @@
 //! | 8 | `ShuttingDown` | (empty) |
 //! | 9 | `JobFailed` | `u64` job id, `u32` len + UTF-8 failure reason |
 //! | 10 | `SessionList` | `u32` count, then per session: 32-byte digest, `u32` num_vars, `u8` state, `u32` shard, `u64` resident bytes, `u64` jobs completed |
+//! | 11 | `TraceDump` | `u32` len + UTF-8 Chrome trace-event JSON |
 //!
 //! The same encode/decode pair serves the in-process endpoint
 //! ([`crate::ProvingService::handle_frame`]) and the `zkspeed-net` socket
@@ -216,6 +218,10 @@ pub enum Request {
     /// Lists every session the server knows about (active and evicted),
     /// answered with `SessionList`.
     ListSessions,
+    /// Pulls the server's tracing recording as Chrome trace-event JSON,
+    /// answered with `TraceDump` (an empty-but-valid trace when the server
+    /// runs with tracing disabled).
+    GetTrace,
 }
 
 const REQ_SUBMIT_CIRCUIT: u8 = 1;
@@ -225,6 +231,7 @@ const REQ_METRICS: u8 = 4;
 const REQ_HELLO: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
 const REQ_LIST_SESSIONS: u8 = 7;
+const REQ_GET_TRACE: u8 = 8;
 
 /// One session row of a `SessionList` response.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -310,6 +317,12 @@ pub enum Response {
         /// One row per session (active and evicted).
         sessions: Vec<SessionRow>,
     },
+    /// The server's tracing recording, answering `GetTrace`.
+    TraceDump {
+        /// Chrome trace-event JSON (Perfetto-loadable); an empty-but-valid
+        /// trace when the server runs with tracing disabled.
+        json: String,
+    },
 }
 
 const RESP_CIRCUIT_REGISTERED: u8 = 1;
@@ -322,6 +335,7 @@ const RESP_HELLO_OK: u8 = 7;
 const RESP_SHUTTING_DOWN: u8 = 8;
 const RESP_JOB_FAILED: u8 = 9;
 const RESP_SESSION_LIST: u8 = 10;
+const RESP_TRACE_DUMP: u8 = 11;
 
 fn write_blob(out: &mut Vec<u8>, blob: &[u8]) {
     out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
@@ -378,6 +392,7 @@ impl Request {
             }
             Request::Shutdown => out.push(REQ_SHUTDOWN),
             Request::ListSessions => out.push(REQ_LIST_SESSIONS),
+            Request::GetTrace => out.push(REQ_GET_TRACE),
         }
         out
     }
@@ -421,6 +436,7 @@ impl Request {
             },
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_LIST_SESSIONS => Request::ListSessions,
+            REQ_GET_TRACE => Request::GetTrace,
             _ => {
                 return Err(DecodeError::InvalidValue {
                     what: "request message tag",
@@ -489,6 +505,10 @@ impl Response {
                     out.extend_from_slice(&row.resident_bytes.to_le_bytes());
                     out.extend_from_slice(&row.jobs_completed.to_le_bytes());
                 }
+            }
+            Response::TraceDump { json } => {
+                out.push(RESP_TRACE_DUMP);
+                write_blob(&mut out, json.as_bytes());
             }
         }
         out
@@ -569,6 +589,9 @@ impl Response {
                 }
                 Response::SessionList { sessions }
             }
+            RESP_TRACE_DUMP => Response::TraceDump {
+                json: read_string(&mut reader, "trace dump JSON")?,
+            },
             _ => {
                 return Err(DecodeError::InvalidValue {
                     what: "response message tag",
@@ -602,6 +625,7 @@ mod tests {
             },
             Request::Shutdown,
             Request::ListSessions,
+            Request::GetTrace,
         ]
     }
 
@@ -668,6 +692,9 @@ mod tests {
             Response::Rejected {
                 code: RejectCode::SessionEvicted,
                 detail: "session evicted; re-register the circuit".into(),
+            },
+            Response::TraceDump {
+                json: "{\"traceEvents\":[]}".into(),
             },
         ]
     }
@@ -795,11 +822,11 @@ mod tests {
 
     #[test]
     fn stale_version_frames_are_rejected_cleanly() {
-        // Encodings carry the bumped codec version; v1..v3 frames (as an
+        // Encodings carry the bumped codec version; v1..v4 frames (as an
         // older client would send) must fail with UnsupportedVersion, never
         // misparse — v2 SubmitJob bodies lack the deadline field and would
         // otherwise shift every later byte.
-        for stale in [1u16, 2, 3] {
+        for stale in [1u16, 2, 3, 4] {
             let mut old = Request::Metrics.to_bytes();
             old[4..6].copy_from_slice(&stale.to_le_bytes());
             assert!(matches!(

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Multi-process loopback smoke test of the zkspeed CLI + TCP transport:
-# one `zkspeed serve` process, two concurrent `zkspeed submit` client
-# processes, proofs verified offline against the same circuit, metrics
-# scraped over the wire, then a graceful wire-requested shutdown.
+# one `zkspeed serve` process (tracing on), two concurrent `zkspeed submit`
+# client processes, proofs verified offline against the same circuit, the
+# span trace pulled live with `zkspeed trace`, metrics scraped over the
+# wire, then a graceful wire-requested shutdown.
 #
 # Usage: scripts/net_smoke.sh [workdir]   (default: a fresh temp dir)
-# Leaves scraped-metrics.json and final-metrics.json in the workdir.
+# Leaves scraped-metrics.json, final-metrics.json, trace.json and
+# final-trace.json in the workdir.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,10 +24,11 @@ echo ">> offline artifacts into ${WORKDIR}"
 "${ZK}" compile --workload state-transition --transfers 2 --balance-bits 8 \
   --out "${WORKDIR}/circuit.bin" --witness-out "${WORKDIR}/witness.bin" --seed 2
 
-echo ">> starting zkspeed serve on an ephemeral port"
+echo ">> starting zkspeed serve on an ephemeral port (tracing enabled)"
 "${ZK}" serve --srs "${WORKDIR}/srs.bin" --addr 127.0.0.1:0 \
   --auth-token "${TOKEN}" --ready-file "${WORKDIR}/addr.txt" \
-  --metrics-out "${WORKDIR}/final-metrics.json" >"${WORKDIR}/serve.log" 2>&1 &
+  --metrics-out "${WORKDIR}/final-metrics.json" \
+  --trace --trace-out "${WORKDIR}/final-trace.json" >"${WORKDIR}/serve.log" 2>&1 &
 SERVE_PID=$!
 trap 'kill "${SERVE_PID}" 2>/dev/null || true' EXIT
 
@@ -51,6 +54,13 @@ echo ">> verifying a proof fetched over TCP"
 "${ZK}" verify --srs "${WORKDIR}/srs.bin" --circuit "${WORKDIR}/circuit.bin" \
   --proof "${WORKDIR}/net-proof.bin"
 
+echo ">> pulling the span trace over the wire"
+"${ZK}" trace --addr "${ADDR}" --auth-token "${TOKEN}" --out "${WORKDIR}/trace.json"
+grep -q '"traceEvents"' "${WORKDIR}/trace.json"
+grep -q '"wave"' "${WORKDIR}/trace.json"
+grep -q '"queue-wait"' "${WORKDIR}/trace.json"
+grep -q '"prove"' "${WORKDIR}/trace.json"
+
 echo ">> scraping metrics over the wire, then graceful shutdown"
 "${ZK}" submit --addr "${ADDR}" --auth-token "${TOKEN}" \
   --metrics --metrics-out "${WORKDIR}/scraped-metrics.json" --shutdown
@@ -61,7 +71,11 @@ echo ">> checking the scraped metrics report the jobs"
 grep -q '"completed": 4' "${WORKDIR}/scraped-metrics.json"
 grep -q '"connections"' "${WORKDIR}/scraped-metrics.json"
 grep -q '"supervision"' "${WORKDIR}/scraped-metrics.json"
+grep -q '"phases"' "${WORKDIR}/scraped-metrics.json"
+grep -q '"wait_ms"' "${WORKDIR}/scraped-metrics.json"
 test -f "${WORKDIR}/final-metrics.json"
+test -s "${WORKDIR}/final-trace.json"
+grep -q '"traceEvents"' "${WORKDIR}/final-trace.json"
 
 echo ">> crash-recovery leg: SIGKILL the server mid-submit"
 # A fault-injected serve (every wave on shard 0 sleeps 5 s, exercising the

@@ -11,6 +11,7 @@
 //! | `serve`   | host a `ProvingService` on a TCP socket |
 //! | `submit`  | drive a remote server: register, submit, collect, scrape metrics |
 //! | `sessions`| list a remote server's sessions (state, μ, shard, bytes) |
+//! | `trace`   | pull a remote server's Chrome trace-event dump (Perfetto-loadable) |
 //!
 //! Every artifact on disk is a canonical encoding (magic + version header),
 //! so files produced here interoperate with the library APIs and the wire
@@ -26,6 +27,7 @@ use zkspeed::hyperplonk::workloads::{
 use zkspeed::hyperplonk::{Circuit, Proof, Witness};
 use zkspeed::pcs::Srs;
 use zkspeed::rt::rngs::StdRng;
+use zkspeed::rt::trace::TraceSink;
 use zkspeed::rt::SeedableRng;
 use zkspeed::svc::{Priority, ProvingService, ServiceConfig};
 use zkspeed::ProofSystem;
@@ -54,14 +56,17 @@ SUBCOMMANDS:
            [--max-connections N] [--idle-timeout-ms N] [--drain-grace-ms N]
            [--shards N] [--session-capacity N] [--session-byte-budget N]
            [--proof-cache-bytes N] [--rebalance-interval-ms N]
-           [--metrics-out FILE]
+           [--metrics-out FILE] [--trace] [--trace-out FILE]
            Host a ProvingService over TCP. With --addr 127.0.0.1:0 the bound
            address goes to --ready-file (and stdout). Runs until a client
            sends Shutdown, then drains gracefully and writes final metrics.
            --session-capacity / --session-byte-budget bound the provisioned
            session working set (LRU eviction; 0 = unlimited);
            --proof-cache-bytes enables the resubmission proof cache;
-           --rebalance-interval-ms enables the p99-driven shard rebalancer.
+           --rebalance-interval-ms enables the p99-driven shard rebalancer;
+           --trace records a structured span trace of every job (pull it
+           live with `zkspeed trace`); --trace-out implies --trace and also
+           writes the final Chrome trace-event JSON on shutdown.
 
   submit   --addr HOST:PORT --circuit FILE --witness FILE [--auth-token T]
            [--jobs N] [--priority high|normal|low] [--proof-out FILE]
@@ -75,6 +80,11 @@ SUBCOMMANDS:
   sessions --addr HOST:PORT [--auth-token T]
            List the server's sessions: digest, μ, lifecycle state
            (active/evicted), shard, resident bytes, jobs completed.
+
+  trace    --addr HOST:PORT [--auth-token T] [--out FILE]
+           Pull the server's Chrome trace-event dump (a snapshot of every
+           span recorded so far). Load the JSON in Perfetto / chrome://tracing.
+           Empty-but-valid when the server runs without --trace.
 
 EXIT CODES:
   0  success
@@ -97,6 +107,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest).map_err(CmdError::from),
         "submit" => cmd_submit(rest),
         "sessions" => cmd_sessions(rest).map_err(CmdError::from),
+        "trace" => cmd_trace(rest).map_err(CmdError::from),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -309,6 +320,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if rebalance_ms > 0 {
         config = config.with_rebalance_interval(Duration::from_millis(rebalance_ms));
     }
+    // Keep a handle on the sink so the final dump works after the server
+    // (which owns the service) has shut down — TraceSink clones share state.
+    let trace_sink = if flags.has("trace") || flags.has("trace-out") {
+        let sink = TraceSink::enabled();
+        config = config.with_trace(sink.clone());
+        Some(sink)
+    } else {
+        None
+    };
     let service = ProvingService::start(Arc::new(srs), config);
 
     let server_config = ServerConfig::new(flags.get("addr").unwrap_or("127.0.0.1:0"))
@@ -341,6 +361,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         println!("serve: final metrics -> {path}");
     } else {
         println!("{json}");
+    }
+    if let Some(sink) = trace_sink {
+        let trace_json = sink.chrome_trace_json();
+        if let Some(path) = flags.get("trace-out") {
+            write_file(path, trace_json.as_bytes(), "trace dump")?;
+            println!(
+                "serve: trace ({} events, {} dropped) -> {path}",
+                sink.event_count(),
+                sink.dropped_events()
+            );
+        }
     }
     println!(
         "serve: drained ({} proofs, {} connections served)",
@@ -442,6 +473,24 @@ fn cmd_sessions(args: &[String]) -> Result<(), String> {
             s.resident_bytes,
             s.jobs_completed
         );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let token = flags.get("auth-token").unwrap_or("");
+    let mut client = NetClient::connect(addr, token.as_bytes(), ClientConfig::default())
+        .map_err(|e| format!("connect to {addr} failed: {e}"))?;
+    let json = client
+        .trace()
+        .map_err(|e| format!("trace pull failed: {e}"))?;
+    if let Some(path) = flags.get("out") {
+        write_file(path, json.as_bytes(), "trace dump")?;
+        println!("trace: {} bytes -> {path}", json.len());
+    } else {
+        println!("{json}");
     }
     Ok(())
 }

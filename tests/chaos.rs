@@ -134,6 +134,62 @@ fn killed_worker_is_respawned_and_recovery_proof_is_byte_identical() {
 }
 
 #[test]
+fn trace_dump_survives_worker_kill_and_respawn() {
+    use zkspeed::rt::trace::TraceSink;
+
+    let (circuit, witness) = instance(7);
+    let baseline = fault_free_proof(&circuit, &witness);
+
+    // Tracing on, worker killed mid-first-wave: the sink must keep the
+    // events recorded before the death, keep accepting events from the
+    // respawned worker thread, and still render a valid dump — and the
+    // recovery proof must stay byte-identical to the untraced baseline.
+    let sink = TraceSink::enabled();
+    let svc = faulty_service_with("worker-kill@1", {
+        let sink = sink.clone();
+        move |c| c.with_trace(sink)
+    });
+    let digest = svc.register_circuit(circuit).expect("fits");
+    let doomed = svc
+        .submit(&digest, witness.clone(), Priority::Normal)
+        .expect("accepted");
+    assert!(svc.wait(doomed).is_err(), "doomed job must fail");
+
+    let job = svc
+        .submit(&digest, witness, Priority::Normal)
+        .expect("accepted");
+    let proof = svc.wait(job).expect("respawned worker proves");
+    assert_eq!(
+        *proof, baseline,
+        "traced recovery proof must match baseline"
+    );
+
+    // The wave span lands when its guard drops, just after the job-done
+    // notification — poll briefly instead of racing the worker thread.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut json = svc.trace_json();
+    while !json.contains("\"wave\"") && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+        json = svc.trace_json();
+    }
+    assert!(json.starts_with('{') && json.ends_with('}'), "valid JSON");
+    for needle in [
+        "\"traceEvents\"",
+        "\"wave\"",
+        "\"queue-wait\"",
+        "\"submit\"",
+    ] {
+        assert!(json.contains(needle), "trace dump missing {needle}");
+    }
+    // Both waves recorded: the killed worker's span buffer survives the
+    // thread's death, and the respawned thread registers its own.
+    assert!(sink.event_count() >= 4, "events: {}", sink.event_count());
+    let threads = sink.threads().len();
+    assert!(threads >= 2, "threads: {threads}");
+    assert_eq!(svc.metrics().supervision.worker_restarts, 1);
+}
+
+#[test]
 fn restart_budget_exhaustion_fails_backlog_and_drain_stays_bounded() {
     let (circuit, witness) = instance(3);
     // Budget 1: the first kill respawns the worker, the second writes the
